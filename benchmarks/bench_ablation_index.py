@@ -1,0 +1,83 @@
+"""Ablation — how much of Figure 4 is the R-tree specifically?
+
+Compares the paper's R-tree (r = 1 and r = 70) against a uniform grid
+(cell ~ eps) and the brute-force scan on the same epsilon-search
+workload, both in wall-clock and in work units.  The paper only
+evaluates the R-tree; this ablation shows the memory/compute trade is
+index-agnostic: any locality-preserving candidate generator with a
+coarse-enough resolution exhibits the same concurrency behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.core.dbscan import dbscan
+from repro.data.registry import load_dataset
+from repro.exec.cost import DEFAULT_COST_MODEL
+from repro.index import BruteForceIndex, KDTree, RTree, UniformGridIndex
+from repro.metrics.counters import WorkCounters
+
+from conftest import bench_scale
+
+EPS, MINPTS = 0.5, 4
+
+
+def _indexes(points):
+    return {
+        "rtree r=1": RTree(points, r=1),
+        "rtree r=70": RTree(points, r=70),
+        "grid w=eps": UniformGridIndex(points, cell_width=EPS),
+        "grid w=4eps": UniformGridIndex(points, cell_width=4 * EPS),
+        "kdtree ls=1": KDTree(points, leaf_size=1),
+        "kdtree ls=64": KDTree(points, leaf_size=64),
+        "brute": BruteForceIndex(points),
+    }
+
+
+def test_ablation_index_report(benchmark, report):
+    ds = load_dataset("SW1", bench_scale())
+
+    def run():
+        rows = []
+        for name, idx in _indexes(ds.points).items():
+            c = WorkCounters()
+            res = dbscan(ds.points, EPS, MINPTS, index=idx, counters=c)
+            rows.append(
+                [
+                    name,
+                    res.elapsed,
+                    DEFAULT_COST_MODEL.duration(c, 1),
+                    DEFAULT_COST_MODEL.duration(c, 16),
+                    c.index_nodes_visited,
+                    c.candidates_examined,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["index", "wall (s)", "units T=1", "units T=16", "node visits", "candidates"],
+        rows,
+        title=(
+            "Ablation: index structures on the SW1 epsilon-search workload "
+            f"(eps={EPS}, minpts={MINPTS}, scale {bench_scale():g})"
+        ),
+    )
+    report("ablation_index", text)
+
+    by = {r[0]: r for r in rows}
+    # coarse indexes beat exact ones under modeled concurrency
+    assert by["rtree r=70"][3] < by["rtree r=1"][3]
+    # brute force is worst on candidates examined
+    assert by["brute"][5] >= max(r[5] for r in rows if r[0] != "brute")
+
+
+@pytest.mark.parametrize("name", ["rtree r=1", "rtree r=70", "grid w=eps"])
+def test_bench_index_wall(benchmark, name):
+    ds = load_dataset("SW1", bench_scale())
+    idx = _indexes(ds.points)[name]
+    benchmark.pedantic(
+        lambda: dbscan(ds.points, EPS, MINPTS, index=idx), rounds=3, iterations=1
+    )

@@ -1,0 +1,119 @@
+"""Ablation — fine-grained sweep of the leaf capacity ``r``.
+
+The paper reports "good values" empirically in 70-110 (Section V-C)
+without publishing the sweep; this bench regenerates the full curve on
+SW1 — node visits falling, candidates rising, and the modeled T = 16
+duration bottoming out — plus the effect of the R-tree fanout and of
+disabling the pre-index bin sort (which the paper applies but never
+ablates).
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+from repro.core.dbscan import dbscan
+from repro.data.registry import load_dataset
+from repro.exec.cost import DEFAULT_COST_MODEL
+from repro.index.rtree import RTree
+from repro.metrics.counters import WorkCounters
+
+from conftest import bench_scale
+
+R_SWEEP = (1, 2, 5, 10, 20, 40, 70, 90, 110, 150, 200, 300)
+
+
+def test_ablation_r_sweep_report(benchmark, report):
+    ds = load_dataset("SW1", bench_scale())
+
+    def run():
+        rows = []
+        for r in R_SWEEP:
+            c = WorkCounters()
+            dbscan(ds.points, 0.5, 4, index=RTree(ds.points, r=r), counters=c)
+            rows.append(
+                [
+                    r,
+                    c.index_nodes_visited,
+                    c.candidates_examined,
+                    DEFAULT_COST_MODEL.duration(c, 16),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["r", "node visits", "candidates", "units T=16"],
+        rows,
+        title=f"Ablation: r sweep on SW1 (scale {bench_scale():g})",
+    )
+    report("ablation_r_sweep", text)
+
+    nodes = [r[1] for r in rows]
+    cands = [r[2] for r in rows]
+    units = {r[0]: r[3] for r in rows}
+    # monotone trade-off
+    assert nodes == sorted(nodes, reverse=True)
+    assert cands[0] == min(cands)
+    # the minimum sits strictly inside the sweep, not at r = 1
+    best = min(units, key=units.get)
+    assert 1 < best < R_SWEEP[-1]
+
+
+def test_ablation_fanout_report(benchmark, report):
+    ds = load_dataset("SW1", bench_scale())
+
+    def run():
+        rows = []
+        for fanout in (4, 8, 16, 32, 64):
+            c = WorkCounters()
+            dbscan(
+                ds.points, 0.5, 4, index=RTree(ds.points, r=70, fanout=fanout), counters=c
+            )
+            rows.append([fanout, c.index_nodes_visited, DEFAULT_COST_MODEL.duration(c, 16)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "ablation_fanout",
+        format_table(
+            ["fanout", "node visits", "units T=16"],
+            rows,
+            title="Ablation: R-tree fanout at r=70 (results should be flat-ish)",
+        ),
+    )
+    units = [r[2] for r in rows]
+    assert max(units) < 2.0 * min(units)  # insensitive within 2x
+
+
+def test_ablation_binsort_report(benchmark, report):
+    ds = load_dataset("SW1", bench_scale())
+
+    def run():
+        rows = []
+        for presort in (True, False):
+            c = WorkCounters()
+            dbscan(
+                ds.points,
+                0.5,
+                4,
+                index=RTree(ds.points, r=70, presort=presort),
+                counters=c,
+            )
+            rows.append(
+                ["bin-sorted" if presort else "input order", c.candidates_examined]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "ablation_binsort",
+        format_table(
+            ["packing", "candidates"],
+            rows,
+            title="Ablation: pre-index bin sort (Section IV-A last paragraph)",
+        ),
+    )
+    by = {r[0]: r[1] for r in rows}
+    # Locality-preserving packing must not yield more candidates; SW
+    # data arrives lon/lat-sorted already, so the margin can be small.
+    assert by["bin-sorted"] <= by["input order"] * 1.05

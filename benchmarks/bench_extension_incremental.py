@@ -1,0 +1,86 @@
+"""Extension — incremental maintenance vs per-epoch re-clustering.
+
+The paper motivates early-warning monitoring (Section VI): measurements
+arrive continuously and the clustering must stay fresh.  This bench
+quantifies the extension implemented in
+:mod:`repro.core.incremental`: maintaining one DBSCAN clustering under
+insertions versus re-clustering from scratch every epoch, with the
+incremental result's fidelity checked against scratch each epoch.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench.reporting import format_table
+from repro.core.dbscan import dbscan
+from repro.core.incremental import IncrementalDBSCAN
+from repro.data.registry import load_dataset
+from repro.metrics.quality import quality_score
+
+from conftest import bench_scale
+
+EPOCHS = 6
+
+
+def _epoch_stream(n_total: int, seed: int):
+    ds = load_dataset("SW1", bench_scale())
+    pts = ds.points[:n_total]
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(len(pts))
+    return np.array_split(pts[perm], EPOCHS)
+
+
+def test_extension_incremental_report(benchmark, report):
+    batches = _epoch_stream(12_000, 3)
+
+    def run():
+        inc = IncrementalDBSCAN(0.3, 4, low_res_r=70)
+        rows = []
+        accumulated = np.empty((0, 2))
+        for i, batch in enumerate(batches):
+            accumulated = np.vstack([accumulated, batch])
+            t0 = time.perf_counter()
+            snap = inc.insert(batch)
+            t_inc = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            ref = dbscan(accumulated, 0.3, 4)
+            t_scratch = time.perf_counter() - t0
+            rows.append(
+                [
+                    i,
+                    len(accumulated),
+                    t_inc,
+                    t_scratch,
+                    t_scratch / max(t_inc, 1e-9),
+                    quality_score(ref, snap),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "extension_incremental",
+        format_table(
+            ["epoch", "n points", "incremental (s)", "scratch (s)", "speedup", "quality"],
+            rows,
+            title=(
+                "Extension: IncrementalDBSCAN vs per-epoch re-clustering "
+                f"(SW1 stream, eps=0.3, minpts=4, {EPOCHS} epochs)"
+            ),
+        ),
+    )
+    # fidelity every epoch
+    assert all(r[5] >= 0.99 for r in rows)
+    # after warm-up, incremental epochs beat scratch re-runs
+    assert sum(r[2] for r in rows[1:]) < sum(r[3] for r in rows[1:])
+
+
+def test_bench_incremental_epoch(benchmark):
+    batches = _epoch_stream(8_000, 4)
+    inc = IncrementalDBSCAN(0.3, 4, low_res_r=70)
+    for b in batches[:-1]:
+        inc.insert(b)
+    benchmark.pedantic(lambda: inc.insert(batches[-1]), rounds=1, iterations=1)

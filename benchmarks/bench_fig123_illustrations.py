@@ -1,0 +1,76 @@
+"""Figures 1-3 — the paper's illustrative (non-measurement) figures.
+
+* Figure 1: the TEC map and its thresholded point set (ASCII render).
+* Figure 2: stage counts of Algorithm 3's boundary discovery on a toy
+  instance, matching the (a)-(c) panels.
+* Figure 3: the worked dependency tree and the two example schedules —
+  our output for 3(c) must equal the published ordering verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import (
+    fig1_tec_map,
+    fig2_boundary_discovery,
+    fig3_dependency_example,
+)
+from repro.bench.reporting import format_table
+
+from conftest import bench_scale
+
+
+def test_fig1_report(benchmark, report):
+    text = benchmark.pedantic(
+        lambda: fig1_tec_map(bench_scale()), rounds=1, iterations=1
+    )
+    report("fig1_tec_map", text)
+    assert "TEC field" in text
+
+
+def test_fig2_report(benchmark, report):
+    info = benchmark.pedantic(fig2_boundary_discovery, rounds=1, iterations=1)
+    from repro import viz
+
+    text = (
+        format_table(
+            ["stage (Alg. 3 lines)", "count"],
+            [
+                ["cluster copied wholesale (line 9)", info["cluster_size"]],
+                ["points in eps-augmented MBB sweep (line 11)", info["sweep_candidates"]],
+                ["outside points (line 12)", info["outside_points"]],
+                ["outside points eps-searched (lines 13-14)", info["outside_searched"]],
+                ["points reused without searches (total)", info["points_reused"]],
+            ],
+            title="Figure 2: boundary discovery on a toy instance",
+        )
+        + "\n\n"
+        + viz.scatter(info["points"], info["result"].labels, width=64, height=18)
+    )
+    report("fig2_boundary_discovery", text)
+    # the sweep finds the whole cluster plus some outside points
+    assert info["sweep_candidates"] >= info["cluster_size"]
+    assert info["outside_points"] == info["sweep_candidates"] - info["cluster_size"]
+    # and reuse actually avoided searching the interior
+    assert info["points_reused"] >= info["cluster_size"]
+
+
+def test_fig3_report(benchmark, report):
+    info = benchmark.pedantic(fig3_dependency_example, rounds=1, iterations=1)
+    lines = ["Figure 3(a): dependency tree edges (parent -> child)"]
+    lines += [f"  {p} -> {c}" for p, c in info["edges"]]
+    lines.append("\nFigure 3(b): depth-first schedule S1")
+    lines.append("  " + ", ".join(info["schedule_s1"]))
+    lines.append("\nFigure 3(c): SCHEDMINPTS schedule S2")
+    lines.append("  " + ", ".join(info["schedule_s2"]))
+    report("fig3_dependency_example", "\n".join(lines))
+
+    # the paper's published S2 ordering, verbatim
+    assert info["schedule_s2"] == [
+        "(0.2,32)", "(0.4,32)", "(0.6,32)",
+        "(0.2,28)", "(0.2,24)", "(0.2,20)",
+        "(0.4,28)", "(0.4,24)", "(0.4,20)",
+        "(0.6,28)", "(0.6,24)", "(0.6,20)",
+    ]
+    # S1 starts from the root and visits the minpts chain first
+    assert info["schedule_s1"][0] == "(0.2,32)"
+    assert len(info["schedule_s1"]) == 12

@@ -1,0 +1,64 @@
+"""Figure 5 — per-variant response time and fraction of points reused.
+
+Paper setup (Section V-D): SW1, the Table III grid (|V| = 24), T = 1,
+r = 70, SCHEDGREEDY ordering; panels (a)-(c) are the three cluster-
+reuse schemes.  Published shape: high reuse <=> low response time;
+CLUSDENSITY dominates on the authors' data.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig5_per_variant
+from repro.bench.reporting import format_table, fraction_bar
+from repro.core.reuse import CLUS_DEFAULT, CLUS_DENSITY, CLUS_PTS_SQUARED
+
+from conftest import bench_scale
+
+
+def _panel(policy, scale):
+    rec = fig5_per_variant(policy, scale, dataset="SW1")
+    rows = []
+    for r in rec.records:
+        rows.append(
+            [
+                f"({r.variant.eps:g},{r.variant.minpts})",
+                r.response_time,
+                r.reuse_fraction,
+                fraction_bar(r.reuse_fraction, 20),
+                str(r.reused_from) if r.reused_from else "scratch",
+            ]
+        )
+    return rec, rows
+
+
+def test_fig5_report(benchmark, report):
+    scale = bench_scale()
+
+    def run_all():
+        return {p.name: _panel(p, scale) for p in (CLUS_DEFAULT, CLUS_DENSITY, CLUS_PTS_SQUARED)}
+
+    panels = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    chunks = []
+    for name, (rec, rows) in panels.items():
+        chunks.append(
+            format_table(
+                ["variant", "response (units)", "reuse", "", "source"],
+                rows,
+                title=(
+                    f"Figure 5 ({name}): SW1, T=1, r=70, SCHEDGREEDY, "
+                    f"scale {scale:g} — total {rec.makespan:,.0f} units, "
+                    f"avg reuse {rec.average_reuse_fraction:.3f}"
+                ),
+            )
+        )
+    report("fig5_reuse_per_variant", "\n\n".join(chunks))
+
+    # Shape assertions: within every panel, the high-reuse half of the
+    # variants must be faster on average than the low-reuse half.
+    for name, (rec, _) in panels.items():
+        recs = sorted(rec.records, key=lambda r: r.reuse_fraction)
+        half = len(recs) // 2
+        low = sum(r.response_time for r in recs[:half]) / half
+        high = sum(r.response_time for r in recs[-half:]) / half
+        assert high < low, f"{name}: reuse did not reduce response time"

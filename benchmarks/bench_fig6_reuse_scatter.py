@@ -1,0 +1,44 @@
+"""Figure 6 — response time vs fraction of points reused.
+
+The Figure 5 data re-plotted as a scatter grouped by eps family
+(color) and reuse scheme (marker).  Published shape: response times are
+lower when sufficient reuse occurs, and in the low-reuse regime the
+spread across eps values is wider than in the high-reuse regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.figures import fig6_scatter
+from repro.bench.reporting import format_table
+
+from conftest import bench_scale
+
+
+def test_fig6_report(benchmark, report):
+    scale = bench_scale()
+    rows = benchmark.pedantic(lambda: fig6_scatter(scale), rounds=1, iterations=1)
+
+    text = format_table(
+        ["scheme", "eps", "minpts", "reuse", "response (units)"],
+        [
+            [r["scheme"], r["eps"], r["minpts"], r["reuse_fraction"], r["response_time"]]
+            for r in sorted(rows, key=lambda r: (r["scheme"], r["eps"], -r["minpts"]))
+        ],
+        title=f"Figure 6: response time vs reuse fraction (SW1, scale {scale:g})",
+    )
+    report("fig6_reuse_scatter", text)
+
+    # Shape: negative correlation between reuse and response time.
+    reuse = np.array([r["reuse_fraction"] for r in rows])
+    resp = np.array([r["response_time"] for r in rows])
+    mask = reuse > 0
+    corr = np.corrcoef(reuse[mask], resp[mask])[0, 1]
+    assert corr < -0.3, f"expected negative reuse/time correlation, got {corr:.2f}"
+
+    # Shape: the low-reuse regime spreads wider across eps than the
+    # high-reuse regime (paper's Figure 6 observation).
+    lo = resp[reuse < np.median(reuse)]
+    hi = resp[reuse >= np.median(reuse)]
+    assert lo.std() > hi.std()

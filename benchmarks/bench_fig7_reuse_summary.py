@@ -1,0 +1,49 @@
+"""Figure 7 — reuse summary across the S2 datasets.
+
+Panels: (a) relative speedup of T = 1 VariantDBSCAN (SCHEDGREEDY,
+r = 70) over the reference per dataset x reuse scheme; (b) average
+fraction of points reused; (c) average Januzaj quality score.
+
+Published shapes: synthetic speedups 6.88x-28.3x; the noisiest datasets
+(30 % noise) gain least; quality >= 0.998 throughout.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig7_summary
+from repro.bench.reporting import format_table
+
+from conftest import bench_scale
+
+
+def test_fig7_report(benchmark, report):
+    scale = bench_scale()
+    rows = benchmark.pedantic(lambda: fig7_summary(scale), rounds=1, iterations=1)
+
+    text = format_table(
+        ["dataset", "scheme", "speedup (7a)", "avg reuse (7b)", "avg quality (7c)"],
+        [
+            [r["dataset"], r["scheme"], r["speedup"], r["avg_reuse_fraction"], r["avg_quality"]]
+            for r in rows
+        ],
+        title=(
+            f"Figure 7: S2 reuse summary (T=1, SCHEDGREEDY, r=70, scale {scale:g}).\n"
+            "Paper shapes: reuse beats the reference everywhere; noisiest "
+            "datasets gain least; quality >= 0.998."
+        ),
+    )
+    report("fig7_reuse_summary", text)
+
+    by_ds = {}
+    for r in rows:
+        by_ds.setdefault(r["dataset"], {})[r["scheme"]] = r
+
+    # quality (7c)
+    assert all(r["avg_quality"] >= 0.99 for r in rows)
+    # every scheme beats the reference on every dataset (7a)
+    assert all(r["speedup"] > 1.0 for r in rows)
+    # noise ordering (7a/7b): 5 % noise gains more than 30 % noise
+    for scheme in ("CLUSDENSITY",):
+        lo = by_ds["cF_1M_5N"][scheme]["speedup"]
+        hi = by_ds["cF_1M_30N"][scheme]["speedup"]
+        assert lo > hi, "low-noise dataset should benefit most"

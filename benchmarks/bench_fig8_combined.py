@@ -1,0 +1,56 @@
+"""Figure 8 — combining indexing, data reuse, and scheduling (S3).
+
+Paper setup (Section V-E): SW1-SW4, |V| = 57 variant grids (Table IV),
+T = 16 threads, both schedulers x {CLUSDENSITY, CLUSPTSSQUARED}.
+Published shapes: CLUSDENSITY >= CLUSPTSSQUARED in every cell;
+SCHEDGREEDY wins most cells; overall speedups 727 %-2209 % over the
+sequential reference.
+
+Heavy bench: uses ``REPRO_BENCH_SCALE_HEAVY`` (default 0.002).
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig8_combined
+from repro.bench.reporting import format_table
+
+from conftest import bench_scale
+
+
+def test_fig8_report(benchmark, report):
+    scale = bench_scale(heavy=True)
+    rows = benchmark.pedantic(
+        lambda: fig8_combined(scale, n_threads=16), rounds=1, iterations=1
+    )
+
+    text = format_table(
+        ["dataset", "V", "scheduler", "scheme", "speedup", "scratch", "avg reuse"],
+        [
+            [
+                r["dataset"],
+                r["variants"],
+                r["scheduler"],
+                r["scheme"],
+                r["speedup"],
+                r["n_from_scratch"],
+                r["avg_reuse_fraction"],
+            ]
+            for r in rows
+        ],
+        title=(
+            f"Figure 8: S3 combined study (T=16, scale {scale:g}).\n"
+            "Paper shapes: every bar > 1x; SCHEDGREEDY wins most cells."
+        ),
+    )
+    report("fig8_combined", text)
+
+    # Shape: everything beats the reference.
+    assert all(r["speedup"] > 1.0 for r in rows)
+
+    # Shape: SCHEDMINPTS on an eps-rich grid (V3: 19 eps values > T=16)
+    # forces more scratch runs than SCHEDGREEDY (Figure 9 discussion).
+    v3 = [r for r in rows if r["variants"] == "V3" and r["scheme"] == "CLUSDENSITY"]
+    greedy = {r["dataset"]: r for r in v3 if r["scheduler"] == "SCHEDGREEDY"}
+    minpts = {r["dataset"]: r for r in v3 if r["scheduler"] == "SCHEDMINPTS"}
+    for ds in greedy:
+        assert minpts[ds]["n_from_scratch"] >= greedy[ds]["n_from_scratch"]

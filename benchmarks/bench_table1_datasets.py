@@ -1,0 +1,52 @@
+"""Table I — dataset characteristics.
+
+Regenerates the paper's Table I at the active scale, and benchmarks the
+generators themselves (synthetic and TEC), since dataset construction
+is part of any end-to-end deployment cost.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import table1_rows
+from repro.bench.reporting import format_table
+from repro.data.registry import clear_cache, load_dataset
+from repro.data.synthetic import SyntheticSpec, generate_synthetic
+from repro.data.tec import TECMapModel, generate_tec_points
+
+from conftest import bench_scale
+
+
+def test_table1_report(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: table1_rows(bench_scale()), rounds=1, iterations=1
+    )
+    text = format_table(
+        ["dataset", "class", "|D| (paper)", "|D| (loaded)", "noise", "eps_scale"],
+        [
+            [r["dataset"], r["class"], r["|D| (paper)"], r["|D| (loaded)"], r["noise"], r["eps_scale"]]
+            for r in rows
+        ],
+        title="Table I: dataset characteristics "
+        f"(loaded at scale {bench_scale():g}; eps_scale 1.0 = density-preserving)",
+    )
+    report("table1_datasets", text)
+    assert len(rows) == 16
+
+
+def test_bench_synthetic_generator(benchmark):
+    spec = SyntheticSpec(n_points=20_000, noise_fraction=0.3, n_clusters_override=10)
+    benchmark(generate_synthetic, spec, seed=1)
+
+
+def test_bench_tec_generator(benchmark):
+    benchmark.pedantic(
+        lambda: generate_tec_points(20_000, TECMapModel(), seed=1, area_fraction=0.01),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_bench_registry_cache_hit(benchmark):
+    clear_cache()
+    load_dataset("cF_10k_5N", 0.05)  # warm
+    benchmark(load_dataset, "cF_10k_5N", 0.05)

@@ -1,0 +1,49 @@
+"""Shared benchmark infrastructure.
+
+Scales
+------
+Figure benches run the *paper's* scenarios on the Table I datasets at a
+reduced size (see DESIGN.md's density-preserving scaling).  Two knobs:
+
+* ``REPRO_BENCH_SCALE`` — size fraction for the cheap benches
+  (default 0.01: SW1 ~ 18.6k points).
+* ``REPRO_BENCH_SCALE_HEAVY`` — size fraction for the S3 benches,
+  which run 57-variant batches and their |V| = 57 r = 1 references on
+  four datasets (default 0.002 keeps the whole suite in minutes; raise
+  it for a closer-to-paper run).
+
+Every figure bench writes its rows to ``benchmarks/out/<name>.txt`` so
+results persist beyond pytest's captured stdout, and prints them too
+(visible with ``pytest -s``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def bench_scale(heavy: bool = False) -> float:
+    var = "REPRO_BENCH_SCALE_HEAVY" if heavy else "REPRO_BENCH_SCALE"
+    default = 0.002 if heavy else 0.01
+    return float(os.environ.get(var, default))
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Write a named report to benchmarks/out/ and echo it."""
+
+    def _write(name: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _write

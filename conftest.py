@@ -1,0 +1,11 @@
+"""Repo-root conftest: make ``src/`` importable without installation.
+
+The offline environment lacks the ``wheel`` package that
+``pip install -e .`` needs (see setup.py); ``python setup.py develop``
+works, but this path shim makes ``pytest`` robust either way.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Track a traveling disturbance across epochs and estimate its velocity.
+
+The full monitoring pipeline the paper's introduction motivates: TEC
+measurements arrive in epochs; a :class:`VariantMonitor` keeps a whole
+parameter grid clustered incrementally; a :class:`ClusterTracker`
+links the selected variant's clusters across epochs; and the dominant
+track's fitted drift velocity is the physical observable (TID
+propagation speed and direction).
+
+Run:  python examples/tid_tracking.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.variants import Variant, VariantSet
+from repro.stream import ClusterTracker, VariantMonitor
+
+RNG = np.random.default_rng(99)
+EPOCHS = 7
+TRUE_VELOCITY = np.array([1.8, 0.6])  # degrees / epoch, the ground truth
+
+
+def epoch_batch(epoch: int) -> np.ndarray:
+    """Quiet background + a wavefront drifting at TRUE_VELOCITY."""
+    background = RNG.uniform([0, 0], [40, 20], (250, 2))
+    center = np.array([6.0, 6.0]) + TRUE_VELOCITY * epoch
+    along = RNG.uniform(-4.0, 4.0, 220)
+    across = RNG.normal(0.0, 0.25, 220)
+    theta = np.arctan2(TRUE_VELOCITY[1], TRUE_VELOCITY[0]) + np.pi / 2
+    front = center + np.column_stack(
+        [along * np.cos(theta) - across * np.sin(theta),
+         along * np.sin(theta) + across * np.cos(theta)]
+    )
+    return np.vstack([background, front])
+
+
+def main() -> None:
+    variants = VariantSet.from_product([0.5, 0.8], [4, 8])
+    chosen = Variant(0.8, 4)  # the parameterisation the analyst trusts
+    monitor = VariantMonitor(variants)
+    tracker = ClusterTracker(gate=4.0, overlap_eps=0.8, min_size=40, max_misses=1)
+
+    print(f"monitoring |V| = {len(variants)}; tracking variant {chosen}")
+    print(f"true front velocity: ({TRUE_VELOCITY[0]:+.2f}, {TRUE_VELOCITY[1]:+.2f}) deg/epoch\n")
+    for epoch in range(EPOCHS):
+        batch = epoch_batch(epoch)
+        summary = monitor.observe(batch)
+        # Tracking consumes the *current epoch's own* points, so
+        # cluster the batch alone under the chosen variant:
+        from repro import dbscan
+
+        result = dbscan(batch, chosen.eps, chosen.minpts)
+        update = tracker.update(batch, result)
+        print(
+            f"epoch {epoch}: {result.n_clusters:3d} clusters | "
+            f"tracks matched={len(update.matched)} opened={len(update.opened)} "
+            f"closed={len(update.closed)} | dominant share {summary.dominant_share:.1%}"
+        )
+
+    print("\ntracks observed >= 3 epochs:")
+    for track in tracker.tracks(min_length=3):
+        v = track.velocity()
+        print(
+            f"  track {track.track_id}: {track.length} epochs, last size "
+            f"{track.last.size}, velocity ({v[0]:+.2f}, {v[1]:+.2f}) deg/epoch, "
+            f"speed {track.speed():.2f}"
+        )
+
+    best = max(tracker.tracks(min_length=3), key=lambda t: t.last.size)
+    err = np.linalg.norm(best.velocity() - TRUE_VELOCITY)
+    print(f"\ndominant track velocity error vs truth: {err:.2f} deg/epoch")
+
+
+if __name__ == "__main__":
+    main()

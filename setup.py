@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+This environment has no network and no ``wheel`` package, so PEP-660
+editable installs (which build an editable wheel) cannot run.  Keeping
+a ``setup.py`` and omitting ``[build-system]`` from pyproject.toml lets
+``pip install -e .`` fall back to the classic ``setup.py develop``
+path, which needs nothing beyond setuptools.
+"""
+
+from setuptools import setup
+
+setup()

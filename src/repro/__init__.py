@@ -1,0 +1,95 @@
+"""repro — VariantDBSCAN: variant-based parallel density clustering.
+
+A full reproduction of *"Exploiting Variant-Based Parallelism for Data
+Mining of Space Weather Phenomena"* (Gowanlock, Blair & Pankratius,
+IPPS 2016): DBSCAN and VariantDBSCAN over a tunable-resolution R-tree,
+cluster-reuse heuristics, variant schedulers, parallel executors,
+synthetic and space-weather (TEC) dataset generators, and the complete
+benchmark harness regenerating every table and figure of the paper's
+evaluation.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import Variant, VariantSet, run_variants, dbscan
+>>> rng = np.random.default_rng(0)
+>>> pts = np.vstack([rng.normal(0, 0.5, (200, 2)), rng.normal(8, 0.5, (200, 2))])
+>>> res = dbscan(pts, eps=0.6, minpts=4)
+>>> res.n_clusters
+2
+>>> batch = run_variants(pts, VariantSet.from_product([0.6, 0.8], [4, 8]))
+>>> len(batch.results)
+4
+"""
+
+from repro.baselines import extract_dbscan, optics
+from repro.core import (
+    CLUS_DEFAULT,
+    CLUS_DENSITY,
+    CLUS_PTS_SQUARED,
+    ClusteringResult,
+    CompletedRegistry,
+    NeighborSearcher,
+    SchedGreedy,
+    SchedMinpts,
+    Scheduler,
+    Variant,
+    VariantSet,
+    dbscan,
+    dependency_tree,
+    variant_dbscan,
+)
+from repro.core.incremental import IncrementalDBSCAN
+from repro.exec import (
+    BatchResult,
+    SerialExecutor,
+    SimulatedExecutor,
+    ThreadPoolExecutorBackend,
+    ProcessPoolExecutorBackend,
+    run_variants,
+)
+from repro.index import BruteForceIndex, RTree, UniformGridIndex
+from repro.metrics import (
+    BatchRunRecord,
+    VariantRunRecord,
+    WorkCounters,
+    quality_score,
+)
+from repro.metrics.external import adjusted_rand_index
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Variant",
+    "VariantSet",
+    "ClusteringResult",
+    "dbscan",
+    "variant_dbscan",
+    "NeighborSearcher",
+    "CLUS_DEFAULT",
+    "CLUS_DENSITY",
+    "CLUS_PTS_SQUARED",
+    "Scheduler",
+    "SchedGreedy",
+    "SchedMinpts",
+    "CompletedRegistry",
+    "dependency_tree",
+    "RTree",
+    "BruteForceIndex",
+    "UniformGridIndex",
+    "WorkCounters",
+    "quality_score",
+    "VariantRunRecord",
+    "BatchRunRecord",
+    "run_variants",
+    "BatchResult",
+    "IncrementalDBSCAN",
+    "optics",
+    "extract_dbscan",
+    "adjusted_rand_index",
+    "SerialExecutor",
+    "SimulatedExecutor",
+    "ThreadPoolExecutorBackend",
+    "ProcessPoolExecutorBackend",
+    "__version__",
+]

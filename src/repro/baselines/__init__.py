@@ -1,0 +1,16 @@
+"""Baseline algorithms the paper positions itself against.
+
+Section III discusses OPTICS (Ankerst et al., SIGMOD 1999) as the
+established way to obtain clusterings for *many eps values at once*:
+one OPTICS pass at a maximum radius ``delta`` yields an ordering from
+which a DBSCAN-equivalent clustering for any ``eps <= delta`` can be
+extracted.  The paper's argument for VariantDBSCAN is that OPTICS is
+"unsuitable if a range of minpts values are required in addition to
+multiple values of eps" — this package implements OPTICS so the
+benchmark suite can make that comparison concrete
+(``benchmarks/bench_baseline_optics.py``).
+"""
+
+from repro.baselines.optics import OpticsResult, extract_dbscan, optics
+
+__all__ = ["optics", "extract_dbscan", "OpticsResult"]

@@ -1,0 +1,61 @@
+"""Benchmark harness: scenario definitions and figure/table reproduction.
+
+Layout:
+
+* :mod:`repro.bench.scenarios` — the paper's experimental scenarios S1
+  (Table II), S2 (Table III), S3 (Table IV), with eps values translated
+  to the loaded dataset scale.
+* :mod:`repro.bench.reference` — the paper's reference implementation
+  (sequential DBSCAN, ``r = 1``) used as every figure's denominator.
+* :mod:`repro.bench.figures` — one function per paper figure/table
+  returning structured rows; the scripts in ``benchmarks/`` are thin
+  wrappers that print them (and register pytest-benchmark timings).
+* :mod:`repro.bench.reporting` — plain-text table rendering.
+
+Every harness function takes a ``scale`` so the test suite can exercise
+the full pipeline on tiny datasets.
+"""
+
+from repro.bench.figures import (
+    fig4_indexing,
+    fig5_per_variant,
+    fig6_scatter,
+    fig7_summary,
+    fig8_combined,
+    fig9_makespan,
+    table1_rows,
+)
+from repro.bench.reference import reference_run, reference_total_units
+from repro.bench.reporting import format_table, fraction_bar
+from repro.bench.scenarios import (
+    S1_CONFIGS,
+    S2_CONFIG,
+    S3_CONFIGS,
+    S1Config,
+    S2Config,
+    S3Config,
+    s2_variant_set,
+    s3_variant_set,
+)
+
+__all__ = [
+    "table1_rows",
+    "fig4_indexing",
+    "fig5_per_variant",
+    "fig6_scatter",
+    "fig7_summary",
+    "fig8_combined",
+    "fig9_makespan",
+    "reference_run",
+    "reference_total_units",
+    "format_table",
+    "fraction_bar",
+    "S1Config",
+    "S2Config",
+    "S3Config",
+    "S1_CONFIGS",
+    "S2_CONFIG",
+    "S3_CONFIGS",
+    "s2_variant_set",
+    "s3_variant_set",
+]

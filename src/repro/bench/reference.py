@@ -1,0 +1,82 @@
+"""The paper's reference implementation.
+
+Every figure normalizes against the same baseline (Section V-B): plain
+sequential DBSCAN with ``T = 1`` and ``r = 1`` — i.e. Algorithms 1 and
+2 over the exact (one point per MBB) R-tree, no index optimization, no
+reuse, no parallelism.  The reference "response time" for a variant
+set is the sum of its per-variant durations on the work-unit clock at
+concurrency 1 (wall seconds are also recorded for sanity checks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dbscan import dbscan
+from repro.core.result import ClusteringResult
+from repro.core.variants import Variant, VariantSet
+from repro.exec.cost import DEFAULT_COST_MODEL, CostModel
+from repro.index.rtree import RTree
+from repro.metrics.counters import WorkCounters
+
+__all__ = ["ReferenceRun", "reference_run", "reference_total_units"]
+
+
+@dataclass
+class ReferenceRun:
+    """Baseline execution of a variant set.
+
+    Attributes
+    ----------
+    results:
+        Per-variant plain-DBSCAN output (also serves as ground truth
+        for the Figure 7c quality scores).
+    total_units:
+        Sum of work-unit durations at concurrency 1 — the figure
+        denominators.
+    total_wall:
+        Sum of wall seconds actually spent.
+    """
+
+    results: dict[Variant, ClusteringResult]
+    total_units: float
+    total_wall: float
+
+
+def reference_run(
+    points: np.ndarray,
+    variants: VariantSet,
+    *,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    index: RTree | None = None,
+) -> ReferenceRun:
+    """Run the reference implementation over a whole variant set.
+
+    The exact ``r = 1`` tree is built once (tree construction is common
+    setup for every configuration being compared and the paper's
+    response times are clustering times).
+    """
+    if index is None:
+        index = RTree(points, r=1)
+    results: dict[Variant, ClusteringResult] = {}
+    total_units = 0.0
+    total_wall = 0.0
+    for v in variants:
+        counters = WorkCounters()
+        res = dbscan(points, v.eps, v.minpts, index=index, counters=counters)
+        results[v] = res
+        total_units += cost_model.duration(counters, concurrency=1)
+        total_wall += res.elapsed
+    return ReferenceRun(results=results, total_units=total_units, total_wall=total_wall)
+
+
+def reference_total_units(
+    points: np.ndarray,
+    variants: VariantSet,
+    *,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> float:
+    """Just the baseline's total work units (when results aren't needed)."""
+    return reference_run(points, variants, cost_model=cost_model).total_units

@@ -1,0 +1,60 @@
+"""Plain-text rendering for benchmark output.
+
+The harness prints the same rows/series the paper's tables and figures
+report; these helpers keep that output aligned and consistent without
+pulling in a plotting dependency (the environment is offline).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_table", "fraction_bar", "format_value"]
+
+
+def format_value(value: Any) -> str:
+    """Human-friendly cell formatting (floats to 3 significant forms)."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]], *, title: str = ""
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]], title="T"))
+    T
+    a  b
+    -  ----
+    1  2.500
+    """
+    str_rows = [[format_value(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def fraction_bar(fraction: float, width: int = 30) -> str:
+    """ASCII bar for a value in [0, 1] (used for reuse fractions)."""
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = round(fraction * width)
+    return "#" * filled + "." * (width - filled)

@@ -1,0 +1,348 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``
+    Materialize a Table I dataset to a ``.npz`` file.
+``cluster``
+    Run one DBSCAN variant over a dataset (registry name or ``.npz``)
+    and optionally save labels / a per-cluster CSV summary.
+``sweep``
+    Run a whole variant grid with a chosen executor, scheduler, and
+    reuse policy; prints the per-variant reuse/time table.
+``figure``
+    Regenerate one of the paper's tables/figures (table1, fig1 ... fig9).
+``optics``
+    Run the OPTICS baseline and print the reachability profile plus
+    DBSCAN-equivalent extractions at chosen radii.
+``calibrate``
+    Fit the work-unit cost model to this machine's wall-clock times.
+``report``
+    Regenerate the whole evaluation into one Markdown report.
+
+Every command accepts ``--scale`` to control dataset size (see
+DESIGN.md's density-preserving scaling).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.bench import figures as figmod
+from repro.bench.reporting import format_table, fraction_bar
+from repro.core.dbscan import dbscan
+from repro.core.reuse import POLICIES
+from repro.core.scheduling import SCHEDULERS
+from repro.core.variants import VariantSet
+from repro.data import io as data_io
+from repro.data.registry import DATASETS, load_dataset
+from repro.exec import EXECUTORS
+from repro.index.rtree import RTree
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_points(source: str, scale: Optional[float]):
+    """Resolve a dataset argument: registry name or .npz path."""
+    if source in DATASETS:
+        ds = load_dataset(source, scale)
+        return ds.points, source
+    points, _truth, meta = data_io.load_dataset_file(source)
+    return points, meta.get("name", Path(source).stem)
+
+
+def _floats(text: str) -> list[float]:
+    return [float(x) for x in text.split(",") if x]
+
+
+def _ints(text: str) -> list[int]:
+    return [int(x) for x in text.split(",") if x]
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    ds = load_dataset(args.dataset, args.scale)
+    out = args.output or f"{args.dataset}.npz"
+    data_io.save_dataset(
+        out,
+        ds.points,
+        truth=ds.truth,
+        metadata={"name": args.dataset, "scale": ds.scale, "n": ds.n_points},
+    )
+    print(f"wrote {ds.n_points} points to {out}")
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    points, name = _load_points(args.dataset, args.scale)
+    index = RTree(points, r=args.r)
+    result = dbscan(points, args.eps, args.minpts, index=index)
+    print(
+        f"{name}: {result.n_points} points -> {result.n_clusters} clusters, "
+        f"{result.n_noise} noise ({result.elapsed:.2f}s, r={args.r})"
+    )
+    if args.save:
+        data_io.save_result(args.save, result)
+        print(f"labels saved to {args.save}")
+    if args.summary:
+        data_io.write_cluster_summary_csv(args.summary, result, points)
+        print(f"cluster summary saved to {args.summary}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    points, name = _load_points(args.dataset, args.scale)
+    variants = VariantSet.from_product(_floats(args.eps), _ints(args.minpts))
+    executor = EXECUTORS[args.executor](
+        n_threads=args.threads,
+        scheduler=SCHEDULERS[args.scheduler],
+        reuse_policy=POLICIES[args.policy],
+        low_res_r=args.r,
+    )
+    batch = executor.run(points, variants, dataset=name)
+    rec = batch.record
+    rows = [
+        [
+            str(r.variant),
+            r.n_clusters,
+            r.n_noise,
+            r.reuse_fraction,
+            fraction_bar(r.reuse_fraction, 16),
+            str(r.reused_from) if r.reused_from else "scratch",
+            r.response_time,
+        ]
+        for r in rec.records
+    ]
+    print(
+        format_table(
+            ["variant", "clusters", "noise", "reuse", "", "source", "response"],
+            rows,
+            title=(
+                f"{name}: |V|={len(variants)}, executor={args.executor}, "
+                f"T={args.threads}, {args.scheduler}, {args.policy}"
+            ),
+        )
+    )
+    print(
+        f"\nmakespan {rec.makespan:,.1f} | avg reuse "
+        f"{rec.average_reuse_fraction:.1%} | {rec.n_from_scratch} from scratch"
+    )
+    return 0
+
+
+def cmd_optics(args: argparse.Namespace) -> int:
+    from repro.baselines import extract_dbscan, optics
+    from repro.viz import reachability_plot
+
+    points, name = _load_points(args.dataset, args.scale)
+    ordering = optics(points, args.delta, args.minpts)
+    print(f"{name}: OPTICS pass at delta={args.delta}, minpts={args.minpts}")
+    print(reachability_plot(ordering.reachability, width=76, height=10))
+    for eps in _floats(args.eps) if args.eps else []:
+        ext = extract_dbscan(ordering, eps)
+        print(f"  eps={eps:g}: {ext.n_clusters} clusters, {ext.n_noise} noise")
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.exec.calibration import collect_samples, fit_cost_model
+
+    points, name = _load_points(args.dataset, args.scale)
+    samples = collect_samples(points, args.eps, args.minpts)
+    model = fit_cost_model(samples)
+    print(f"cost model fitted on {name} ({len(samples)} runs):")
+    print(f"  node_visit_cost      = 1.0   (normalization)")
+    print(f"  candidate_cost       = {model.candidate_cost:.4f}")
+    print(f"  search_overhead      = {model.search_overhead:.4f}")
+    print(f"  reuse_copy_cost      = {model.reuse_copy_cost:.4f}")
+    print(f"  bandwidth_saturation = {model.bandwidth_saturation:.2f} (not fitted)")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    scale = args.scale
+    which = args.name
+    if which == "fig1":
+        print(figmod.fig1_tec_map(scale))
+    elif which == "fig2":
+        info = figmod.fig2_boundary_discovery()
+        for k in ("cluster_size", "sweep_candidates", "outside_points", "points_reused"):
+            print(f"{k}: {info[k]}")
+    elif which == "fig3":
+        info = figmod.fig3_dependency_example()
+        print("tree edges:", info["edges"])
+        print("schedule S1:", info["schedule_s1"])
+        print("schedule S2:", info["schedule_s2"])
+    elif which == "table1":
+        rows = figmod.table1_rows(scale)
+        print(
+            format_table(
+                list(rows[0].keys()), [list(r.values()) for r in rows], title="Table I"
+            )
+        )
+    elif which == "fig4":
+        rows = figmod.fig4_indexing(scale)
+        print(
+            format_table(
+                ["dataset", "clusters", "r=1 T=16", "best r", "best speedup"],
+                [
+                    [r["dataset"], r["clusters"], r["speedup_r1"], r["best_r"], r["best_speedup"]]
+                    for r in rows
+                ],
+                title="Figure 4",
+            )
+        )
+    elif which == "fig5":
+        from repro.core.reuse import CLUS_DENSITY
+
+        rec = figmod.fig5_per_variant(CLUS_DENSITY, scale)
+        print(
+            format_table(
+                ["variant", "response", "reuse"],
+                [[str(r.variant), r.response_time, r.reuse_fraction] for r in rec.records],
+                title="Figure 5 (CLUSDENSITY)",
+            )
+        )
+    elif which == "fig6":
+        rows = figmod.fig6_scatter(scale)
+        print(
+            format_table(
+                ["scheme", "eps", "minpts", "reuse", "response"],
+                [
+                    [r["scheme"], r["eps"], r["minpts"], r["reuse_fraction"], r["response_time"]]
+                    for r in rows
+                ],
+                title="Figure 6",
+            )
+        )
+    elif which == "fig7":
+        rows = figmod.fig7_summary(scale)
+        print(
+            format_table(
+                ["dataset", "scheme", "speedup", "avg reuse", "quality"],
+                [
+                    [r["dataset"], r["scheme"], r["speedup"], r["avg_reuse_fraction"], r["avg_quality"]]
+                    for r in rows
+                ],
+                title="Figure 7",
+            )
+        )
+    elif which == "fig8":
+        rows = figmod.fig8_combined(scale)
+        print(
+            format_table(
+                ["dataset", "V", "scheduler", "scheme", "speedup"],
+                [
+                    [r["dataset"], r["variants"], r["scheduler"], r["scheme"], r["speedup"]]
+                    for r in rows
+                ],
+                title="Figure 8",
+            )
+        )
+    elif which == "fig9":
+        out = figmod.fig9_makespan(scale)
+        for name, rec in out.items():
+            print(
+                f"{name}: makespan {rec.makespan:,.0f}, lower bound "
+                f"{rec.lower_bound_makespan:,.0f}, slowdown "
+                f"{rec.slowdown_vs_lower_bound:.1%}, scratch {rec.n_from_scratch}"
+            )
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown figure {which}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.bench.runner import run_full_report
+
+    text = run_full_report(
+        args.scale, args.heavy_scale, output=args.output, quick=args.quick
+    )
+    if args.output:
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="VariantDBSCAN: variant-based parallel density clustering",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="materialize a Table I dataset to .npz")
+    g.add_argument("dataset", choices=sorted(DATASETS))
+    g.add_argument("--scale", type=float, default=None)
+    g.add_argument("-o", "--output", default=None)
+    g.set_defaults(func=cmd_generate)
+
+    c = sub.add_parser("cluster", help="run one DBSCAN variant")
+    c.add_argument("dataset", help="registry name or .npz file")
+    c.add_argument("--eps", type=float, required=True)
+    c.add_argument("--minpts", type=int, required=True)
+    c.add_argument("--r", type=int, default=70, help="points per leaf MBB")
+    c.add_argument("--scale", type=float, default=None)
+    c.add_argument("--save", default=None, help="save labels to .npz")
+    c.add_argument("--summary", default=None, help="write per-cluster CSV")
+    c.set_defaults(func=cmd_cluster)
+
+    s = sub.add_parser("sweep", help="run a variant grid V = A x B")
+    s.add_argument("dataset", help="registry name or .npz file")
+    s.add_argument("--eps", required=True, help="comma-separated eps values (A)")
+    s.add_argument("--minpts", required=True, help="comma-separated minpts values (B)")
+    s.add_argument("--executor", choices=sorted(EXECUTORS), default="serial")
+    s.add_argument("--threads", type=int, default=1)
+    s.add_argument("--scheduler", choices=sorted(SCHEDULERS), default="SCHEDGREEDY")
+    s.add_argument("--policy", choices=sorted(POLICIES), default="CLUSDENSITY")
+    s.add_argument("--r", type=int, default=70)
+    s.add_argument("--scale", type=float, default=None)
+    s.set_defaults(func=cmd_sweep)
+
+    f = sub.add_parser("figure", help="regenerate a paper table/figure")
+    f.add_argument(
+        "name",
+        choices=["table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+                 "fig7", "fig8", "fig9"],
+    )
+    f.add_argument("--scale", type=float, default=None)
+    f.set_defaults(func=cmd_figure)
+
+    o = sub.add_parser("optics", help="run the OPTICS baseline")
+    o.add_argument("dataset", help="registry name or .npz file")
+    o.add_argument("--delta", type=float, required=True, help="max radius")
+    o.add_argument("--minpts", type=int, required=True)
+    o.add_argument("--eps", default="", help="comma-separated extraction radii")
+    o.add_argument("--scale", type=float, default=None)
+    o.set_defaults(func=cmd_optics)
+
+    k = sub.add_parser("calibrate", help="fit the cost model to this machine")
+    k.add_argument("dataset", help="registry name or .npz file")
+    k.add_argument("--eps", type=float, required=True)
+    k.add_argument("--minpts", type=int, default=4)
+    k.add_argument("--scale", type=float, default=None)
+    k.set_defaults(func=cmd_calibrate)
+
+    r = sub.add_parser("report", help="regenerate the whole evaluation")
+    r.add_argument("--scale", type=float, default=None)
+    r.add_argument("--heavy-scale", type=float, default=None, dest="heavy_scale")
+    r.add_argument("-o", "--output", default=None)
+    r.add_argument("--quick", action="store_true", help="dataset slice smoke mode")
+    r.set_defaults(func=cmd_report)
+
+    return p
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

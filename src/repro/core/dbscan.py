@@ -1,0 +1,165 @@
+"""DBSCAN — Algorithm 1 of the paper (Ester et al., KDD 1996).
+
+This is the from-scratch clustering path: it is both the reference
+implementation the paper compares against (sequential, ``r = 1``) and
+the fallback inside VariantDBSCAN when no completed variant can be
+reused (Algorithm 3 line 19).
+
+Implementation notes
+--------------------
+* Frontier expansion uses an explicit seed list instead of recursion;
+  a point enters the seed list at most once (guarded by an
+  ``in_seeds`` bitmap), which is semantically equivalent to
+  Algorithm 1's repeated ``N <- N \\ i`` set mutation but O(1) per
+  point.
+* A point that fails the core test is *tentatively* noise (label -1);
+  it is promoted to a border point later if some core point reaches it
+  — exactly the two-phase behaviour of the original algorithm.
+* All per-candidate work (distance filter) is vectorized NumPy; the
+  per-point loop is Python, which is the honest cost of a pure-Python
+  reproduction (see DESIGN.md substitutions).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.neighbors import NeighborSearcher
+from repro.core.result import NOISE, ClusteringResult
+from repro.core.variants import Variant
+from repro.index.base import SpatialIndex
+from repro.index.rtree import RTree
+from repro.metrics.counters import WorkCounters
+from repro.util.timing import Stopwatch
+from repro.util.validation import as_points_array, check_eps, check_minpts
+
+__all__ = ["dbscan", "dbscan_into"]
+
+
+def dbscan(
+    points: np.ndarray,
+    eps: float,
+    minpts: int,
+    *,
+    index: Optional[SpatialIndex] = None,
+    counters: Optional[WorkCounters] = None,
+) -> ClusteringResult:
+    """Cluster ``points`` with DBSCAN.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` array-like of coordinates.
+    eps:
+        Neighborhood radius.
+    minpts:
+        Core-point threshold; the epsilon-neighborhood includes the
+        point itself.
+    index:
+        Spatial index to search with.  Defaults to an exact R-tree
+        (``r = 1``) built over ``points`` — the paper's reference
+        configuration.  Pass an ``RTree`` with large ``r`` for the
+        optimized-index configuration.
+    counters:
+        Work-counter sink; a fresh one is created when omitted.
+
+    Returns
+    -------
+    ClusteringResult
+        Labels (noise = -1, cluster ids in generation order), core
+        flags, and the work counters.
+    """
+    points = as_points_array(points)
+    eps = check_eps(eps)
+    minpts = check_minpts(minpts)
+    if index is None:
+        index = RTree(points, r=1)
+    if counters is None:
+        counters = WorkCounters()
+
+    n = points.shape[0]
+    labels = np.full(n, NOISE, dtype=np.int64)
+    core_mask = np.zeros(n, dtype=bool)
+    visited = np.zeros(n, dtype=bool)
+
+    sw = Stopwatch().start()
+    n_clusters = dbscan_into(
+        index,
+        eps,
+        minpts,
+        labels=labels,
+        core_mask=core_mask,
+        visited=visited,
+        counters=counters,
+        next_cluster_id=0,
+    )
+    elapsed = sw.stop()
+    del n_clusters  # ids are already dense; ClusteringResult re-derives the count
+    return ClusteringResult(
+        labels,
+        core_mask,
+        variant=Variant(eps, minpts),
+        counters=counters,
+        elapsed=elapsed,
+    )
+
+
+def dbscan_into(
+    index: SpatialIndex,
+    eps: float,
+    minpts: int,
+    *,
+    labels: np.ndarray,
+    core_mask: np.ndarray,
+    visited: np.ndarray,
+    counters: WorkCounters,
+    next_cluster_id: int,
+) -> int:
+    """Run the Algorithm 1 main loop *into* caller-owned state arrays.
+
+    This is the shared engine behind both plain :func:`dbscan` and the
+    "cluster remainder of points" pass of VariantDBSCAN (Algorithm 3
+    line 18): the caller may pre-mark points as visited/labeled (the
+    reused clusters) and this loop only processes what is left.  Points
+    already holding a label >= 0 are never re-assigned, so reused
+    clusters keep their members.
+
+    Returns the next unused cluster id.
+    """
+    searcher = NeighborSearcher(index, eps, counters)
+    n = labels.shape[0]
+    in_seeds = np.zeros(n, dtype=bool)
+    cid = next_cluster_id
+
+    for p in range(n):
+        if visited[p]:
+            continue
+        visited[p] = True
+        neigh = searcher.search(p)
+        if neigh.size < minpts:
+            continue  # tentative noise; may become a border point later
+        # p founds a new cluster
+        labels[p] = cid
+        core_mask[p] = True
+        in_seeds[neigh] = True
+        in_seeds[p] = True
+        seeds: list[int] = [int(i) for i in neigh if i != p]
+        k = 0
+        while k < len(seeds):
+            q = seeds[k]
+            k += 1
+            if not visited[q]:
+                visited[q] = True
+                nq = searcher.search(q)
+                if nq.size >= minpts:
+                    core_mask[q] = True
+                    fresh = nq[~in_seeds[nq]]
+                    if fresh.size:
+                        in_seeds[fresh] = True
+                        seeds.extend(fresh.tolist())
+            if labels[q] == NOISE:
+                labels[q] = cid
+        cid += 1
+    return cid

@@ -1,0 +1,200 @@
+"""Cluster-seed selection for variant reuse — paper Section IV-C.
+
+When variant ``v_i`` reuses variant ``v_j``'s results, the order in
+which ``v_j``'s clusters are expanded matters: expanding cluster ``a``
+can absorb points of cluster ``b`` ("destroying" ``b``), so whichever
+clusters are expanded first claim the shared territory and everything
+destroyed falls back to expensive from-scratch clustering in the
+remainder pass.  The paper proposes three prioritisation heuristics:
+
+``CLUSDEFAULT``
+    Expand clusters in original generation order.
+``CLUSDENSITY``
+    Expand densest first, density measured as ``|C| / a`` with ``a``
+    the area of the cluster's circumscribing MBB.  Dense clusters are
+    the cheapest to validate (small boundary relative to mass) and the
+    most likely to survive, so this is the paper's best performer.
+``CLUSPTSSQUARED``
+    Like CLUSDENSITY but ``|C|^2 / a`` — biases toward big clusters.
+    The paper shows this can *lose to no reuse at all* (Figure 5c),
+    which our benches reproduce.
+
+Policies are small strategy objects so benchmarks can sweep them and
+users can plug their own (any callable with the same signature works).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.core.result import ClusteringResult
+
+__all__ = [
+    "ReusePolicy",
+    "ClusDefault",
+    "ClusDensity",
+    "ClusPtsSquared",
+    "ClusSize",
+    "ClusMassDensity",
+    "CLUS_DEFAULT",
+    "CLUS_DENSITY",
+    "CLUS_PTS_SQUARED",
+    "CLUS_SIZE",
+    "CLUS_MASS_DENSITY",
+    "POLICIES",
+    "get_seed_list",
+]
+
+
+class ReusePolicy(abc.ABC):
+    """Orders (and optionally filters) the clusters of a completed result.
+
+    Subclasses implement :meth:`seed_order`; ``min_cluster_size`` lets
+    callers drop tiny clusters whose expansion bookkeeping costs more
+    than the searches it saves (0 disables filtering; the paper does not
+    filter, so that is the default).
+    """
+
+    name: str = "?"
+
+    def __init__(self, min_cluster_size: int = 0) -> None:
+        self.min_cluster_size = int(min_cluster_size)
+
+    @abc.abstractmethod
+    def seed_order(
+        self, result: ClusteringResult, points: np.ndarray, eps: float = 0.0
+    ) -> np.ndarray:
+        """Return cluster ids of ``result`` in expansion-priority order.
+
+        ``eps`` is the *expanding* variant's radius; density-based
+        policies measure ``|C| / a`` over the eps-augmented MBB — the
+        footprint the expansion will actually sweep (see
+        :meth:`ClusteringResult.cluster_densities`).
+        """
+
+    def get_seed_list(
+        self, result: ClusteringResult, points: np.ndarray, eps: float = 0.0
+    ) -> np.ndarray:
+        """The ``getSeedList`` call of Algorithm 3 line 6."""
+        order = np.asarray(self.seed_order(result, points, eps), dtype=np.int64)
+        if self.min_cluster_size > 1 and order.size:
+            sizes = result.cluster_sizes()
+            order = order[sizes[order] >= self.min_cluster_size]
+        return order
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class ClusDefault(ReusePolicy):
+    """CLUSDEFAULT: clusters in the order they were originally generated."""
+
+    name = "CLUSDEFAULT"
+
+    def seed_order(
+        self, result: ClusteringResult, points: np.ndarray, eps: float = 0.0
+    ) -> np.ndarray:
+        return np.arange(result.n_clusters, dtype=np.int64)
+
+
+class ClusDensity(ReusePolicy):
+    """CLUSDENSITY: densest clusters first (``|C| / a``)."""
+
+    name = "CLUSDENSITY"
+
+    def seed_order(
+        self, result: ClusteringResult, points: np.ndarray, eps: float = 0.0
+    ) -> np.ndarray:
+        dens = result.cluster_densities(points, squared=False, eps=eps)
+        # Stable sort on negated density: ties keep generation order,
+        # making the expansion order fully deterministic.
+        return np.argsort(-dens, kind="stable").astype(np.int64)
+
+
+class ClusPtsSquared(ReusePolicy):
+    """CLUSPTSSQUARED: ``|C|^2 / a`` — favors point-rich clusters."""
+
+    name = "CLUSPTSSQUARED"
+
+    def seed_order(
+        self, result: ClusteringResult, points: np.ndarray, eps: float = 0.0
+    ) -> np.ndarray:
+        dens = result.cluster_densities(points, squared=True, eps=eps)
+        return np.argsort(-dens, kind="stable").astype(np.int64)
+
+
+class ClusSize(ReusePolicy):
+    """CLUSSIZE (extension): largest clusters first.
+
+    Not in the paper, but it is the optimum the paper's own Section
+    IV-C argument points at: when several old clusters are destined to
+    merge under the new parameters, only the *first-expanded* member of
+    the merge group contributes its points as reuse — so seeding the
+    largest first maximizes reused mass.  Kept as an extension policy
+    for the reuse-policy ablation.
+    """
+
+    name = "CLUSSIZE"
+
+    def seed_order(
+        self, result: ClusteringResult, points: np.ndarray, eps: float = 0.0
+    ) -> np.ndarray:
+        return np.argsort(-result.cluster_sizes(), kind="stable").astype(np.int64)
+
+
+class ClusMassDensity(ReusePolicy):
+    """CLUSMASSDENSITY (extension): ``|C| * sqrt(density)`` ranking.
+
+    A compromise between CLUSSIZE (maximize reused mass) and
+    CLUSDENSITY (prefer stable, locally-expanding clusters):
+    ``|C| * sqrt(|C| / a)`` — equivalent to ``|C|^1.5 / sqrt(a)`` —
+    ranks big dense clusters first without letting either sprawling
+    giants (CLUSPTSSQUARED's failure mode) or micro-fragments (raw
+    CLUSDENSITY's failure mode) hijack the order.
+    """
+
+    name = "CLUSMASSDENSITY"
+
+    def seed_order(
+        self, result: ClusteringResult, points: np.ndarray, eps: float = 0.0
+    ) -> np.ndarray:
+        sizes = result.cluster_sizes().astype(np.float64)
+        dens = result.cluster_densities(points, eps=eps)
+        return np.argsort(-(sizes * np.sqrt(dens)), kind="stable").astype(np.int64)
+
+
+#: Shared default instances (stateless, safe to reuse across threads).
+CLUS_DEFAULT = ClusDefault()
+CLUS_DENSITY = ClusDensity()
+CLUS_PTS_SQUARED = ClusPtsSquared()
+CLUS_SIZE = ClusSize()
+CLUS_MASS_DENSITY = ClusMassDensity()
+
+#: Registry for benchmarks / CLI lookups by paper name.  The first
+#: three are the paper's heuristics; the rest are extensions.
+POLICIES: dict[str, ReusePolicy] = {
+    p.name: p
+    for p in (
+        CLUS_DEFAULT,
+        CLUS_DENSITY,
+        CLUS_PTS_SQUARED,
+        CLUS_SIZE,
+        CLUS_MASS_DENSITY,
+    )
+}
+
+
+def get_seed_list(
+    result: ClusteringResult,
+    points: np.ndarray,
+    policy: Optional[ReusePolicy] = None,
+    eps: float = 0.0,
+) -> np.ndarray:
+    """Functional wrapper over :meth:`ReusePolicy.get_seed_list`.
+
+    Defaults to CLUSDENSITY, the paper's recommended heuristic.
+    """
+    return (policy or CLUS_DENSITY).get_seed_list(result, points, eps)

@@ -1,0 +1,239 @@
+"""Variant scheduling — paper Section IV-D.
+
+Which variant runs when, and whose completed results it reuses,
+determines how much reuse the batch achieves: the first ``T`` variants
+(one per thread) necessarily start from scratch, and a variant can only
+reuse results that are *finished* when it starts.  The paper proposes
+two heuristics on top of the canonical (eps non-decreasing, minpts
+non-increasing) variant order:
+
+``SCHEDGREEDY``
+    Process variants in canonical order; when a variant starts, reuse
+    the completed variant with the smallest normalized parameter
+    difference, clustering from scratch only when nothing eligible has
+    completed.
+``SCHEDMINPTS``
+    First cluster *from scratch* one variant per distinct eps value
+    (the one with maximum minpts) — deliberately paying extra scratch
+    runs to seed the completed set with diverse eps anchors — then
+    proceed greedily.  Figure 9(b) shows the cost: with |A| > T this
+    forces |A| - T extra scratch runs.
+
+This module also builds the *static* dependency tree of Figure 3(a)
+(each variant linked to the eligible source minimizing the parameter
+difference, assuming global knowledge), which the examples use to
+visualize reuse structure; the online schedulers do not need it.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+import networkx as nx
+
+from repro.core.result import ClusteringResult
+from repro.core.variants import Variant, VariantSet, sort_key
+from repro.util.errors import SchedulingError
+
+__all__ = [
+    "PlannedVariant",
+    "CompletedRegistry",
+    "Scheduler",
+    "SchedGreedy",
+    "SchedMinpts",
+    "SCHEDULERS",
+    "dependency_tree",
+    "depth_first_schedule",
+]
+
+
+@dataclass(frozen=True)
+class PlannedVariant:
+    """A queue entry: the variant plus whether reuse is forbidden for it.
+
+    ``force_scratch`` implements SCHEDMINPTS' head list, whose members
+    are always clustered from scratch regardless of what has completed.
+    """
+
+    variant: Variant
+    force_scratch: bool = False
+
+
+class CompletedRegistry:
+    """Thread-safe store of completed variant results.
+
+    Executors call :meth:`add` as variants finish and
+    :meth:`best_source` when a new variant starts.  For the simulated
+    executor, each entry carries its (simulated) finish time so
+    eligibility can be evaluated "as of" a given moment; wall-clock
+    executors simply omit timestamps.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._done: dict[Variant, tuple[ClusteringResult, float]] = {}
+
+    def add(
+        self, variant: Variant, result: ClusteringResult, finished_at: float = 0.0
+    ) -> None:
+        """Record ``variant`` as completed (idempotent per variant)."""
+        with self._lock:
+            self._done[variant] = (result, float(finished_at))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._done)
+
+    def __contains__(self, variant: Variant) -> bool:
+        with self._lock:
+            return variant in self._done
+
+    def get(self, variant: Variant) -> ClusteringResult:
+        with self._lock:
+            try:
+                return self._done[variant][0]
+            except KeyError:
+                raise SchedulingError(f"variant {variant} has not completed") from None
+
+    def completed_variants(self, before: Optional[float] = None) -> list[Variant]:
+        """Variants finished at or before ``before`` (all when ``None``).
+
+        Inclusive comparison: on the simulated clock a worker that
+        finishes a variant at time ``t`` immediately starts its next
+        one at the same ``t``, and its own previous output must be
+        eligible.
+        """
+        with self._lock:
+            items = list(self._done.items())
+        if before is None:
+            return [v for v, _ in items]
+        return [v for v, (_, t) in items if t <= before]
+
+    def best_source(
+        self,
+        variant: Variant,
+        vset: VariantSet,
+        before: Optional[float] = None,
+    ) -> Optional[tuple[Variant, ClusteringResult]]:
+        """The completed variant ``variant`` should reuse, if any.
+
+        Greedy criterion of SCHEDGREEDY: among completed variants
+        satisfying the inclusion criteria, minimize the normalized
+        parameter distance; ties break on the canonical sort key so the
+        choice is deterministic.
+        """
+        candidates = [
+            u for u in self.completed_variants(before) if variant.can_reuse(u)
+        ]
+        if not candidates:
+            return None
+        best = min(candidates, key=lambda u: (vset.distance(variant, u), sort_key(u)))
+        return best, self.get(best)
+
+
+class Scheduler(abc.ABC):
+    """Strategy deciding queue order and per-variant reuse permission."""
+
+    name: str = "?"
+
+    @abc.abstractmethod
+    def plan(self, vset: VariantSet) -> list[PlannedVariant]:
+        """Return every variant of ``vset`` exactly once, in queue order."""
+
+    def select_source(
+        self,
+        planned: PlannedVariant,
+        vset: VariantSet,
+        registry: CompletedRegistry,
+        before: Optional[float] = None,
+    ) -> Optional[tuple[Variant, ClusteringResult]]:
+        """Pick the completed result ``planned`` should reuse (or None)."""
+        if planned.force_scratch:
+            return None
+        return registry.best_source(planned.variant, vset, before=before)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class SchedGreedy(Scheduler):
+    """SCHEDGREEDY: canonical order, greedy min-distance reuse."""
+
+    name = "SCHEDGREEDY"
+
+    def plan(self, vset: VariantSet) -> list[PlannedVariant]:
+        return [PlannedVariant(v) for v in vset]
+
+
+class SchedMinpts(Scheduler):
+    """SCHEDMINPTS: scratch-cluster one max-minpts variant per eps first."""
+
+    name = "SCHEDMINPTS"
+
+    def plan(self, vset: VariantSet) -> list[PlannedVariant]:
+        heads: list[Variant] = []
+        for eps in vset.eps_values:
+            group = [v for v in vset if v.eps == eps]
+            heads.append(max(group, key=lambda v: v.minpts))
+        head_set = set(heads)
+        plan = [PlannedVariant(v, force_scratch=True) for v in heads]
+        plan.extend(PlannedVariant(v) for v in vset if v not in head_set)
+        return plan
+
+
+#: Registry for benchmarks / lookups by paper name.
+SCHEDULERS: dict[str, Scheduler] = {
+    s.name: s for s in (SchedGreedy(), SchedMinpts())
+}
+
+
+def dependency_tree(vset: VariantSet) -> nx.DiGraph:
+    """Static reuse-dependency tree of Figure 3(a).
+
+    Assuming global knowledge (every variant's results available), each
+    variant points at the eligible source minimizing the normalized
+    component-wise parameter difference.  Variants with no eligible
+    source are roots.  Edges run parent -> child ("child reuses
+    parent"); node attribute ``root`` marks scratch-clustered roots.
+    """
+    g = nx.DiGraph()
+    for v in vset:
+        sources = vset.reusable_sources(v)
+        if not sources:
+            g.add_node(v, root=True)
+            continue
+        parent = min(sources, key=lambda u: (vset.distance(v, u), sort_key(u)))
+        g.add_node(v, root=False)
+        g.add_edge(parent, v)
+    return g
+
+
+def depth_first_schedule(tree: nx.DiGraph) -> list[Variant]:
+    """Single-thread schedule from a depth-first walk of the tree.
+
+    This reproduces the Figure 3(b) example ordering: process a root
+    from scratch, then repeatedly descend to the child with the
+    smallest parameter difference before visiting siblings.  Children
+    are visited in canonical order, which for the Figure 3 variant set
+    yields exactly the published schedule S1.
+    """
+    roots = sorted((v for v, d in tree.nodes(data=True) if d.get("root")), key=sort_key)
+    order: list[Variant] = []
+    seen: set[Variant] = set()
+
+    def visit(v: Variant) -> None:
+        if v in seen:
+            return
+        seen.add(v)
+        order.append(v)
+        for child in sorted(tree.successors(v), key=sort_key):
+            visit(child)
+
+    for root in roots:
+        visit(root)
+    if len(order) != tree.number_of_nodes():
+        raise SchedulingError("dependency tree is not a forest covering all variants")
+    return order

@@ -1,0 +1,41 @@
+"""Dataset substrate: synthetic cF-/cV- generators, the TEC-map
+simulator standing in for the paper's (now unavailable) real space-
+weather datasets, and the Table I registry.
+
+The paper's evaluation uses three dataset classes (Section V-A):
+
+* ``cF_*`` — synthetic, fixed cluster count (``|D| * 1e-4``), uniform
+  cluster sizes, 5-30 % uniform noise;
+* ``cV_*`` — synthetic, cluster sizes varied 0-500 % of the cF size;
+* ``SW1..SW4`` — real ionospheric Total Electron Content point sets
+  (1.86M-5.16M points), distributed via an FTP link that no longer
+  resolves; replaced here by a physically-motivated TEC simulator
+  (see :mod:`repro.data.tec` and DESIGN.md's substitution table).
+
+:func:`~repro.data.registry.load_dataset` resolves any Table I name,
+applying the global size scale (paper-size datasets are far beyond a
+pure-Python budget; relative comparisons are size-stable, which the
+test suite checks at two scales).
+"""
+
+from repro.data.registry import (
+    DatasetSpec,
+    DATASETS,
+    load_dataset,
+    dataset_names,
+    default_scale,
+)
+from repro.data.synthetic import SyntheticSpec, generate_synthetic
+from repro.data.tec import TECMapModel, generate_tec_points
+
+__all__ = [
+    "SyntheticSpec",
+    "generate_synthetic",
+    "TECMapModel",
+    "generate_tec_points",
+    "DatasetSpec",
+    "DATASETS",
+    "load_dataset",
+    "dataset_names",
+    "default_scale",
+]

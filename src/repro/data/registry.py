@@ -1,0 +1,246 @@
+"""Table I dataset registry.
+
+Every dataset named in the paper's Table I resolves here to a
+deterministic generator call: the synthetic cF-/cV- classes map to
+:mod:`repro.data.synthetic` and SW1-SW4 map to the TEC simulator
+(:mod:`repro.data.tec`).
+
+Size scaling (density-preserving)
+---------------------------------
+The paper's databases reach 5.16M points; full-size pure-Python runs
+are beyond a laptop budget, so the registry applies a global **scale**
+to every dataset's point count (default :data:`DEFAULT_SCALE`,
+overridable per call or via the environment variable ``REPRO_SCALE``;
+``REPRO_SCALE=1`` gives paper sizes).
+
+Scaling is **density-preserving** so the paper's eps values (and the
+clustering behaviour they induce) carry over unchanged:
+
+* synthetic classes shrink the region and the cluster sigmas by
+  ``sqrt(n_eff / n_full)`` while keeping the *full-size* planted
+  cluster count — point density, cluster count, and per-cluster
+  density all match the full dataset; only per-cluster point counts
+  shrink;
+* SW datasets sample the feature-densest map window whose area is
+  ``n_eff / n_full`` of the globe — like observing a dense regional
+  receiver network; local density and feature morphology (degree-scale
+  TID bands, auroral blobs) are unchanged.
+
+``LoadedDataset.scale_eps`` is therefore the identity and exists only
+so callers can stay scale-agnostic if the policy ever changes.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticSpec, generate_synthetic
+from repro.data.tec import TECMapModel, generate_tec_points
+from repro.util.errors import ValidationError
+
+__all__ = [
+    "DatasetSpec",
+    "LoadedDataset",
+    "DATASETS",
+    "dataset_names",
+    "default_scale",
+    "load_dataset",
+    "clear_cache",
+    "DEFAULT_SCALE",
+]
+
+#: Default fraction of the paper's dataset sizes generated (see module
+#: docstring).  0.01 keeps the full benchmark suite tractable in pure
+#: Python while leaving 10k-50k-point databases — large enough for the
+#: paper's relative effects, as the scale-stability tests verify.
+DEFAULT_SCALE = 0.01
+
+#: Floor on generated dataset size so extreme scales stay meaningful.
+MIN_POINTS = 500
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Registry entry: one Table I dataset.
+
+    Attributes
+    ----------
+    name:
+        Paper name, e.g. ``"cF_1M_5N"`` or ``"SW2"``.
+    kind:
+        ``"cF"``, ``"cV"``, or ``"SW"``.
+    full_size:
+        The paper's ``|D|``.
+    noise:
+        Noise fraction for synthetic classes (None for SW).
+    """
+
+    name: str
+    kind: str
+    full_size: int
+    noise: Optional[float] = None
+
+    @property
+    def seed(self) -> int:
+        """Stable per-dataset seed derived from the name."""
+        return zlib.crc32(self.name.encode()) & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class LoadedDataset:
+    """A realized dataset plus the scaling metadata benchmarks need."""
+
+    spec: DatasetSpec
+    points: np.ndarray
+    truth: Optional[np.ndarray]
+    scale: float
+
+    @property
+    def n_points(self) -> int:
+        return int(self.points.shape[0])
+
+    @property
+    def size_fraction(self) -> float:
+        """Realized ``n_eff / n_full`` (differs from ``scale`` when the
+        :data:`MIN_POINTS` floor kicked in)."""
+        return self.n_points / self.spec.full_size
+
+    @property
+    def eps_scale(self) -> float:
+        """Factor applied to the paper's eps values — 1.0 by design.
+
+        Scaling is density-preserving (see module docstring), so the
+        paper's eps values transfer unchanged.
+        """
+        return 1.0
+
+    def scale_eps(self, eps: float) -> float:
+        """Translate one of the paper's eps values to this dataset (identity)."""
+        return eps * self.eps_scale
+
+
+def _table1() -> dict[str, DatasetSpec]:
+    specs = [
+        DatasetSpec("cF_1M_5N", "cF", 10**6, 0.05),
+        DatasetSpec("cF_100k_5N", "cF", 10**5, 0.05),
+        DatasetSpec("cF_10k_5N", "cF", 10**4, 0.05),
+        DatasetSpec("cF_1M_15N", "cF", 10**6, 0.15),
+        DatasetSpec("cF_1M_30N", "cF", 10**6, 0.30),
+        DatasetSpec("cF_100k_30N", "cF", 10**5, 0.30),
+        DatasetSpec("cF_10k_30N", "cF", 10**4, 0.30),
+        DatasetSpec("cV_1M_5N", "cV", 10**6, 0.05),
+        DatasetSpec("cV_1M_15N", "cV", 10**6, 0.15),
+        DatasetSpec("cV_1M_30N", "cV", 10**6, 0.30),
+        DatasetSpec("cV_100k_30N", "cV", 10**5, 0.30),
+        DatasetSpec("cV_10k_30N", "cV", 10**4, 0.30),
+        DatasetSpec("SW1", "SW", 1_864_620),
+        DatasetSpec("SW2", "SW", 3_162_522),
+        DatasetSpec("SW3", "SW", 4_179_436),
+        DatasetSpec("SW4", "SW", 5_159_737),
+    ]
+    return {s.name: s for s in specs}
+
+
+#: All Table I datasets by name.
+DATASETS: dict[str, DatasetSpec] = _table1()
+
+_cache: dict[tuple[str, float], LoadedDataset] = {}
+
+
+def dataset_names(kind: Optional[str] = None) -> list[str]:
+    """Registry names, optionally filtered by class (``cF``/``cV``/``SW``)."""
+    return [n for n, s in DATASETS.items() if kind is None or s.kind == kind]
+
+
+def default_scale() -> float:
+    """Resolve the active scale: ``REPRO_SCALE`` env var or the default."""
+    raw = os.environ.get("REPRO_SCALE")
+    if raw is None:
+        return DEFAULT_SCALE
+    try:
+        val = float(raw)
+    except ValueError as exc:
+        raise ValidationError(f"REPRO_SCALE is not a number: {raw!r}") from exc
+    if not 0.0 < val <= 1.0:
+        raise ValidationError(f"REPRO_SCALE must be in (0, 1], got {val}")
+    return val
+
+
+def load_dataset(
+    name: str, scale: Optional[float] = None, *, cache: bool = True
+) -> LoadedDataset:
+    """Generate (or fetch from cache) a Table I dataset at the given scale.
+
+    Parameters
+    ----------
+    name:
+        A Table I name (see :func:`dataset_names`).
+    scale:
+        Fraction of the paper's size; ``None`` uses
+        :func:`default_scale`.
+    cache:
+        Keep the realized dataset in an in-process cache so benchmarks
+        touching the same dataset repeatedly pay generation once.
+    """
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown dataset {name!r}; known: {sorted(DATASETS)}"
+        ) from None
+    if scale is None:
+        scale = default_scale()
+    if not 0.0 < scale <= 1.0:
+        raise ValidationError(f"scale must be in (0, 1], got {scale}")
+    key = (name, scale)
+    if cache and key in _cache:
+        return _cache[key]
+
+    n_eff = max(MIN_POINTS, int(round(spec.full_size * scale)))
+    frac = n_eff / spec.full_size  # realized size fraction
+    if spec.kind in ("cF", "cV"):
+        # Density-preserving shrink: the region scales by sqrt(frac) so
+        # overall point density matches the full-size dataset, while
+        # cluster geometry (sigma, peak density) is held FIXED so the
+        # paper's eps/minpts grids see the same local structure at any
+        # scale.  Cluster count then scales with n: each cluster holds
+        # ~2*pi*sigma^2*rho_peak points.  rho_peak ~ 300 pts/deg^2 puts
+        # the S2 grid (eps 0.2-0.6 x minpts 4-32) exactly at the
+        # core/noise transition the paper's reuse study exercises.
+        shrink = math.sqrt(frac)
+        sigma = 1.0
+        rho_peak = 300.0
+        pts_per_cluster = 2.0 * math.pi * sigma**2 * rho_peak
+        n_clustered = n_eff * (1.0 - float(spec.noise))
+        sspec = SyntheticSpec(
+            n_points=n_eff,
+            noise_fraction=float(spec.noise),
+            variable_sizes=(spec.kind == "cV"),
+            extent=(360.0 * shrink, 180.0 * shrink),
+            cluster_sigma=sigma,
+            n_clusters_override=max(1, round(n_clustered / pts_per_cluster)),
+        )
+        points, truth = generate_synthetic(sspec, seed=spec.seed)
+    elif spec.kind == "SW":
+        points = generate_tec_points(
+            n_eff, TECMapModel(), seed=spec.seed, area_fraction=frac
+        )
+        truth = None
+    else:  # pragma: no cover - registry is closed
+        raise ValidationError(f"unknown dataset kind {spec.kind!r}")
+
+    loaded = LoadedDataset(spec=spec, points=points, truth=truth, scale=scale)
+    if cache:
+        _cache[key] = loaded
+    return loaded
+
+
+def clear_cache() -> None:
+    """Drop every cached dataset (tests use this to bound memory)."""
+    _cache.clear()

@@ -1,0 +1,167 @@
+"""Synthetic cluster datasets — the cF- and cV- classes of Section V-A.
+
+Construction follows the paper:
+
+* a fraction ``1 - noise`` of the points is assigned to synthetic
+  clusters whose centers are uniform over a 2-D region;
+* the remaining points are uniform noise over the same region (noise
+  may thicken or bridge clusters when clustering, as the paper notes);
+* the number of clusters is ``|D| * 1e-4`` (at least 1);
+* class **cF** gives every cluster the same number of points; class
+  **cV** draws per-cluster sizes uniformly from 0-500 % of the cF size
+  and renormalizes so the total is exact.
+
+Cluster shapes are isotropic Gaussians.  The region defaults to
+360 x 180 (a world map in degrees), matching the unit-width bin sort
+and the degree-scale eps values of the paper's scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+from repro.util.rng import SeedLike, resolve_rng
+
+__all__ = ["SyntheticSpec", "generate_synthetic", "CLUSTERS_PER_POINT"]
+
+#: Paper's cluster-count rule: ``n_clusters = |D| * 1e-4``.
+CLUSTERS_PER_POINT = 1e-4
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Parameters of one synthetic dataset.
+
+    Attributes
+    ----------
+    n_points:
+        Total database size ``|D|``.
+    noise_fraction:
+        Fraction of uniform noise points (paper uses 0.05-0.30).
+    variable_sizes:
+        ``False`` = class cF (uniform cluster sizes); ``True`` =
+        class cV (sizes 0-500 % of the cF size).
+    extent:
+        ``(width, height)`` of the region ``[0, w] x [0, h]``.
+    cluster_sigma:
+        Standard deviation of the Gaussian clusters, in region units.
+    n_clusters_override:
+        Planted cluster count, when the caller wants to decouple it
+        from the ``|D| * 1e-4`` rule.  The registry uses this for
+        density-preserving downscaling: a scaled-down replica of
+        ``cF_1M_*`` keeps the full-size dataset's 100 clusters (with
+        proportionally fewer points each) rather than collapsing to
+        ``n_eff * 1e-4`` clusters, so reuse/destroy dynamics between
+        variants stay representative.
+    """
+
+    n_points: int
+    noise_fraction: float = 0.05
+    variable_sizes: bool = False
+    extent: tuple[float, float] = (360.0, 180.0)
+    cluster_sigma: float = 2.0
+    n_clusters_override: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_points < 1:
+            raise ValidationError(f"n_points must be >= 1, got {self.n_points}")
+        if not 0.0 <= self.noise_fraction < 1.0:
+            raise ValidationError(
+                f"noise_fraction must be in [0, 1), got {self.noise_fraction}"
+            )
+        if self.extent[0] <= 0 or self.extent[1] <= 0:
+            raise ValidationError(f"extent must be positive, got {self.extent}")
+        if self.cluster_sigma <= 0:
+            raise ValidationError(
+                f"cluster_sigma must be > 0, got {self.cluster_sigma}"
+            )
+
+    @property
+    def n_clusters(self) -> int:
+        """Planted cluster count (``|D| * 1e-4`` unless overridden)."""
+        if self.n_clusters_override is not None:
+            return max(1, int(self.n_clusters_override))
+        return max(1, round(self.n_points * CLUSTERS_PER_POINT))
+
+    @property
+    def n_noise(self) -> int:
+        return int(round(self.n_points * self.noise_fraction))
+
+    @property
+    def n_clustered(self) -> int:
+        return self.n_points - self.n_noise
+
+
+def _cluster_sizes(spec: SyntheticSpec, rng: np.random.Generator) -> np.ndarray:
+    """Per-cluster point counts summing exactly to ``spec.n_clustered``."""
+    k = spec.n_clusters
+    total = spec.n_clustered
+    if not spec.variable_sizes:
+        sizes = np.full(k, total // k, dtype=np.int64)
+        sizes[: total - int(sizes.sum())] += 1
+        return sizes
+    # cV: draw relative weights uniform on [0, 5] (0-500 % of the cF
+    # share), renormalize to the exact total, fix rounding drift.
+    weights = rng.uniform(0.0, 5.0, k)
+    if weights.sum() <= 0:
+        weights = np.ones(k)
+    sizes = np.floor(weights / weights.sum() * total).astype(np.int64)
+    deficit = total - int(sizes.sum())
+    if deficit > 0:
+        # Hand leftover points to the largest clusters (deterministic).
+        order = np.argsort(-weights, kind="stable")
+        sizes[order[:deficit]] += 1
+    return sizes
+
+
+def generate_synthetic(
+    spec: SyntheticSpec, seed: SeedLike = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate one synthetic dataset.
+
+    Returns
+    -------
+    points:
+        ``(n_points, 2)`` float64 coordinates (clustered points first,
+        then noise — callers that care should shuffle; DBSCAN's output
+        is order-dependent only in label numbering).
+    truth:
+        ``(n_points,)`` int64 ground-truth assignment: planted cluster
+        id, or -1 for noise.  Used by tests ("DBSCAN at sane parameters
+        recovers the planted structure") — the paper has no ground
+        truth for its real data, but the synthetic classes do.
+    """
+    rng = resolve_rng(seed)
+    w, h = spec.extent
+    sizes = _cluster_sizes(spec, rng)
+    centers = np.column_stack(
+        [rng.uniform(0.0, w, spec.n_clusters), rng.uniform(0.0, h, spec.n_clusters)]
+    )
+    total_clustered = int(sizes.sum())
+    offsets = rng.normal(0.0, spec.cluster_sigma, (total_clustered, 2))
+    clustered = np.repeat(centers, sizes, axis=0) + offsets
+    # Keep everything inside the region so the index's bin sort and the
+    # TEC-style degree semantics stay meaningful.
+    clustered[:, 0] = np.clip(clustered[:, 0], 0.0, w)
+    clustered[:, 1] = np.clip(clustered[:, 1], 0.0, h)
+    noise = np.column_stack(
+        [rng.uniform(0.0, w, spec.n_noise), rng.uniform(0.0, h, spec.n_noise)]
+    )
+    points = np.vstack([clustered, noise])
+    truth = np.concatenate(
+        [
+            np.repeat(np.arange(spec.n_clusters, dtype=np.int64), sizes),
+            np.full(spec.n_noise, -1, dtype=np.int64),
+        ]
+    )
+    # Emit in (x, y) scan order, the layout real archived point data
+    # ships in.  DBSCAN's cluster generation order (the CLUSDEFAULT
+    # reuse heuristic's key) inherits this order, so it must not carry
+    # hidden information: a shuffled order would make generation order
+    # size-biased (large clusters get discovered first), silently
+    # advantaging CLUSDEFAULT in ways file-ordered real data does not.
+    order = np.lexsort((points[:, 1], points[:, 0]))
+    return np.ascontiguousarray(points[order]), truth[order]

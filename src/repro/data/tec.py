@@ -1,0 +1,336 @@
+"""Ionospheric Total Electron Content (TEC) map simulator.
+
+The paper's SW1-SW4 datasets are thresholded 2-D point sets derived
+from GPS-measured TEC maps of the Earth's ionosphere (its Figure 1):
+regions of high TEC organize into blobs (storm-enhanced density,
+auroral precipitation) and *wave-like bands* — Traveling Ionospheric
+Disturbances (TIDs) — over a diffuse background, sampled only where GPS
+receivers exist (dense over continents, sparse over oceans).  The
+original datasets were published at an FTP URL that no longer resolves,
+so this module synthesizes maps with the same morphology (DESIGN.md
+substitution table).  The clustering code path only ever sees the
+thresholded 2-D points, so what matters for reproduction is the point
+*distribution*: filamentary high-density bands + compact blobs +
+heterogeneous background, which is exactly what is generated.
+
+Model components, evaluated on a lon/lat grid in degrees:
+
+1. **Background ionosphere** — a daytime bulge (smooth longitudinal
+   maximum) modulated by the equatorial ionization anomaly (two crests
+   at roughly +/-15 degrees magnetic latitude).
+2. **TIDs** — several plane-wave trains with Gaussian envelopes:
+   ``A * cos(k . x + phase) * exp(-|x - c|^2 / 2s^2)``, wavelengths of
+   a few degrees to a few tens of degrees.
+3. **Auroral enhancement** — a ring near the (tilted) geomagnetic pole
+   at ~70 degrees latitude.
+4. **Receiver-network weighting** — a mixture of Gaussian "continental
+   networks" plus a uniform floor, multiplying the sampling density.
+
+Points are drawn *exactly* ``n`` at a time from a discrete density over
+grid cells — a saturating ramp of the above-threshold TEC excess times
+the receiver coverage — with uniform jitter within each cell: the
+thresholded TEC features become the point population, with
+measurement-like irregularity, and feature interiors are solid
+plateaus the way storm-time TEC over a dense receiver network is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+from repro.util.rng import SeedLike, resolve_rng
+
+__all__ = ["TECMapModel", "generate_tec_points"]
+
+
+@dataclass(frozen=True)
+class TECMapModel:
+    """Configuration of one synthetic TEC map.
+
+    All coordinates are degrees: longitude in ``[-180, 180]``, latitude
+    in ``[-90, 90]``.
+
+    Attributes
+    ----------
+    n_tids:
+        Number of traveling-ionospheric-disturbance wave trains.
+    tid_amplitude:
+        Peak TID amplitude relative to the background bulge (~0.5
+        makes wavefronts cross the threshold, as in real storm maps).
+    tid_wavelength_range:
+        Min/max TID wavelength in degrees (medium-scale TIDs are a few
+        hundred km, i.e. a few degrees).
+    n_networks:
+        Number of Gaussian receiver-network patches.
+    coverage_floor:
+        Uniform sampling floor (0-1) relative to network peaks — the
+        "sparse over oceans" effect.
+    threshold_quantile:
+        TEC quantile used as the detection threshold; points are drawn
+        where the map exceeds it.
+    saturation_quantile:
+        TEC quantile at which the sampling density saturates.  Between
+        the threshold and this level the density ramps up (feature
+        fringes are sparse); above it the density is flat — features
+        have *solid plateau interiors*, as real storm-time TEC over a
+        dense receiver network does.  Plateau interiors are what make
+        large clusters the densest per MBB area, the property the
+        paper's CLUSDENSITY heuristic exploits on its SW datasets.
+    sharpness:
+        Exponent applied to the normalized ramp; higher values
+        suppress fringes harder.
+    band_quantile / band_level:
+        Optional TID wavefront bands (off by default — ``band_level =
+        0``).  The TID wave component alone is thresholded at
+        ``band_quantile`` of itself and sampled at ``band_level`` times
+        the plateau density, putting the wavefront *crest lines* on the
+        map as long moderate-density filaments.  Bands fragment into
+        many segment clusters at strict parameters and partially fuse
+        at permissive ones, which systematically *reduces* inter-
+        variant reuse for every seed-selection policy — the
+        morphology-sensitivity ablation bench
+        (``bench_ablation_morphology.py``) uses this knob to show that
+        the paper's reuse-policy ranking is a property of the data, not
+        of the algorithm alone.
+    n_plumes / plume_level / plume_sigma_range:
+        Optional broad storm-enhanced-density plumes (diffuse regions
+        of moderate density); off by default.
+    grid_resolution:
+        Grid spacing in degrees for evaluating the map.
+    """
+
+    n_tids: int = 10
+    tid_amplitude: float = 0.55
+    tid_wavelength_range: tuple[float, float] = (2.0, 12.0)
+    n_networks: int = 8
+    coverage_floor: float = 0.03
+    threshold_quantile: float = 0.995
+    saturation_quantile: float = 0.997
+    sharpness: float = 6.0
+    band_quantile: float = 0.99
+    band_level: float = 0.0
+    n_plumes: int = 0
+    plume_level: float = 0.15
+    plume_sigma_range: tuple[float, float] = (8.0, 18.0)
+    grid_resolution: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n_tids < 0 or self.n_networks < 1:
+            raise ValidationError("n_tids must be >= 0 and n_networks >= 1")
+        if not 0.0 < self.threshold_quantile < 1.0:
+            raise ValidationError(
+                f"threshold_quantile must be in (0, 1), got {self.threshold_quantile}"
+            )
+        if self.grid_resolution <= 0:
+            raise ValidationError("grid_resolution must be > 0")
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Evaluate the TEC field and coverage weighting on the grid.
+
+        Returns ``(lon_axis, lat_axis, tec, coverage, tid)`` with the
+        2-D fields shaped ``(n_lat, n_lon)``; ``tid`` is the isolated
+        traveling-disturbance component.  The stochastic pieces (TID
+        geometry, network placement, pole tilt) are drawn from ``rng``.
+        Used directly by the space-weather example to render the map
+        behind the detected clusters.
+        """
+        return _evaluate(self, rng)
+
+
+def generate_tec_points(
+    n_points: int,
+    model: TECMapModel | None = None,
+    seed: SeedLike = None,
+    *,
+    area_fraction: float = 1.0,
+) -> np.ndarray:
+    """Draw exactly ``n_points`` thresholded TEC measurement locations.
+
+    Parameters
+    ----------
+    n_points:
+        Number of points to sample.
+    model:
+        Map configuration (defaults are storm-time-like).
+    seed:
+        Deterministic seed.
+    area_fraction:
+        Fraction of the global map to sample from.  ``1.0`` uses the
+        whole map; smaller values restrict sampling to the
+        feature-densest window of that area (aspect-preserving).  The
+        dataset registry uses this for **density-preserving
+        downscaling**: drawing ``f * n_full`` points from a window of
+        ``f`` of the map's area keeps local point density — and
+        therefore the paper's degree-scale eps values — unchanged,
+        like observing a dense regional receiver network instead of
+        the whole Earth.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_points, 2)`` array of ``(lon, lat)`` degrees.
+    """
+    if n_points < 1:
+        raise ValidationError(f"n_points must be >= 1, got {n_points}")
+    if not 0.0 < area_fraction <= 1.0:
+        raise ValidationError(f"area_fraction must be in (0, 1], got {area_fraction}")
+    model = model or TECMapModel()
+    rng = resolve_rng(seed)
+    res = model.grid_resolution
+    lon_axis, lat_axis, tec, coverage, tid = _evaluate(model, rng)
+
+    threshold = np.quantile(tec, model.threshold_quantile)
+    saturation = np.quantile(tec, max(model.saturation_quantile, model.threshold_quantile))
+    ramp = max(saturation - threshold, 1e-9)
+    # Normalized, *saturating* excess: fringes ramp up with
+    # ``sharpness``, interiors sit on a flat plateau (see the
+    # ``saturation_quantile`` doc above for why this matters).
+    excess = np.clip((tec - threshold) / ramp, 0.0, 1.0) ** model.sharpness
+    density = excess * np.clip(coverage, 0.0, 1.0)
+
+    # TID wavefront bands: moderate-density filaments along the wave
+    # crest lines (see the ``band_quantile`` / ``band_level`` doc).
+    if model.band_level > 0 and model.n_tids > 0:
+        band_thresh = np.quantile(tid, model.band_quantile)
+        band_sat = np.quantile(tid, min(0.5 + model.band_quantile / 2.0, 0.9999))
+        band_ramp = max(band_sat - band_thresh, 1e-9)
+        band = np.clip((tid - band_thresh) / band_ramp, 0.0, 1.0) ** model.sharpness
+        # Bands are visible only where receivers are (same coverage
+        # weighting as the plateaus) — otherwise their sheer area lets
+        # them dominate the map's sampling mass and the densest-window
+        # selection would never contain a plateau.
+        density = density + model.band_level * band * np.clip(coverage, 0.0, 1.0)
+
+    if density.sum() <= 0:  # pathological config: fall back to coverage only
+        density = coverage.copy()
+
+    # Storm-enhanced-density plumes: broad regions of moderate
+    # measurement density (see the class docstring).
+    if model.n_plumes > 0 and model.plume_level > 0:
+        glon, glat = np.meshgrid(lon_axis, lat_axis)
+        # Anchor plumes near the strongest feature complex (with jitter)
+        # so they coexist with the dense plateaus in any sampled window
+        # — storm plumes emanate from the storm region, and a plume far
+        # from every feature would be invisible to windowed sampling.
+        iy0, ix0 = np.unravel_index(int(np.argmax(density)), density.shape)
+        lon0, lat0 = lon_axis[ix0], lat_axis[iy0]
+        plume = np.zeros_like(density)
+        for _ in range(model.n_plumes):
+            sx = rng.uniform(*model.plume_sigma_range)
+            sy = rng.uniform(*model.plume_sigma_range) * 0.6
+            cx = lon0 + rng.uniform(-1.0, 1.0) * sx
+            cy = lat0 + rng.uniform(-1.0, 1.0) * sy
+            plume += np.exp(
+                -((glon - cx) ** 2) / (2 * sx**2) - ((glat - cy) ** 2) / (2 * sy**2)
+            )
+        density = density + model.plume_level * density.max() * np.clip(plume, 0.0, 1.0)
+
+    if area_fraction < 1.0:
+        density = _restrict_to_best_window(density, area_fraction)
+
+    flat = density.ravel()
+    prob = flat / flat.sum()
+    cells = rng.choice(flat.size, size=n_points, p=prob)
+    iy, ix = np.unravel_index(cells, density.shape)
+    lon = lon_axis[ix] + rng.uniform(0.0, res, n_points)
+    lat = lat_axis[iy] + rng.uniform(0.0, res, n_points)
+    pts = np.column_stack([lon, lat])
+    # Emit in (lon, lat) scan order — processed GPS/TEC archives are
+    # spatially sorted, and DBSCAN's cluster *generation order* (what
+    # the CLUSDEFAULT heuristic keys on) inherits the file order, so
+    # realistic ordering matters for reproducing the paper's
+    # reuse-policy comparisons.
+    order = np.lexsort((pts[:, 1], pts[:, 0]))
+    return np.ascontiguousarray(pts[order])
+
+
+def _restrict_to_best_window(density: np.ndarray, area_fraction: float) -> np.ndarray:
+    """Zero the density outside the feature-richest sub-window.
+
+    The window preserves the map's 2:1 aspect ratio and covers
+    ``area_fraction`` of its area; "richest" means maximal integrated
+    density, found exactly with a 2-D summed-area table.
+    """
+    ny, nx = density.shape
+    scale = float(np.sqrt(area_fraction))
+    wy = max(1, int(round(ny * scale)))
+    wx = max(1, int(round(nx * scale)))
+    # Summed-area table with a zero row/col prepended.
+    sat = np.zeros((ny + 1, nx + 1), dtype=np.float64)
+    np.cumsum(np.cumsum(density, axis=0), axis=1, out=sat[1:, 1:])
+    window_sums = (
+        sat[wy:, wx:] - sat[:-wy, wx:] - sat[wy:, :-wx] + sat[:-wy, :-wx]
+    )
+    iy, ix = np.unravel_index(int(np.argmax(window_sums)), window_sums.shape)
+    out = np.zeros_like(density)
+    out[iy : iy + wy, ix : ix + wx] = density[iy : iy + wy, ix : ix + wx]
+    return out
+
+
+def _evaluate(
+    model: TECMapModel, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Evaluate field + coverage + isolated TID component.
+
+    Shared by point sampling and the examples; returns
+    ``(lon_axis, lat_axis, tec, coverage, tid)``.
+    """
+    res = model.grid_resolution
+    lon = np.arange(-180.0, 180.0, res)
+    lat = np.arange(-90.0, 90.0, res)
+    glon, glat = np.meshgrid(lon, lat)
+
+    subsolar_lon = rng.uniform(-180.0, 180.0)
+    day = np.cos(np.radians((glon - subsolar_lon) / 2.0)) ** 2
+    anomaly = np.exp(-((np.abs(glat) - 15.0) ** 2) / (2 * 12.0**2))
+    tec = 4.0 + 10.0 * day * (0.5 + anomaly)
+
+    tid = np.zeros_like(tec)
+    for _ in range(model.n_tids):
+        wl = rng.uniform(*model.tid_wavelength_range)
+        theta = rng.uniform(0.0, 2 * np.pi)
+        k = 2 * np.pi / wl
+        kx, ky = k * np.cos(theta), k * np.sin(theta)
+        cx = rng.uniform(-180.0, 180.0)
+        cy = rng.uniform(-70.0, 70.0)
+        span = rng.uniform(2.0, 6.0) * wl
+        phase = rng.uniform(0.0, 2 * np.pi)
+        envelope = np.exp(-((glon - cx) ** 2 + (glat - cy) ** 2) / (2 * span**2))
+        amp = model.tid_amplitude * rng.uniform(0.5, 1.0) * 10.0
+        tid += amp * envelope * np.cos(kx * glon + ky * glat + phase)
+    tec = tec + tid
+
+    pole_lat = 90.0 - rng.uniform(5.0, 12.0)
+    pole_lon = rng.uniform(-180.0, 180.0)
+    dlon = np.radians(glon - pole_lon)
+    colat = np.degrees(
+        np.arccos(
+            np.clip(
+                np.sin(np.radians(glat)) * np.sin(np.radians(pole_lat))
+                + np.cos(np.radians(glat))
+                * np.cos(np.radians(pole_lat))
+                * np.cos(dlon),
+                -1.0,
+                1.0,
+            )
+        )
+    )
+    tec += 8.0 * np.exp(-((colat - 20.0) ** 2) / (2 * 4.0**2))
+    tec += rng.normal(0.0, 0.4, tec.shape)
+
+    coverage = np.full(tec.shape, model.coverage_floor)
+    for _ in range(model.n_networks):
+        cx = rng.uniform(-160.0, 160.0)
+        cy = rng.uniform(-55.0, 70.0)
+        sx = rng.uniform(15.0, 45.0)
+        sy = rng.uniform(10.0, 30.0)
+        coverage += np.exp(
+            -((glon - cx) ** 2) / (2 * sx**2) - ((glat - cy) ** 2) / (2 * sy**2)
+        )
+    return lon, lat, tec, coverage, tid

@@ -1,0 +1,81 @@
+"""Variant-batch executors (the ``parallel for`` of Algorithm 3).
+
+Pick a backend by what you need:
+
+* :class:`SerialExecutor` — deterministic single worker; the paper's
+  ``T = 1`` reuse study.
+* :class:`SimulatedExecutor` — deterministic work-unit clock with a
+  memory-contention model; regenerates the paper's thread-scaling
+  figures independently of host hardware.
+* :class:`ThreadPoolExecutorBackend` — real shared-memory threads
+  (GIL-limited in CPython; kept for honesty and ablation).
+* :class:`ProcessPoolExecutorBackend` — real processes over statically
+  partitioned reuse chains (genuinely parallel).
+
+:func:`run_variants` is the one-call convenience entry point.
+"""
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.variants import VariantSet
+from repro.exec.base import BaseExecutor, BatchResult, IndexPair
+from repro.exec.calibration import CalibrationSample, collect_samples, fit_cost_model
+from repro.exec.cost import DEFAULT_COST_MODEL, CostModel
+from repro.exec.procpool import ProcessPoolExecutorBackend
+from repro.exec.serial import SerialExecutor
+from repro.exec.simulated import SimulatedExecutor
+from repro.exec.threadpool import ThreadPoolExecutorBackend
+
+__all__ = [
+    "BaseExecutor",
+    "BatchResult",
+    "IndexPair",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "CalibrationSample",
+    "collect_samples",
+    "fit_cost_model",
+    "SerialExecutor",
+    "SimulatedExecutor",
+    "ThreadPoolExecutorBackend",
+    "ProcessPoolExecutorBackend",
+    "run_variants",
+    "EXECUTORS",
+]
+
+#: Backend registry for lookups by name (benchmarks, examples).
+EXECUTORS: dict[str, type[BaseExecutor]] = {
+    SerialExecutor.name: SerialExecutor,
+    SimulatedExecutor.name: SimulatedExecutor,
+    ThreadPoolExecutorBackend.name: ThreadPoolExecutorBackend,
+    ProcessPoolExecutorBackend.name: ProcessPoolExecutorBackend,
+}
+
+
+def run_variants(
+    points: np.ndarray,
+    variants: VariantSet,
+    executor: Optional[BaseExecutor] = None,
+    *,
+    dataset: str = "",
+) -> BatchResult:
+    """Cluster every variant of ``variants`` over ``points``.
+
+    Uses a :class:`SerialExecutor` with the paper's recommended
+    defaults (SCHEDGREEDY + CLUSDENSITY, ``r = 70``) unless an executor
+    is supplied.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import VariantSet, run_variants
+    >>> pts = np.random.default_rng(1).normal(0, 1, (300, 2))
+    >>> batch = run_variants(pts, VariantSet.from_product([0.5, 0.7], [4]))
+    >>> sorted(v.eps for v in batch.results)
+    [0.5, 0.7]
+    """
+    if executor is None:
+        executor = SerialExecutor()
+    return executor.run(points, variants, dataset=dataset)

@@ -1,0 +1,81 @@
+"""Single-variant execution step shared by the executor backends.
+
+Each backend differs only in *when* variants run and what clock stamps
+them; the per-variant work — pick a reuse source from the completed
+registry, run VariantDBSCAN (or DBSCAN from scratch), build the run
+record — is identical and lives here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.result import ClusteringResult
+from repro.core.reuse import ReusePolicy
+from repro.core.scheduling import CompletedRegistry, PlannedVariant, Scheduler
+from repro.core.variant_dbscan import variant_dbscan
+from repro.core.variants import VariantSet
+from repro.exec.base import IndexPair
+from repro.exec.cost import CostModel
+from repro.metrics.counters import WorkCounters
+from repro.metrics.records import VariantRunRecord
+
+__all__ = ["execute_variant"]
+
+
+def execute_variant(
+    points: np.ndarray,
+    planned: PlannedVariant,
+    vset: VariantSet,
+    indexes: IndexPair,
+    scheduler: Scheduler,
+    reuse_policy: ReusePolicy,
+    registry: CompletedRegistry,
+    cost_model: CostModel,
+    *,
+    concurrency: int = 1,
+    before: Optional[float] = None,
+) -> tuple[ClusteringResult, VariantRunRecord]:
+    """Run one planned variant and return its result and run record.
+
+    ``before`` restricts which completed variants are eligible as reuse
+    sources (simulated time); wall-clock backends pass ``None`` ("use
+    whatever has completed by now").  The record's ``response_time`` is
+    priced by ``cost_model`` at the given ``concurrency``; ``start`` /
+    ``finish`` / ``thread_id`` are the caller's to fill in.
+    """
+    counters = WorkCounters()
+    source = scheduler.select_source(planned, vset, registry, before=before)
+    if source is None:
+        result = variant_dbscan(
+            points,
+            planned.variant,
+            None,
+            t_low=indexes.t_low,
+            counters=counters,
+        )
+    else:
+        _, source_result = source
+        result = variant_dbscan(
+            points,
+            planned.variant,
+            source_result,
+            t_high=indexes.t_high,
+            t_low=indexes.t_low,
+            reuse_policy=reuse_policy,
+            counters=counters,
+        )
+    record = VariantRunRecord(
+        variant=planned.variant,
+        reused_from=result.reused_from,
+        points_reused=result.points_reused,
+        reuse_fraction=result.reuse_fraction,
+        response_time=cost_model.duration(counters, concurrency),
+        wall_time=result.elapsed,
+        n_clusters=result.n_clusters,
+        n_noise=result.n_noise,
+        counters=counters,
+    )
+    return result, record

@@ -1,0 +1,158 @@
+"""Executor framework: run a whole :class:`VariantSet` over one database.
+
+An executor owns the policy knobs of Algorithm 3's outer ``parallel
+for`` — worker count ``T``, the scheduler (Section IV-D), the cluster
+reuse policy (Section IV-C), and the low-resolution index's ``r`` — and
+produces a :class:`BatchResult` bundling every variant's
+:class:`~repro.core.result.ClusteringResult` with the batch-level
+:class:`~repro.metrics.records.BatchRunRecord` that the figures are
+drawn from.
+
+Concrete backends:
+
+* :class:`~repro.exec.serial.SerialExecutor` — one thread, queue order.
+* :class:`~repro.exec.threadpool.ThreadPoolExecutorBackend` — real
+  Python threads sharing the indexes and registry.
+* :class:`~repro.exec.procpool.ProcessPoolExecutorBackend` — processes,
+  reuse chains partitioned across workers (GIL-free).
+* :class:`~repro.exec.simulated.SimulatedExecutor` — deterministic
+  work-unit clock; the backend used to reproduce the paper's scaling
+  figures.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.result import ClusteringResult
+from repro.core.reuse import CLUS_DENSITY, ReusePolicy
+from repro.core.scheduling import Scheduler, SchedGreedy
+from repro.core.variant_dbscan import DEFAULT_LOW_RES_R
+from repro.core.variants import Variant, VariantSet
+from repro.exec.cost import DEFAULT_COST_MODEL, CostModel
+from repro.index.rtree import RTree
+from repro.metrics.records import BatchRunRecord
+from repro.util.validation import as_points_array, check_positive_int
+
+__all__ = ["BatchResult", "BaseExecutor", "IndexPair"]
+
+
+@dataclass
+class IndexPair:
+    """The two shared R-trees of Algorithm 3 (``T_high`` and ``T_low``).
+
+    Building them is part of a batch's setup cost and is done exactly
+    once per database, whatever the number of variants or threads.
+    """
+
+    t_high: RTree
+    t_low: RTree
+
+    @classmethod
+    def build(
+        cls, points: np.ndarray, low_res_r: int = DEFAULT_LOW_RES_R, *, fanout: int = 16
+    ) -> "IndexPair":
+        return cls(
+            t_high=RTree(points, r=1, fanout=fanout),
+            t_low=RTree(points, r=low_res_r, fanout=fanout),
+        )
+
+
+@dataclass
+class BatchResult:
+    """Everything produced by executing a variant set.
+
+    Attributes
+    ----------
+    results:
+        Completed clustering per variant.
+    record:
+        Batch-level run record (per-variant rows, makespan, config).
+    """
+
+    results: dict[Variant, ClusteringResult]
+    record: BatchRunRecord
+
+    def __getitem__(self, variant: Variant) -> ClusteringResult:
+        return self.results[variant]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+class BaseExecutor(abc.ABC):
+    """Shared configuration and index plumbing for all backends.
+
+    Parameters
+    ----------
+    n_threads:
+        Worker count ``T``.  For the simulated executor this is the
+        modeled thread count; for thread/process backends it is the
+        real pool size.
+    scheduler:
+        Variant ordering + reuse-source selection strategy.
+    reuse_policy:
+        Cluster-seed prioritisation inside VariantDBSCAN.
+    low_res_r:
+        Points per MBB for the epsilon-search tree ``T_low``.
+    cost_model:
+        Work-unit pricing (used by the simulated executor and for the
+        work-unit response times recorded by every backend).
+    """
+
+    name: str = "?"
+
+    def __init__(
+        self,
+        n_threads: int = 1,
+        *,
+        scheduler: Optional[Scheduler] = None,
+        reuse_policy: ReusePolicy = CLUS_DENSITY,
+        low_res_r: int = DEFAULT_LOW_RES_R,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ) -> None:
+        self.n_threads = check_positive_int(n_threads, name="n_threads")
+        self.scheduler = scheduler if scheduler is not None else SchedGreedy()
+        self.reuse_policy = reuse_policy
+        self.low_res_r = check_positive_int(low_res_r, name="low_res_r")
+        self.cost_model = cost_model
+
+    def run(
+        self,
+        points: np.ndarray,
+        variants: VariantSet,
+        *,
+        indexes: Optional[IndexPair] = None,
+        dataset: str = "",
+    ) -> BatchResult:
+        """Execute every variant and return the batch result.
+
+        ``indexes`` may be passed to share tree construction across
+        multiple batches over the same database (as the benchmarks do).
+        """
+        points = as_points_array(points)
+        if indexes is None:
+            indexes = IndexPair.build(points, self.low_res_r)
+        result = self._run(points, variants, indexes)
+        result.record.scheduler = self.scheduler.name
+        result.record.reuse_policy = self.reuse_policy.name
+        result.record.dataset = dataset
+        result.record.executor = self.name
+        result.record.n_threads = self.n_threads
+        return result
+
+    @abc.abstractmethod
+    def _run(
+        self, points: np.ndarray, variants: VariantSet, indexes: IndexPair
+    ) -> BatchResult:
+        """Backend-specific execution over validated inputs."""
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(T={self.n_threads}, sched={self.scheduler.name}, "
+            f"reuse={self.reuse_policy.name}, r={self.low_res_r})"
+        )

@@ -1,0 +1,108 @@
+"""Cost-model calibration from measured wall times.
+
+The default :class:`~repro.exec.cost.CostModel` coefficients were
+chosen so the simulated executor reproduces the *paper's* published
+trade-offs (see the class docstring).  Users running on their own
+hardware can instead fit the per-unit coefficients to reality: run a
+few clusterings with diverse ``r`` values, record ``(counters,
+wall_seconds)`` pairs, and least-squares fit
+
+``wall ~ node_visit_cost * nodes + candidate_cost * candidates +
+search_overhead * searches + reuse_copy_cost * reused``.
+
+Only relative magnitudes matter downstream (the simulated clock is
+unitless), so the fit is normalized to ``node_visit_cost = 1``.
+The concurrency knob (``bandwidth_saturation``) cannot be identified
+from single-threaded runs; calibrate it by measuring one multi-worker
+run of memory-bound work, or keep the paper-derived 2.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exec.cost import CostModel
+from repro.metrics.counters import WorkCounters
+from repro.util.errors import ValidationError
+
+__all__ = ["CalibrationSample", "fit_cost_model", "collect_samples"]
+
+
+@dataclass(frozen=True)
+class CalibrationSample:
+    """One measurement: the work performed and the wall seconds it took."""
+
+    counters: WorkCounters
+    wall_seconds: float
+
+
+def fit_cost_model(
+    samples: Sequence[CalibrationSample],
+    *,
+    bandwidth_saturation: float = 2.4,
+) -> CostModel:
+    """Least-squares fit of the per-unit costs to measured wall times.
+
+    Requires at least 4 samples with diverse counter mixes (e.g. runs
+    at r = 1, 10, 70, 200); a rank-deficient design matrix raises.
+    Negative fitted coefficients are clamped to a small positive floor
+    (they arise when a term is collinear or negligible in the samples).
+    """
+    if len(samples) < 4:
+        raise ValidationError(f"need >= 4 calibration samples, got {len(samples)}")
+    a = np.array(
+        [
+            [
+                s.counters.index_nodes_visited,
+                s.counters.candidates_examined,
+                s.counters.neighbor_searches,
+                s.counters.points_reused,
+            ]
+            for s in samples
+        ],
+        dtype=np.float64,
+    )
+    y = np.array([s.wall_seconds for s in samples], dtype=np.float64)
+    if np.any(y <= 0):
+        raise ValidationError("wall_seconds must be positive")
+    if np.linalg.matrix_rank(a) < 2:
+        raise ValidationError(
+            "calibration samples are rank-deficient; vary r across runs"
+        )
+    coef, *_ = np.linalg.lstsq(a, y, rcond=None)
+    floor = 1e-9
+    coef = np.maximum(coef, floor)
+    node = coef[0] if coef[0] > floor else max(coef.max(), floor)
+    return CostModel(
+        node_visit_cost=1.0,
+        candidate_cost=float(coef[1] / node),
+        search_overhead=float(coef[2] / node),
+        reuse_copy_cost=float(coef[3] / node),
+        bandwidth_saturation=float(bandwidth_saturation),
+    )
+
+
+def collect_samples(
+    points: np.ndarray,
+    eps: float,
+    minpts: int,
+    r_values: Sequence[int] = (1, 10, 40, 70, 150),
+) -> list[CalibrationSample]:
+    """Run one DBSCAN per ``r`` and return calibration samples.
+
+    Convenience for the common calibration recipe; each run uses a
+    fresh counter set and the measured wall time of the clustering
+    (index construction excluded, matching the cost model's scope).
+    """
+    from repro.core.dbscan import dbscan
+    from repro.index.rtree import RTree
+
+    samples = []
+    for r in r_values:
+        counters = WorkCounters()
+        res = dbscan(points, eps, minpts, index=RTree(points, r=r), counters=counters)
+        samples.append(CalibrationSample(counters=counters, wall_seconds=res.elapsed))
+    return samples

@@ -1,0 +1,120 @@
+"""Deterministic work-unit cost model.
+
+Why this exists
+---------------
+The paper's headline numbers are wall-clock speedups on a 16-core Xeon
+running C++/OpenMP.  A pure-Python reproduction cannot reproduce those
+absolute times, and CPython's GIL distorts *relative* thread-scaling
+measurements too (see DESIGN.md).  The paper itself, however, explains
+its speedups mechanistically:
+
+* DBSCAN in 2-D is **memory-bound**: epsilon searches chase index-node
+  pointers, and concurrent variants contend for memory bandwidth
+  (Section IV-A).  This is why ``r = 1`` with 16 threads only reaches
+  2.37x.
+* Choosing a large ``r`` converts dependent node visits into *streamed
+  candidate filtering* — compute that scales across cores (Figure 4).
+* Reuse removes epsilon searches wholesale (Sections IV-B/C).
+
+The cost model charges exactly those mechanisms, using the counters of
+:class:`~repro.metrics.counters.WorkCounters`:
+
+``memory work`` (contended)
+    ``index_nodes_visited`` — dependent, cache-unfriendly accesses —
+    plus a small per-point charge for bulk label copies during reuse
+    (streamed, but still traffic).
+``compute work`` (scales freely)
+    Candidate fetch+filter (``candidates_examined``; candidates are
+    contiguous within a leaf thanks to the bin sort, so this behaves
+    like vectorized compute) and a fixed per-search overhead.
+
+With ``T`` concurrent variants, memory work slows by
+``max(1, T / bandwidth_saturation)`` — the memory system sustains
+about ``bandwidth_saturation`` concurrent access streams before
+flat-lining — while compute work is unaffected.  ``bandwidth_saturation
+= 2.4`` reproduces the paper's observation that unindexed (r = 1)
+16-thread clustering tops out at ~2.4x over sequential.
+
+All durations are in abstract *work units*; only ratios are meaningful,
+which is exactly how the paper's figures are read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.counters import WorkCounters
+
+__all__ = ["CostModel", "DEFAULT_COST_MODEL"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Coefficients mapping work counters to work-unit durations.
+
+    Attributes
+    ----------
+    node_visit_cost:
+        Units per index node touched (dependent memory access).
+    candidate_cost:
+        Units per candidate point fetched + distance-filtered
+        (streamed memory + SIMD compute; cheaper per item than a
+        dependent node visit).  Calibrated at 0.7 so that, under the
+        measured node/candidate trade-off of the packed R-tree, the
+        T = 16 duration minimum falls in the paper's good-``r`` window
+        (70-110) and the unindexed-vs-indexed speedup gap matches
+        Figure 4's ~2.4x vs ~8-32x split.
+    reuse_copy_cost:
+        Units per point copied wholesale from a reused cluster (bulk
+        ``memcpy``-like traffic).
+    search_overhead:
+        Fixed units per epsilon-neighborhood search (query setup,
+        call overhead).
+    bandwidth_saturation:
+        Effective number of concurrent memory-access streams the
+        machine sustains; beyond it, memory-bound work serializes.
+        The paper's r = 1 scaling ceiling (2.37x at T = 16) pins this
+        near 2.4.
+    """
+
+    node_visit_cost: float = 1.0
+    candidate_cost: float = 0.7
+    reuse_copy_cost: float = 0.01
+    search_overhead: float = 1.0
+    bandwidth_saturation: float = 2.4
+
+    def compute_work(self, counters: WorkCounters) -> float:
+        """Work units that parallelize perfectly across threads."""
+        return (
+            self.candidate_cost * counters.candidates_examined
+            + self.search_overhead * counters.neighbor_searches
+        )
+
+    def memory_work(self, counters: WorkCounters) -> float:
+        """Work units subject to memory-bandwidth contention."""
+        return (
+            self.node_visit_cost * counters.index_nodes_visited
+            + self.reuse_copy_cost * counters.points_reused
+        )
+
+    def contention(self, concurrency: int) -> float:
+        """Slowdown factor applied to memory work at a given concurrency."""
+        if concurrency <= 1:
+            return 1.0
+        return max(1.0, concurrency / self.bandwidth_saturation)
+
+    def duration(self, counters: WorkCounters, concurrency: int = 1) -> float:
+        """Work-unit duration of one variant run at the given concurrency.
+
+        ``concurrency`` is the number of variants executing at the same
+        time (the executor's ``T``); the simulated executor applies the
+        same static factor to every run, a documented simplification
+        that keeps results deterministic.
+        """
+        return self.compute_work(counters) + self.memory_work(counters) * self.contention(
+            concurrency
+        )
+
+
+#: Shared default instance used by every executor unless overridden.
+DEFAULT_COST_MODEL = CostModel()

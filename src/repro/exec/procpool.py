@@ -1,0 +1,174 @@
+"""Process-pool executor: GIL-free variant parallelism via reuse chains.
+
+CPython threads cannot run the Python-level clustering loop in
+parallel, so this backend substitutes the paper's shared-memory threads
+with processes (DESIGN.md substitution table).  Processes cannot
+cheaply share *completed results* mid-flight, which changes what reuse
+is possible; we therefore partition the variant set **statically** by
+the Figure 3(a) dependency forest:
+
+1. build the static dependency tree (each variant's best reuse source
+   under global knowledge);
+2. each root's subtree becomes a *reuse chain group* — a set of
+   variants whose reuse sources all lie inside the group;
+3. groups are greedily bin-packed onto ``T`` workers by size (largest
+   first); oversized groups are split by depth-first order, keeping
+   each prefix self-contained (a depth-first prefix of a subtree is
+   closed under the parent relation);
+4. every worker runs its variants serially with a
+   :class:`~repro.exec.serial.SerialExecutor`, reusing within its own
+   group only.
+
+Cross-group reuse is forfeited — the documented price of process
+isolation — but every group still enjoys full intra-chain reuse, and
+workers scale across cores for real.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.core.reuse import POLICIES
+from repro.core.scheduling import PlannedVariant, SchedGreedy, dependency_tree
+from repro.core.variants import Variant, VariantSet, sort_key
+from repro.exec.base import BaseExecutor, BatchResult, IndexPair
+from repro.exec.cost import CostModel
+from repro.exec.serial import SerialExecutor
+from repro.metrics.records import BatchRunRecord
+
+__all__ = ["ProcessPoolExecutorBackend", "partition_reuse_chains"]
+
+
+def partition_reuse_chains(
+    variants: VariantSet, n_workers: int
+) -> list[list[Variant]]:
+    """Split a variant set into <= ``n_workers`` reuse-closed groups.
+
+    Each returned group is ordered depth-first along the dependency
+    tree, so executing it serially front-to-back always finds each
+    variant's reuse source already completed (when the source is in the
+    group).  Groups are balanced greedily by variant count.
+    """
+    tree = dependency_tree(variants)
+    subtrees: list[list[Variant]] = []
+    roots = sorted(
+        (v for v, d in tree.nodes(data=True) if d.get("root")), key=sort_key
+    )
+    for root in roots:
+        order: list[Variant] = []
+        stack = [root]
+        while stack:
+            v = stack.pop()
+            order.append(v)
+            stack.extend(sorted(tree.successors(v), key=sort_key, reverse=True))
+        subtrees.append(order)
+
+    # Split any subtree bigger than an even share into contiguous
+    # depth-first prefixes; a prefix cut leaves the suffix's first
+    # variant without its in-group parent, so the suffix simply starts
+    # from scratch — correct, just less reuse.
+    target = max(1, -(-len(variants) // n_workers))  # ceil division
+    pieces: list[list[Variant]] = []
+    for st in subtrees:
+        for i in range(0, len(st), target):
+            pieces.append(st[i : i + target])
+
+    # Greedy largest-first bin packing onto the workers.
+    pieces.sort(key=len, reverse=True)
+    bins: list[list[Variant]] = [[] for _ in range(min(n_workers, len(pieces)))]
+    for piece in pieces:
+        smallest = min(bins, key=len)
+        smallest.extend(piece)
+    return [b for b in bins if b]
+
+
+def _worker(
+    points: np.ndarray,
+    variant_tuples: list[tuple[float, int]],
+    reuse_policy_name: str,
+    low_res_r: int,
+    cost_model: CostModel,
+    t0: float,
+):
+    """Run one group serially inside a worker process."""
+    group = _ChainSerialExecutor(
+        order=[Variant(e, m) for e, m in variant_tuples],
+        reuse_policy=POLICIES[reuse_policy_name],
+        low_res_r=low_res_r,
+        cost_model=cost_model,
+    )
+    vset = VariantSet(Variant(e, m) for e, m in variant_tuples)
+    start = time.time() - t0
+    batch = group.run(points, vset)
+    finish = time.time() - t0
+    # Re-stamp the work-unit timestamps onto the worker's wall window.
+    span = finish - start
+    total = batch.record.makespan or 1.0
+    for rec in batch.record.records:
+        rec.start = start + rec.start / total * span
+        rec.finish = start + rec.finish / total * span
+        rec.response_time = rec.finish - rec.start
+    return batch
+
+
+class _ChainSerialExecutor(SerialExecutor):
+    """Serial executor that processes variants in a fixed explicit order."""
+
+    def __init__(self, order: list[Variant], **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._order = order
+        self.scheduler = _FixedOrderScheduler(order)
+
+
+class _FixedOrderScheduler(SchedGreedy):
+    """SCHEDGREEDY source selection, but a caller-specified queue order."""
+
+    name = "SCHEDGREEDY(chain)"
+
+    def __init__(self, order: list[Variant]) -> None:
+        self._order = list(order)
+
+    def plan(self, vset: VariantSet) -> list[PlannedVariant]:
+        return [PlannedVariant(v) for v in self._order]
+
+
+class ProcessPoolExecutorBackend(BaseExecutor):
+    """Multi-process executor over statically partitioned reuse chains."""
+
+    name = "processes"
+
+    def _run(
+        self, points: np.ndarray, variants: VariantSet, indexes: IndexPair
+    ) -> BatchResult:
+        del indexes  # each worker builds its own (trees are not picklable-cheap)
+        groups = partition_reuse_chains(variants, self.n_threads)
+        t0 = time.time()
+        results = {}
+        records = []
+        with ProcessPoolExecutor(max_workers=len(groups)) as pool:
+            futures = [
+                pool.submit(
+                    _worker,
+                    points,
+                    [v.as_tuple() for v in group],
+                    self.reuse_policy.name,
+                    self.low_res_r,
+                    self.cost_model,
+                    t0,
+                )
+                for group in groups
+            ]
+            for wid, fut in enumerate(futures):
+                batch = fut.result()
+                for rec in batch.record.records:
+                    rec.thread_id = wid
+                    records.append(rec)
+                results.update(batch.results)
+        makespan = max((r.finish for r in records), default=0.0)
+        batch_record = BatchRunRecord(
+            records=records, n_threads=self.n_threads, makespan=makespan
+        )
+        return BatchResult(results=results, record=batch_record)

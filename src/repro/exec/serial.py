@@ -1,0 +1,62 @@
+"""Serial executor: one worker processes the planned queue in order.
+
+This is the configuration of the paper's Section V-D reuse study
+(``T = 1``): every variant except the first can reuse any variant
+before it in the schedule, isolating the data-reuse gains from
+parallel-execution effects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.scheduling import CompletedRegistry
+from repro.core.variants import VariantSet
+from repro.exec._runner import execute_variant
+from repro.exec.base import BaseExecutor, BatchResult, IndexPair
+from repro.metrics.records import BatchRunRecord
+
+__all__ = ["SerialExecutor"]
+
+
+class SerialExecutor(BaseExecutor):
+    """Run variants one after another on the calling thread.
+
+    ``n_threads`` is forced to 1; response times use the work-unit cost
+    model at concurrency 1, and the makespan is their plain sum.
+    """
+
+    name = "serial"
+
+    def __init__(self, **kwargs) -> None:
+        kwargs["n_threads"] = 1
+        super().__init__(**kwargs)
+
+    def _run(
+        self, points: np.ndarray, variants: VariantSet, indexes: IndexPair
+    ) -> BatchResult:
+        registry = CompletedRegistry()
+        results = {}
+        records = []
+        clock = 0.0
+        for planned in self.scheduler.plan(variants):
+            result, record = execute_variant(
+                points,
+                planned,
+                variants,
+                indexes,
+                self.scheduler,
+                self.reuse_policy,
+                registry,
+                self.cost_model,
+                concurrency=1,
+            )
+            record.start = clock
+            clock += record.response_time
+            record.finish = clock
+            record.thread_id = 0
+            registry.add(planned.variant, result, finished_at=clock)
+            results[planned.variant] = result
+            records.append(record)
+        batch = BatchRunRecord(records=records, n_threads=1, makespan=clock)
+        return BatchResult(results=results, record=batch)

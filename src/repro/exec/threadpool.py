@@ -1,0 +1,96 @@
+"""Real-thread executor: Algorithm 3's ``parallel for`` with a thread pool.
+
+Workers share the point database, both R-trees, and the completed-
+variant registry — the shared-memory execution model of the paper.  A
+variant starting on any thread may reuse whatever has *actually*
+completed at that moment, so the reuse pattern is wall-clock dependent
+(run-to-run nondeterministic), exactly like the paper's OpenMP
+implementation.
+
+Honesty note (DESIGN.md substitutions): CPython's GIL serializes the
+Python-level parts of the clustering loop; only the vectorized NumPy
+kernels overlap.  Thread scaling here is therefore far below the
+paper's C++ results — measuring *that* is the point of the executor-
+comparison ablation bench.  Use :class:`~repro.exec.simulated.
+SimulatedExecutor` for figure reproduction and
+:class:`~repro.exec.procpool.ProcessPoolExecutorBackend` for genuine
+parallel speedups.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.core.scheduling import CompletedRegistry, PlannedVariant
+from repro.core.variants import VariantSet
+from repro.exec._runner import execute_variant
+from repro.exec.base import BaseExecutor, BatchResult, IndexPair
+from repro.metrics.records import BatchRunRecord
+
+__all__ = ["ThreadPoolExecutorBackend"]
+
+
+class ThreadPoolExecutorBackend(BaseExecutor):
+    """Shared-memory thread pool over the planned variant queue."""
+
+    name = "threads"
+
+    def _run(
+        self, points: np.ndarray, variants: VariantSet, indexes: IndexPair
+    ) -> BatchResult:
+        plan = self.scheduler.plan(variants)
+        registry = CompletedRegistry()
+        queue_lock = threading.Lock()
+        results_lock = threading.Lock()
+        results = {}
+        records = []
+        next_item = 0
+        t0 = time.perf_counter()
+
+        def worker(tid: int) -> None:
+            nonlocal next_item
+            while True:
+                with queue_lock:
+                    if next_item >= len(plan):
+                        return
+                    planned: PlannedVariant = plan[next_item]
+                    next_item += 1
+                start = time.perf_counter() - t0
+                result, record = execute_variant(
+                    points,
+                    planned,
+                    variants,
+                    indexes,
+                    self.scheduler,
+                    self.reuse_policy,
+                    registry,
+                    self.cost_model,
+                    concurrency=self.n_threads,
+                    before=None,  # wall clock: anything completed is eligible
+                )
+                finish = time.perf_counter() - t0
+                record.start = start
+                record.finish = finish
+                record.response_time = finish - start
+                record.thread_id = tid
+                registry.add(planned.variant, result, finished_at=finish)
+                with results_lock:
+                    results[planned.variant] = result
+                    records.append(record)
+
+        threads = [
+            threading.Thread(target=worker, args=(tid,), name=f"variant-worker-{tid}")
+            for tid in range(self.n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        makespan = max((r.finish for r in records), default=0.0)
+        batch = BatchRunRecord(
+            records=records, n_threads=self.n_threads, makespan=makespan
+        )
+        return BatchResult(results=results, record=batch)

@@ -1,0 +1,55 @@
+"""Spatial indexing substrate.
+
+The paper's central indexing idea (Section IV-A) is an R-tree whose
+leaf minimum bounding boxes (MBBs) hold ``r`` points each.  ``r`` is a
+memory/compute dial:
+
+* ``r = 1`` — one point per MBB: exact search, deep tree, many node
+  visits (memory-bound; does not scale across threads).
+* ``r ~ 70-110`` — shallow tree, few node visits, more candidate points
+  to filter (compute-bound; scales well and is SIMD/NumPy friendly).
+
+Two trees are used by VariantDBSCAN: ``T_high`` (r = 1) for
+whole-cluster MBB sweeps and ``T_low`` (large r) for epsilon-
+neighborhood searches.
+
+Provided indexes, all sharing the :class:`SpatialIndex` query contract:
+
+* :class:`~repro.index.rtree.RTree` — STR bulk-loaded, array-backed.
+* :class:`~repro.index.brute.BruteForceIndex` — linear scan; the
+  reference used for correctness tests and the paper's baseline.
+* :class:`~repro.index.grid.UniformGridIndex` — uniform-cell comparator
+  used by the ablation benchmarks (not in the paper).
+* :class:`~repro.index.kdtree.KDTree` — median-split k-d tree, a third
+  ablation comparator with a ``leaf_size`` dial analogous to ``r``.
+"""
+
+from repro.index.base import SpatialIndex
+from repro.index.binsort import binsort_order
+from repro.index.brute import BruteForceIndex
+from repro.index.grid import UniformGridIndex
+from repro.index.kdtree import KDTree
+from repro.index.mbb import (
+    mbb_of_points,
+    augment_mbb,
+    point_query_mbb,
+    mbbs_overlap,
+    mbb_area,
+    mbb_contains_points,
+)
+from repro.index.rtree import RTree
+
+__all__ = [
+    "SpatialIndex",
+    "RTree",
+    "BruteForceIndex",
+    "UniformGridIndex",
+    "KDTree",
+    "binsort_order",
+    "mbb_of_points",
+    "augment_mbb",
+    "point_query_mbb",
+    "mbbs_overlap",
+    "mbb_area",
+    "mbb_contains_points",
+]

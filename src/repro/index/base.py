@@ -1,0 +1,79 @@
+"""The query contract shared by every spatial index.
+
+Algorithm 2 in the paper splits an epsilon-neighborhood search into
+three steps: (1) search the index for MBBs overlapping the query box,
+(2) look up the candidate points inside those MBBs, and (3) filter the
+candidates by exact distance.  The index is responsible for steps 1-2
+and reports *candidates*; the exact filter lives in
+:mod:`repro.core.neighbors` so that the candidate/filter trade-off the
+paper studies stays observable.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.metrics.counters import WorkCounters
+
+
+class SpatialIndex(abc.ABC):
+    """Abstract base class for 2-D point indexes.
+
+    Concrete indexes are built once over an immutable point database and
+    then queried concurrently; every implementation here is read-only
+    after construction, so queries are thread-safe by construction
+    (no interior mutability besides caller-owned counters).
+
+    Attributes
+    ----------
+    points:
+        The ``(n, 2)`` float64 database the index was built over.  The
+        index keeps a reference, not a copy.
+    """
+
+    points: np.ndarray
+
+    @property
+    def n_points(self) -> int:
+        """Number of indexed points."""
+        return int(self.points.shape[0])
+
+    @abc.abstractmethod
+    def query_candidates(
+        self, mbb: np.ndarray, counters: Optional[WorkCounters] = None
+    ) -> np.ndarray:
+        """Return indices of points that *may* intersect the query MBB.
+
+        The result is a superset of the points inside ``mbb``: every
+        point whose containing index cell/MBB overlaps ``mbb`` is
+        returned.  Exactness depends on the index resolution (an R-tree
+        with ``r = 1`` is exact up to the box test).  Node visits are
+        tallied into ``counters.index_nodes_visited`` when counters are
+        given; candidate accounting is the caller's job.
+
+        Returns an ``int64`` array of point indices (unsorted, without
+        duplicates).
+        """
+
+    def query_rect(
+        self, mbb: np.ndarray, counters: Optional[WorkCounters] = None
+    ) -> np.ndarray:
+        """Return indices of points lying exactly inside the closed MBB.
+
+        Convenience used by the whole-cluster sweep of Algorithm 3
+        line 11.  Default implementation fetches candidates and applies
+        a vectorized containment filter, charging the examined
+        candidates to ``counters``.
+        """
+        from repro.index.mbb import mbb_contains_points
+
+        cand = self.query_candidates(mbb, counters)
+        if cand.size == 0:
+            return cand
+        if counters is not None:
+            counters.candidates_examined += int(cand.size)
+        mask = mbb_contains_points(mbb, self.points[cand])
+        return cand[mask]

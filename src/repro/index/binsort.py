@@ -1,0 +1,50 @@
+"""Pre-index bin sorting (paper Section IV-A, last paragraph).
+
+Before packing points into R-tree leaves the paper sorts the database
+into unit-width bins along x and y.  The effect is spatial locality:
+consecutive points in the sorted order are spatially close, so packing
+``r`` consecutive points per leaf yields small, tight leaf MBBs, which
+keeps the candidate sets of large-``r`` trees from exploding.
+
+We implement the sort as a stable lexicographic sort on
+``(floor(x / w), floor(y / w), x, y)`` with configurable bin width
+``w`` (the paper uses ``w = 1``).  The x/y tie-breakers make the order
+fully deterministic even for points sharing a bin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def binsort_order(points: np.ndarray, bin_width: float = 1.0) -> np.ndarray:
+    """Return the permutation that bin-sorts ``points``.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` float64 coordinates.
+    bin_width:
+        Width of the square bins; must be > 0.  The paper uses unit
+        bins, which assumes coordinates on a roughly unit-grained scale
+        (TEC maps in degrees).  For other data scales pass a width
+        comparable to the expected epsilon values.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int64`` permutation ``order`` such that ``points[order]`` is
+        bin-sorted.  Applying the index to an empty database returns an
+        empty permutation.
+    """
+    if bin_width <= 0:
+        raise ValueError(f"bin_width must be > 0, got {bin_width!r}")
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    bx = np.floor(points[:, 0] / bin_width)
+    by = np.floor(points[:, 1] / bin_width)
+    # np.lexsort sorts by the *last* key first, so list keys minor-to-major.
+    order = np.lexsort((points[:, 1], points[:, 0], by, bx))
+    return order.astype(np.int64, copy=False)

@@ -1,0 +1,38 @@
+"""Brute-force "index": every point is a candidate for every query.
+
+This models the paper's no-index baseline (Section II-B: "a brute-force
+approach at this step would require examining all of the points in D"),
+giving DBSCAN its O(|D|^2) behaviour.  It is also the ground truth the
+test suite compares real indexes against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.index.base import SpatialIndex
+from repro.metrics.counters import WorkCounters
+from repro.util.validation import as_points_array
+
+
+class BruteForceIndex(SpatialIndex):
+    """Linear-scan candidate generator.
+
+    ``query_candidates`` always returns all ``n`` point indices; the
+    exact filtering cost therefore scales as ``O(n)`` per query.  One
+    "node visit" is charged per query (the scan itself is charged by the
+    caller as candidate examinations).
+    """
+
+    def __init__(self, points: np.ndarray) -> None:
+        self.points = as_points_array(points)
+        self._all = np.arange(self.points.shape[0], dtype=np.int64)
+
+    def query_candidates(
+        self, mbb: np.ndarray, counters: Optional[WorkCounters] = None
+    ) -> np.ndarray:
+        if counters is not None:
+            counters.index_nodes_visited += 1
+        return self._all

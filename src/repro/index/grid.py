@@ -1,0 +1,114 @@
+"""Uniform-grid index: the classic alternative to the paper's R-tree.
+
+Not part of the paper — included as an ablation baseline
+(``benchmarks/bench_ablation_index.py``) to quantify how much of the
+paper's Figure 4 gain comes from the R-tree specifically versus from
+*any* locality-preserving candidate generator.  The grid plays the same
+memory/compute trade as ``r``: the ``cell_width`` controls how many
+candidates a query fetches versus how many cells it touches.
+
+Implementation: cells are identified by ``(floor(x / w), floor(y / w))``
+and stored CSR-style — a lexicographic sort of cell keys plus an offsets
+array — so lookups are binary searches over flat arrays rather than
+dict probes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.index._ranges import ranges_to_indices
+from repro.index.base import SpatialIndex
+from repro.index.mbb import XMAX, XMIN, YMAX, YMIN
+from repro.metrics.counters import WorkCounters
+from repro.util.validation import as_points_array
+
+
+class UniformGridIndex(SpatialIndex):
+    """Fixed-width square grid over a 2-D point database.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` coordinates.
+    cell_width:
+        Side length of the square cells.  For epsilon-neighborhood
+        workloads, ``cell_width ~ eps`` touches at most a 3x3 block of
+        cells per query.
+    """
+
+    def __init__(self, points: np.ndarray, cell_width: float) -> None:
+        if cell_width <= 0:
+            raise ValueError(f"cell_width must be > 0, got {cell_width!r}")
+        self.points = as_points_array(points)
+        self.cell_width = float(cell_width)
+        n = self.points.shape[0]
+        if n == 0:
+            self._cell_keys = np.empty((0, 2), dtype=np.int64)
+            self._offsets = np.zeros(1, dtype=np.int64)
+            self._order = np.empty(0, dtype=np.int64)
+            return
+        cx = np.floor(self.points[:, 0] / self.cell_width).astype(np.int64)
+        cy = np.floor(self.points[:, 1] / self.cell_width).astype(np.int64)
+        order = np.lexsort((cy, cx))
+        cx_s, cy_s = cx[order], cy[order]
+        boundary = np.empty(n, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = (cx_s[1:] != cx_s[:-1]) | (cy_s[1:] != cy_s[:-1])
+        starts = np.flatnonzero(boundary)
+        self._cell_keys = np.column_stack([cx_s[starts], cy_s[starts]])
+        self._offsets = np.append(starts, n).astype(np.int64)
+        self._order = order.astype(np.int64)
+
+    @property
+    def n_cells(self) -> int:
+        """Number of non-empty cells."""
+        return int(self._cell_keys.shape[0])
+
+    def _cell_slot(self, cx: int, cy: int) -> int:
+        """Binary-search a cell key; return its slot or -1 if empty."""
+        keys = self._cell_keys
+        lo = int(np.searchsorted(keys[:, 0], cx, side="left"))
+        hi = int(np.searchsorted(keys[:, 0], cx, side="right"))
+        if lo == hi:
+            return -1
+        sub = keys[lo:hi, 1]
+        j = int(np.searchsorted(sub, cy, side="left"))
+        if j < sub.shape[0] and sub[j] == cy:
+            return lo + j
+        return -1
+
+    def query_candidates(
+        self, mbb: np.ndarray, counters: Optional[WorkCounters] = None
+    ) -> np.ndarray:
+        """All points in cells overlapping the query MBB.
+
+        Each cell probe (hit or miss) counts as one index-node visit:
+        a probe is one dependent memory lookup, the grid analogue of
+        touching a tree node.
+        """
+        if self._order.size == 0:
+            return np.empty(0, dtype=np.int64)
+        w = self.cell_width
+        cx0 = int(np.floor(mbb[XMIN] / w))
+        cx1 = int(np.floor(mbb[XMAX] / w))
+        cy0 = int(np.floor(mbb[YMIN] / w))
+        cy1 = int(np.floor(mbb[YMAX] / w))
+        slots = []
+        probes = 0
+        for cx in range(cx0, cx1 + 1):
+            for cy in range(cy0, cy1 + 1):
+                probes += 1
+                s = self._cell_slot(cx, cy)
+                if s >= 0:
+                    slots.append(s)
+        if counters is not None:
+            counters.index_nodes_visited += probes
+        if not slots:
+            return np.empty(0, dtype=np.int64)
+        slot_arr = np.asarray(slots, dtype=np.int64)
+        starts = self._offsets[slot_arr]
+        counts = self._offsets[slot_arr + 1] - starts
+        return self._order[ranges_to_indices(starts, counts)]

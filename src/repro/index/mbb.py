@@ -1,0 +1,103 @@
+"""Minimum bounding box (MBB) geometry.
+
+An MBB is a length-4 float64 vector ``[xmin, ymin, xmax, ymax]``; a
+*batch* of MBBs is an ``(m, 4)`` array with the same column order.  All
+operations here are vectorized over batches because the R-tree descent
+tests one query MBB against whole node levels at a time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Column indices within an MBB row.
+XMIN, YMIN, XMAX, YMAX = 0, 1, 2, 3
+
+
+def mbb_of_points(points: np.ndarray) -> np.ndarray:
+    """Return the tight MBB enclosing ``points`` (shape ``(n, 2)``, n >= 1).
+
+    Used by Algorithm 3 line 10 to bound a reused cluster before the
+    high-resolution sweep.
+    """
+    if points.ndim != 2 or points.shape[1] != 2 or points.shape[0] == 0:
+        raise ValueError(f"need a non-empty (n, 2) array, got shape {points.shape!r}")
+    mins = points.min(axis=0)
+    maxs = points.max(axis=0)
+    return np.array([mins[0], mins[1], maxs[0], maxs[1]], dtype=np.float64)
+
+
+def augment_mbb(mbb: np.ndarray, eps: float) -> np.ndarray:
+    """Grow an MBB outward by ``eps`` on every side.
+
+    Augmenting a cluster's MBB by the variant's epsilon guarantees that
+    every point within epsilon of *any* cluster member lies inside the
+    augmented box (paper Section IV-B).
+    """
+    out = np.asarray(mbb, dtype=np.float64).copy()
+    out[..., [XMIN, YMIN]] -= eps
+    out[..., [XMAX, YMAX]] += eps
+    return out
+
+
+def point_query_mbb(x: float, y: float, eps: float) -> np.ndarray:
+    """Build the query MBB for an epsilon-neighborhood search around a point.
+
+    This is the square ``[x - eps, x + eps] x [y - eps, y + eps]``
+    (paper Section IV-A); the circle of radius ``eps`` is inscribed in
+    it, so candidates returned by the index still need the exact
+    distance filter.
+    """
+    return np.array([x - eps, y - eps, x + eps, y + eps], dtype=np.float64)
+
+
+def mbbs_overlap(query: np.ndarray, boxes: np.ndarray) -> np.ndarray:
+    """Vectorized overlap test of one query MBB against a batch of MBBs.
+
+    Closed-interval semantics: boxes that merely touch count as
+    overlapping, matching the ``dist <= eps`` definition of the
+    epsilon-neighborhood.
+
+    Parameters
+    ----------
+    query:
+        Length-4 MBB.
+    boxes:
+        ``(m, 4)`` batch.
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean mask of length ``m``.
+    """
+    boxes = np.asarray(boxes, dtype=np.float64)
+    if boxes.ndim == 1:
+        boxes = boxes.reshape(1, 4)
+    return (
+        (boxes[:, XMIN] <= query[XMAX])
+        & (boxes[:, XMAX] >= query[XMIN])
+        & (boxes[:, YMIN] <= query[YMAX])
+        & (boxes[:, YMAX] >= query[YMIN])
+    )
+
+
+def mbb_area(mbb: np.ndarray) -> float:
+    """Area of an MBB; degenerate (point or line) boxes have area 0.
+
+    The CLUSDENSITY / CLUSPTSSQUARED reuse heuristics divide by this
+    area; callers clamp degenerate boxes to a small floor before
+    dividing (see :mod:`repro.core.reuse`).
+    """
+    mbb = np.asarray(mbb, dtype=np.float64)
+    return float(max(mbb[XMAX] - mbb[XMIN], 0.0) * max(mbb[YMAX] - mbb[YMIN], 0.0))
+
+
+def mbb_contains_points(mbb: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Boolean mask of ``points`` lying inside the (closed) MBB."""
+    points = np.asarray(points, dtype=np.float64)
+    return (
+        (points[:, 0] >= mbb[XMIN])
+        & (points[:, 0] <= mbb[XMAX])
+        & (points[:, 1] >= mbb[YMIN])
+        & (points[:, 1] <= mbb[YMAX])
+    )

@@ -1,0 +1,22 @@
+"""Measurement: work counters, per-variant run records, and cluster quality.
+
+The paper reports wall-clock response times on a 16-core Xeon.  A pure
+Python reproduction cannot match absolute times, so this package also
+provides *work counters* (:mod:`repro.metrics.counters`) that measure the
+quantities the paper's own analysis attributes speedups to — epsilon-
+neighborhood searches avoided, candidate points filtered, index nodes
+touched, and points reused — plus the per-point Jaccard quality metric
+of Januzaj et al. used in Section V-D (:mod:`repro.metrics.quality`).
+"""
+
+from repro.metrics.counters import WorkCounters
+from repro.metrics.quality import quality_score, per_point_quality
+from repro.metrics.records import VariantRunRecord, BatchRunRecord
+
+__all__ = [
+    "WorkCounters",
+    "quality_score",
+    "per_point_quality",
+    "VariantRunRecord",
+    "BatchRunRecord",
+]

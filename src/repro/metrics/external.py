@@ -1,0 +1,110 @@
+"""External clustering-validation indices.
+
+The paper's quality metric (:mod:`repro.metrics.quality`) compares two
+clusterings of the same database point-by-point.  For the *synthetic*
+dataset classes we additionally know the planted ground truth, so this
+module provides the standard external indices used to validate that
+DBSCAN parameterisations recover the planted structure:
+
+* :func:`contingency_table` — cluster-vs-cluster co-membership counts;
+* :func:`rand_index` and :func:`adjusted_rand_index` — pair-counting
+  agreement, chance-corrected in the ARI;
+* :func:`purity` — majority-vote accuracy of found clusters.
+
+Noise handling follows the common DBSCAN convention: each noise point
+is treated as its own singleton cluster, so labeling everything noise
+does not masquerade as perfect agreement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+__all__ = ["contingency_table", "rand_index", "adjusted_rand_index", "purity"]
+
+
+def _canonicalize(labels: np.ndarray) -> np.ndarray:
+    """Map labels to dense non-negative ids; each noise point (-1)
+    becomes a fresh singleton id."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValidationError("labels must be 1-D")
+    out = np.empty_like(labels)
+    clustered = labels >= 0
+    if clustered.any():
+        uniq, inv = np.unique(labels[clustered], return_inverse=True)
+        out[clustered] = inv
+        base = uniq.size
+    else:
+        base = 0
+    n_noise = int((~clustered).sum())
+    out[~clustered] = base + np.arange(n_noise)
+    return out
+
+
+def contingency_table(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Dense contingency table of two label vectors (noise = singletons)."""
+    a = _canonicalize(a)
+    b = _canonicalize(b)
+    if a.shape != b.shape:
+        raise ValidationError("label vectors must have equal length")
+    ka = int(a.max()) + 1 if a.size else 0
+    kb = int(b.max()) + 1 if b.size else 0
+    table = np.zeros((ka, kb), dtype=np.int64)
+    np.add.at(table, (a, b), 1)
+    return table
+
+
+def _comb2(x: np.ndarray) -> np.ndarray:
+    return x * (x - 1) / 2.0
+
+
+def rand_index(a: np.ndarray, b: np.ndarray) -> float:
+    """Plain Rand index in [0, 1]: fraction of point pairs on which the
+    two labelings agree (together-together or apart-apart)."""
+    t = contingency_table(a, b)
+    n = t.sum()
+    if n < 2:
+        return 1.0
+    sum_ij = _comb2(t).sum()
+    sum_a = _comb2(t.sum(axis=1)).sum()
+    sum_b = _comb2(t.sum(axis=0)).sum()
+    total = _comb2(np.array([n]))[0]
+    disagree = sum_a + sum_b - 2 * sum_ij
+    return float((total - disagree) / total)
+
+
+def adjusted_rand_index(a: np.ndarray, b: np.ndarray) -> float:
+    """Hubert-Arabie adjusted Rand index (1 = identical, ~0 = chance).
+
+    Can be slightly negative for worse-than-chance agreement.
+    """
+    t = contingency_table(a, b)
+    n = t.sum()
+    if n < 2:
+        return 1.0
+    sum_ij = _comb2(t).sum()
+    sum_a = _comb2(t.sum(axis=1)).sum()
+    sum_b = _comb2(t.sum(axis=0)).sum()
+    total = _comb2(np.array([n]))[0]
+    expected = sum_a * sum_b / total
+    max_index = (sum_a + sum_b) / 2.0
+    if max_index == expected:
+        return 1.0
+    return float((sum_ij - expected) / (max_index - expected))
+
+
+def purity(found: np.ndarray, truth: np.ndarray) -> float:
+    """Majority-vote purity of ``found`` clusters against ``truth``.
+
+    Each found cluster votes for its dominant true class; purity is the
+    fraction of points covered by those votes.  Noise singletons are
+    trivially pure, so interpret alongside the noise fraction.
+    """
+    t = contingency_table(found, truth)
+    n = t.sum()
+    if n == 0:
+        return 1.0
+    return float(t.max(axis=1).sum() / n)

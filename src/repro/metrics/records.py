@@ -1,0 +1,161 @@
+"""Per-variant and per-batch run records.
+
+These are the rows behind every figure in the paper's evaluation:
+Figure 5 plots per-variant response time and reuse fraction
+(:class:`VariantRunRecord`), Figures 7-8 aggregate whole batches
+(:class:`BatchRunRecord`), and Figure 9 draws per-thread timelines from
+the records' start/finish timestamps.
+
+"Response time" is whichever clock the executor used — wall seconds for
+the wall-clock executors, deterministic work-units for the simulated
+executor — and records carry both where available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.variants import Variant
+from repro.metrics.counters import WorkCounters
+
+__all__ = ["VariantRunRecord", "BatchRunRecord"]
+
+
+@dataclass
+class VariantRunRecord:
+    """Everything measured about one variant execution.
+
+    Attributes
+    ----------
+    variant:
+        The parameters that ran.
+    reused_from:
+        Source variant whose clusters seeded this run (None = scratch).
+    points_reused / reuse_fraction:
+        Points inherited without epsilon searches (Figure 5's right
+        axis is ``reuse_fraction``).
+    response_time:
+        Duration in the executor's clock (work-units for the simulated
+        executor, seconds otherwise).
+    wall_time:
+        Wall seconds actually spent computing the result.
+    start / finish:
+        Executor-clock timestamps (drive the Figure 9 makespan bars).
+    thread_id:
+        Which of the ``T`` workers ran the variant.
+    n_clusters / n_noise:
+        Output summary.
+    counters:
+        Work tallies for the run.
+    """
+
+    variant: Variant
+    reused_from: Optional[Variant] = None
+    points_reused: int = 0
+    reuse_fraction: float = 0.0
+    response_time: float = 0.0
+    wall_time: float = 0.0
+    start: float = 0.0
+    finish: float = 0.0
+    thread_id: int = 0
+    n_clusters: int = 0
+    n_noise: int = 0
+    counters: WorkCounters = field(default_factory=WorkCounters)
+
+    @property
+    def from_scratch(self) -> bool:
+        """True when the variant was clustered without reusing results."""
+        return self.reused_from is None
+
+
+@dataclass
+class BatchRunRecord:
+    """Aggregate record of one full variant-set execution.
+
+    Attributes
+    ----------
+    records:
+        One :class:`VariantRunRecord` per variant, in completion order.
+    n_threads:
+        Worker count ``T``.
+    makespan:
+        Executor-clock duration from batch start to last finish.
+    scheduler / reuse_policy / dataset / executor:
+        Configuration labels for reporting.
+    """
+
+    records: list[VariantRunRecord]
+    n_threads: int = 1
+    makespan: float = 0.0
+    scheduler: str = ""
+    reuse_policy: str = ""
+    dataset: str = ""
+    executor: str = ""
+
+    @property
+    def n_variants(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_response_time(self) -> float:
+        """Sum of per-variant durations (== makespan only when T = 1)."""
+        return float(sum(r.response_time for r in self.records))
+
+    @property
+    def total_wall_time(self) -> float:
+        return float(sum(r.wall_time for r in self.records))
+
+    @property
+    def n_from_scratch(self) -> int:
+        """Variants clustered without reuse (blue bars of Figure 9)."""
+        return sum(1 for r in self.records if r.from_scratch)
+
+    @property
+    def average_reuse_fraction(self) -> float:
+        """Mean per-variant reuse fraction (Figure 7b's y-axis)."""
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.reuse_fraction for r in self.records]))
+
+    @property
+    def lower_bound_makespan(self) -> float:
+        """Perfect-packing bound: total work divided over ``T`` threads.
+
+        The black line of Figure 9 — the makespan if no thread ever
+        idled.  Actual makespan / this bound - 1 is the "slowdown"
+        the paper quotes (13.5 % for SCHEDGREEDY, 33.0 % for
+        SCHEDMINPTS in the Figure 9 scenario).
+        """
+        if self.n_threads <= 0:
+            return 0.0
+        return self.total_response_time / self.n_threads
+
+    @property
+    def slowdown_vs_lower_bound(self) -> float:
+        """Fractional idle overhead: ``makespan / lower_bound - 1``."""
+        lb = self.lower_bound_makespan
+        if lb <= 0:
+            return 0.0
+        return self.makespan / lb - 1.0
+
+    def thread_timelines(self) -> dict[int, list[VariantRunRecord]]:
+        """Records grouped by worker and ordered by start time (Figure 9)."""
+        lanes: dict[int, list[VariantRunRecord]] = {}
+        for r in self.records:
+            lanes.setdefault(r.thread_id, []).append(r)
+        for lane in lanes.values():
+            lane.sort(key=lambda r: r.start)
+        return dict(sorted(lanes.items()))
+
+    def speedup_over(self, reference_total: float) -> float:
+        """Relative speedup vs a reference implementation's total time.
+
+        The paper's figures all plot
+        ``reference response time / VariantDBSCAN makespan``.
+        """
+        if self.makespan <= 0:
+            return float("inf") if reference_total > 0 else 1.0
+        return reference_total / self.makespan

@@ -1,0 +1,29 @@
+"""Streaming analysis: variant monitoring and feature tracking over epochs.
+
+The paper's application pull (Sections I and VI) is *monitoring*: TEC
+measurements arrive continuously and clusterings under many parameter
+hypotheses must stay fresh enough to drive early warnings.  This
+package combines the reproduction's two reuse axes:
+
+* :class:`~repro.stream.monitor.VariantMonitor` — maintains one
+  :class:`~repro.core.incremental.IncrementalDBSCAN` per variant, so a
+  measurement batch updates *every* parameterisation incrementally
+  (reuse across time) instead of re-running the whole variant batch
+  per epoch (which VariantDBSCAN already accelerates via reuse across
+  parameters — the two compose: re-baselining uses a variant batch,
+  steady-state uses incremental updates).
+* :mod:`repro.stream.tracking` — associates clusters across epochs and
+  estimates feature drift velocities, the "propagates in a wave-like
+  fashion" signature of Traveling Ionospheric Disturbances.
+"""
+
+from repro.stream.monitor import EpochSummary, VariantMonitor
+from repro.stream.tracking import ClusterTrack, TrackUpdate, ClusterTracker
+
+__all__ = [
+    "VariantMonitor",
+    "EpochSummary",
+    "ClusterTracker",
+    "ClusterTrack",
+    "TrackUpdate",
+]

@@ -1,0 +1,237 @@
+"""Cluster tracking across epochs: TID propagation analysis.
+
+The science payoff of the paper's pipeline is watching high-TEC
+features *move*: Traveling Ionospheric Disturbances propagate as
+wavefronts, and their speed/direction is the physical signal (tsunami
+and earthquake signatures travel at characteristic velocities).  This
+module links the clusters found at successive epochs into *tracks* and
+estimates per-track drift velocities.
+
+Association model
+-----------------
+Across epochs the point set changes, so identity must come from
+geometry: a cluster at epoch ``t`` matches a cluster at ``t+1`` when
+their eps-augmented MBBs overlap and their centroids are within a
+gating distance.  Matching is greedy on a combined score (centroid
+distance normalized by gate, penalized by size mismatch), which is the
+standard lightweight alternative to full Hungarian assignment and is
+adequate for well-separated geophysical features.  Unmatched new
+clusters open tracks; unmatched old tracks coast for ``max_misses``
+epochs and are then closed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.result import ClusteringResult
+from repro.index.mbb import augment_mbb, mbbs_overlap
+from repro.util.errors import ValidationError
+from repro.util.validation import as_points_array
+
+__all__ = ["ClusterTrack", "TrackUpdate", "ClusterTracker"]
+
+
+@dataclass
+class _Observation:
+    epoch: int
+    centroid: np.ndarray
+    mbb: np.ndarray
+    size: int
+
+
+@dataclass
+class ClusterTrack:
+    """One feature followed across epochs.
+
+    Attributes
+    ----------
+    track_id:
+        Stable identifier.
+    observations:
+        Per-epoch centroid/MBB/size snapshots (appended in epoch order).
+    misses:
+        Consecutive epochs without a match (coasting).
+    """
+
+    track_id: int
+    observations: list[_Observation] = field(default_factory=list)
+    misses: int = 0
+
+    @property
+    def last(self) -> _Observation:
+        return self.observations[-1]
+
+    @property
+    def length(self) -> int:
+        """Number of epochs the track was actually observed."""
+        return len(self.observations)
+
+    def velocity(self) -> Optional[np.ndarray]:
+        """Mean drift per epoch, least-squares over the track's history.
+
+        Returns ``None`` for single-observation tracks.  Units are
+        coordinate units (degrees for TEC data) per epoch.
+        """
+        if len(self.observations) < 2:
+            return None
+        t = np.array([o.epoch for o in self.observations], dtype=np.float64)
+        c = np.vstack([o.centroid for o in self.observations])
+        t = t - t.mean()
+        denom = float((t**2).sum())
+        if denom == 0:
+            return None
+        return (t[:, None] * (c - c.mean(axis=0))).sum(axis=0) / denom
+
+    def speed(self) -> Optional[float]:
+        v = self.velocity()
+        return None if v is None else float(np.linalg.norm(v))
+
+
+@dataclass
+class TrackUpdate:
+    """Outcome of feeding one epoch to the tracker."""
+
+    epoch: int
+    matched: list[ClusterTrack]
+    opened: list[ClusterTrack]
+    closed: list[ClusterTrack]
+
+
+class ClusterTracker:
+    """Greedy geometric tracker over per-epoch clusterings.
+
+    Parameters
+    ----------
+    gate:
+        Maximum centroid displacement per epoch to allow a match
+        (coordinate units).
+    overlap_eps:
+        MBBs are augmented by this before the overlap test — set it to
+        the clustering eps so touching features connect.
+    min_size:
+        Ignore clusters smaller than this (measurement specks).
+    max_misses:
+        Coasting epochs before an unmatched track is closed.
+    """
+
+    def __init__(
+        self,
+        gate: float = 3.0,
+        *,
+        overlap_eps: float = 0.5,
+        min_size: int = 10,
+        max_misses: int = 1,
+    ) -> None:
+        if gate <= 0:
+            raise ValidationError(f"gate must be > 0, got {gate}")
+        self.gate = float(gate)
+        self.overlap_eps = float(overlap_eps)
+        self.min_size = int(min_size)
+        self.max_misses = int(max_misses)
+        self.active: list[ClusterTrack] = []
+        self.closed: list[ClusterTrack] = []
+        self._next_id = 0
+        self._epoch = -1
+
+    # ------------------------------------------------------------------
+    def update(self, points: np.ndarray, result: ClusteringResult) -> TrackUpdate:
+        """Associate one epoch's clusters with the active tracks."""
+        points = as_points_array(points)
+        self._epoch += 1
+        obs = self._observations(points, result)
+
+        # score all (track, observation) pairs inside the gate
+        pairs: list[tuple[float, int, int]] = []
+        for ti, track in enumerate(self.active):
+            pred = track.last.centroid
+            for oi, o in enumerate(obs):
+                dist = float(np.linalg.norm(o.centroid - pred))
+                if dist > self.gate:
+                    continue
+                if not mbbs_overlap(
+                    augment_mbb(track.last.mbb, self.overlap_eps),
+                    augment_mbb(o.mbb, self.overlap_eps).reshape(1, 4),
+                )[0]:
+                    continue
+                size_ratio = min(track.last.size, o.size) / max(track.last.size, o.size)
+                score = dist / self.gate + (1.0 - size_ratio)
+                pairs.append((score, ti, oi))
+
+        pairs.sort(key=lambda x: x[0])
+        matched_tracks: set[int] = set()
+        matched_obs: set[int] = set()
+        matched: list[ClusterTrack] = []
+        for _, ti, oi in pairs:
+            if ti in matched_tracks or oi in matched_obs:
+                continue
+            matched_tracks.add(ti)
+            matched_obs.add(oi)
+            track = self.active[ti]
+            track.observations.append(obs[oi])
+            track.misses = 0
+            matched.append(track)
+
+        opened: list[ClusterTrack] = []
+        for oi, o in enumerate(obs):
+            if oi in matched_obs:
+                continue
+            track = ClusterTrack(track_id=self._next_id, observations=[o])
+            self._next_id += 1
+            self.active.append(track)
+            opened.append(track)
+
+        closed_now: list[ClusterTrack] = []
+        still_active: list[ClusterTrack] = []
+        opened_ids = {t.track_id for t in opened}
+        for ti, track in enumerate(self.active):
+            if ti in matched_tracks or track.track_id in opened_ids:
+                still_active.append(track)
+                continue
+            track.misses += 1
+            if track.misses > self.max_misses:
+                closed_now.append(track)
+            else:
+                still_active.append(track)
+        self.active = still_active
+        self.closed.extend(closed_now)
+        return TrackUpdate(
+            epoch=self._epoch, matched=matched, opened=opened, closed=closed_now
+        )
+
+    # ------------------------------------------------------------------
+    def _observations(
+        self, points: np.ndarray, result: ClusteringResult
+    ) -> list[_Observation]:
+        obs = []
+        sizes = result.cluster_sizes()
+        members = result.cluster_members()
+        mbbs = result.cluster_mbbs(points) if result.n_clusters else None
+        for c in range(result.n_clusters):
+            if sizes[c] < self.min_size:
+                continue
+            pts = points[members[c]]
+            obs.append(
+                _Observation(
+                    epoch=self._epoch,
+                    centroid=pts.mean(axis=0),
+                    mbb=mbbs[c],
+                    size=int(sizes[c]),
+                )
+            )
+        return obs
+
+    def tracks(self, min_length: int = 1) -> list[ClusterTrack]:
+        """Active + closed tracks with at least ``min_length`` observations."""
+        return [
+            t for t in (self.active + self.closed) if t.length >= min_length
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterTracker(active={len(self.active)}, closed={len(self.closed)}, "
+            f"epoch={self._epoch})"
+        )

@@ -1,0 +1,35 @@
+"""Shared utilities: validation, RNG handling, timing, and errors.
+
+These helpers are deliberately small and dependency-free so that every
+other subpackage (``repro.index``, ``repro.core``, ``repro.exec``,
+``repro.data``) can import them without cycles.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    ValidationError,
+    ReuseCriteriaError,
+    SchedulingError,
+)
+from repro.util.rng import resolve_rng, spawn_rngs
+from repro.util.timing import Stopwatch
+from repro.util.validation import (
+    as_points_array,
+    check_eps,
+    check_minpts,
+    check_positive_int,
+)
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "ReuseCriteriaError",
+    "SchedulingError",
+    "resolve_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "as_points_array",
+    "check_eps",
+    "check_minpts",
+    "check_positive_int",
+]

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing unrelated bugs (``except ReproError``).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input failed validation (bad shape, dtype, or out-of-range value).
+
+    Inherits :class:`ValueError` so generic numeric code that expects
+    ``ValueError`` for bad arguments keeps working.
+    """
+
+
+class ReuseCriteriaError(ReproError):
+    """A variant attempted to reuse results that violate the inclusion criteria.
+
+    The inclusion criteria (paper Section IV-B) require that variant
+    ``v_i`` only reuses variant ``v_j`` when ``v_i.eps >= v_j.eps`` and
+    ``v_i.minpts <= v_j.minpts``.  Violating them would shrink clusters,
+    which the incremental expansion of VariantDBSCAN cannot express.
+    """
+
+
+class SchedulingError(ReproError):
+    """The variant scheduler reached an inconsistent state.
+
+    Raised, e.g., when an executor asks for the next variant after all
+    variants completed, or when a completed-variant registry is asked
+    about a variant it never saw.
+    """
+
+
+class IndexError_(ReproError):
+    """A spatial index was queried before being built or with bad geometry."""

@@ -1,0 +1,62 @@
+"""Wall-clock measurement helpers.
+
+The figure-reproduction benches mostly use the deterministic work-unit
+clock from :mod:`repro.exec.cost`, but wall-clock timing is still needed
+for pytest-benchmark runs and for sanity-checking that the work-unit
+model tracks reality.  :class:`Stopwatch` is a tiny re-entrant timer
+built on :func:`time.perf_counter`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch.
+
+    Examples
+    --------
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     _ = sum(range(1000))
+    >>> sw.elapsed >= 0.0
+    True
+    >>> sw.laps
+    1
+    """
+
+    elapsed: float = 0.0
+    laps: int = 0
+    _t0: float = field(default=0.0, repr=False)
+    _running: bool = field(default=False, repr=False)
+
+    def start(self) -> "Stopwatch":
+        if self._running:
+            raise RuntimeError("Stopwatch already running")
+        self._t0 = time.perf_counter()
+        self._running = True
+        return self
+
+    def stop(self) -> float:
+        """Stop and return the duration of this lap in seconds."""
+        if not self._running:
+            raise RuntimeError("Stopwatch is not running")
+        lap = time.perf_counter() - self._t0
+        self.elapsed += lap
+        self.laps += 1
+        self._running = False
+        return lap
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.laps = 0
+        self._running = False
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,84 @@
+"""Input validation shared across the library.
+
+The clustering kernels are structure-of-arrays NumPy code; they assume a
+C-contiguous ``(n, 2)`` ``float64`` point array.  Centralizing the
+coercion here keeps every public entry point consistent and keeps the
+hot paths free of per-call checks.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+
+def as_points_array(points: Any, *, copy: bool = False) -> np.ndarray:
+    """Coerce ``points`` to a C-contiguous ``(n, 2)`` float64 array.
+
+    Accepts any array-like of 2-D coordinates.  A zero-point database is
+    legal (DBSCAN over it yields no clusters); ragged or wrongly shaped
+    input raises :class:`ValidationError`.
+
+    Parameters
+    ----------
+    points:
+        Array-like of shape ``(n, 2)``.
+    copy:
+        Force a copy even when the input already satisfies the layout.
+        Use when the caller will mutate the result.
+    """
+    try:
+        arr = np.asarray(points, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"points are not coercible to float64: {exc}") from exc
+    if arr.ndim == 1 and arr.size == 0:
+        arr = arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValidationError(
+            f"points must have shape (n, 2); got {arr.shape!r}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError("points must be finite (no NaN/inf coordinates)")
+    out = np.ascontiguousarray(arr)
+    if copy and out is arr and arr is points:
+        out = out.copy()
+    return out
+
+
+def check_eps(eps: float) -> float:
+    """Validate a DBSCAN ``eps`` radius (must be a finite positive scalar)."""
+    try:
+        val = float(eps)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"eps must be a real scalar, got {eps!r}") from exc
+    if not np.isfinite(val) or val <= 0.0:
+        raise ValidationError(f"eps must be finite and > 0, got {val!r}")
+    return val
+
+
+def check_minpts(minpts: int) -> int:
+    """Validate a DBSCAN ``minpts`` threshold (integer >= 1).
+
+    ``minpts`` counts the point itself plus its neighbors within
+    ``eps`` (the paper follows Ester et al.'s convention where the
+    epsilon-neighborhood includes the query point).
+    """
+    return check_positive_int(minpts, name="minpts")
+
+
+def check_positive_int(value: int, *, name: str = "value") -> int:
+    """Validate that ``value`` is an integer >= 1 and return it as ``int``."""
+    if isinstance(value, bool):
+        raise ValidationError(f"{name} must be an integer, got bool")
+    try:
+        val = int(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be an integer, got {value!r}") from exc
+    if val != value:
+        raise ValidationError(f"{name} must be integral, got {value!r}")
+    if val < 1:
+        raise ValidationError(f"{name} must be >= 1, got {val}")
+    return val

@@ -1,0 +1,155 @@
+"""Terminal visualization: ASCII scatter plots, heatmaps, and timelines.
+
+The environment this library targets (HPC batch nodes, CI logs) often
+has no display, and the benchmark harness is offline — so the built-in
+renderers draw the paper's visual artifacts as text:
+
+* :func:`scatter` — cluster maps like the paper's Figure 1/2 insets;
+* :func:`heatmap` — TEC field rendering (Figure 1);
+* :func:`timeline` — per-thread Gantt bars (Figure 9);
+* :func:`reachability_plot` — OPTICS reachability profiles.
+
+All functions return strings; nothing here prints or requires a TTY.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.metrics.records import BatchRunRecord
+
+__all__ = ["scatter", "heatmap", "timeline", "reachability_plot"]
+
+#: Shade ramp for heatmaps, light to dark.
+_SHADES = " .:-=+*#%@"
+
+
+def scatter(
+    points: np.ndarray,
+    labels: Optional[np.ndarray] = None,
+    *,
+    width: int = 72,
+    height: int = 24,
+    max_symbols: int = 26,
+) -> str:
+    """Render points as an ASCII map.
+
+    With ``labels``, the ``max_symbols`` largest clusters get letters
+    ``A..Z`` (by size), remaining clusters render as ``.`` and noise as
+    ``,``.  Without labels every point is ``*``.  The aspect is not
+    preserved; the plot fills the character box.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    grid = [[" "] * width for _ in range(height)]
+    if points.shape[0] == 0:
+        return "\n".join("".join(row) for row in grid)
+    x0, y0 = points.min(axis=0)
+    x1, y1 = points.max(axis=0)
+    sx = (width - 1) / max(x1 - x0, 1e-12)
+    sy = (height - 1) / max(y1 - y0, 1e-12)
+
+    symbol_of: dict[int, str] = {}
+    if labels is not None:
+        labels = np.asarray(labels)
+        clustered = labels[labels >= 0]
+        if clustered.size:
+            sizes = np.bincount(clustered)
+            order = np.argsort(-sizes, kind="stable")[:max_symbols]
+            symbol_of = {int(c): chr(ord("A") + i) for i, c in enumerate(order)}
+
+    for i, (x, y) in enumerate(points):
+        col = int((x - x0) * sx)
+        row = height - 1 - int((y - y0) * sy)
+        if labels is None:
+            ch = "*"
+        else:
+            lbl = int(labels[i])
+            ch = symbol_of.get(lbl, "." if lbl >= 0 else ",")
+        # letters win over dots win over commas over blank
+        rank = {" ": 0, ",": 1, ".": 2}
+        if rank.get(grid[row][col], 3) <= rank.get(ch, 3):
+            grid[row][col] = ch
+    return "\n".join("".join(r) for r in grid)
+
+
+def heatmap(field: np.ndarray, *, width: int = 72, height: int = 24) -> str:
+    """Render a 2-D field as shaded ASCII (row 0 of ``field`` at the bottom).
+
+    The field is block-averaged to the character box and normalized to
+    the shade ramp.
+    """
+    field = np.asarray(field, dtype=np.float64)
+    if field.ndim != 2 or field.size == 0:
+        raise ValueError("heatmap needs a non-empty 2-D array")
+    ny, nx = field.shape
+    rows = []
+    for r in range(height):
+        y_lo = int(r * ny / height)
+        y_hi = max(y_lo + 1, int((r + 1) * ny / height))
+        cells = []
+        for c in range(width):
+            x_lo = int(c * nx / width)
+            x_hi = max(x_lo + 1, int((c + 1) * nx / width))
+            cells.append(field[y_lo:y_hi, x_lo:x_hi].mean())
+        rows.append(cells)
+    block = np.asarray(rows[::-1])  # flip so north is up
+    lo, hi = block.min(), block.max()
+    norm = (block - lo) / max(hi - lo, 1e-12)
+    idx = np.minimum((norm * len(_SHADES)).astype(int), len(_SHADES) - 1)
+    return "\n".join("".join(_SHADES[i] for i in row) for row in idx)
+
+
+def timeline(record: BatchRunRecord, *, width: int = 60) -> str:
+    """Per-thread Gantt chart of a batch run (the Figure 9 bars).
+
+    ``#`` marks time spent on from-scratch variants, ``=`` on reused
+    variants, ``.`` idle; one row per worker, full width = makespan.
+    """
+    if record.makespan <= 0 or not record.records:
+        return "(empty batch)"
+    scale = width / record.makespan
+    lines = []
+    for tid, lane in record.thread_timelines().items():
+        row = ["."] * width
+        for r in lane:
+            a = int(r.start * scale)
+            b = max(a + 1, int(r.finish * scale))
+            ch = "#" if r.from_scratch else "="
+            for k in range(a, min(b, width)):
+                row[k] = ch
+        lines.append(f"T{tid:<3d} |{''.join(row)}|")
+    lines.append(f"     0{' ' * (width - 10)}makespan")
+    return "\n".join(lines)
+
+
+def reachability_plot(
+    reachability: Sequence[float], *, width: int = 72, height: int = 12
+) -> str:
+    """OPTICS reachability profile as an ASCII bar chart.
+
+    Infinite reachabilities (component starts) render as full-height
+    ``|`` separators; valleys in the profile are clusters.
+    """
+    reach = np.asarray(list(reachability), dtype=np.float64)
+    if reach.size == 0:
+        return "(empty ordering)"
+    finite = reach[np.isfinite(reach)]
+    cap = finite.max() if finite.size else 1.0
+    # resample to width columns (max within each bucket keeps peaks)
+    cols = []
+    for c in range(width):
+        lo = int(c * reach.size / width)
+        hi = max(lo + 1, int((c + 1) * reach.size / width))
+        seg = reach[lo:hi]
+        cols.append(np.inf if np.isinf(seg).any() else float(seg.max()))
+    lines = []
+    for level in range(height, 0, -1):
+        thresh = cap * level / height
+        line = "".join(
+            "|" if np.isinf(v) else ("#" if v >= thresh else " ") for v in cols
+        )
+        lines.append(line)
+    lines.append("-" * width)
+    return "\n".join(lines)

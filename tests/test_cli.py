@@ -1,0 +1,125 @@
+"""Tests for the command-line interface (:mod:`repro.cli`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.io import load_dataset_file, load_result
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_dataset_rejected_by_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "NOPE"])
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestGenerate:
+    def test_generate_writes_npz(self, tmp_path, capsys):
+        out = tmp_path / "ds.npz"
+        rc = main(["generate", "cF_10k_5N", "--scale", "0.06", "-o", str(out)])
+        assert rc == 0
+        pts, truth, meta = load_dataset_file(out)
+        assert pts.shape == (600, 2)
+        assert truth is not None
+        assert meta["name"] == "cF_10k_5N"
+        assert "wrote 600 points" in capsys.readouterr().out
+
+
+class TestCluster:
+    def test_cluster_registry_dataset(self, tmp_path, capsys):
+        save = tmp_path / "labels.npz"
+        summary = tmp_path / "clusters.csv"
+        rc = main(
+            [
+                "cluster",
+                "cF_10k_5N",
+                "--scale",
+                "0.06",
+                "--eps",
+                "2.0",
+                "--minpts",
+                "4",
+                "--save",
+                str(save),
+                "--summary",
+                str(summary),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "clusters" in out
+        res = load_result(save)
+        assert res.n_points == 600
+        assert summary.exists()
+
+    def test_cluster_npz_file(self, tmp_path, capsys):
+        out = tmp_path / "ds.npz"
+        main(["generate", "cF_10k_5N", "--scale", "0.06", "-o", str(out)])
+        rc = main(["cluster", str(out), "--eps", "2.0", "--minpts", "4"])
+        assert rc == 0
+
+
+class TestSweep:
+    def test_sweep_prints_table(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "cF_10k_5N",
+                "--scale",
+                "0.06",
+                "--eps",
+                "2.0,3.0",
+                "--minpts",
+                "4,8",
+                "--executor",
+                "serial",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "(2,8)" in out or "(2,4)" in out
+
+    def test_sweep_simulated_threads(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "cF_10k_5N",
+                "--scale",
+                "0.06",
+                "--eps",
+                "2.0,3.0",
+                "--minpts",
+                "4,8",
+                "--executor",
+                "simulated",
+                "--threads",
+                "4",
+                "--scheduler",
+                "SCHEDMINPTS",
+                "--policy",
+                "CLUSDEFAULT",
+            ]
+        )
+        assert rc == 0
+        assert "SCHEDMINPTS" in capsys.readouterr().out
+
+
+class TestFigure:
+    def test_table1(self, capsys):
+        assert main(["figure", "table1", "--scale", "0.001"]) == 0
+        assert "SW1" in capsys.readouterr().out
+
+    def test_fig5(self, capsys):
+        assert main(["figure", "fig5", "--scale", "0.001"]) == 0
+        assert "CLUSDENSITY" in capsys.readouterr().out

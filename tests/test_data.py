@@ -1,0 +1,229 @@
+"""Tests for the dataset substrate: synthetic generators, the TEC
+simulator, and the Table I registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.registry import (
+    DATASETS,
+    DEFAULT_SCALE,
+    DatasetSpec,
+    clear_cache,
+    dataset_names,
+    default_scale,
+    load_dataset,
+)
+from repro.data.synthetic import CLUSTERS_PER_POINT, SyntheticSpec, generate_synthetic
+from repro.data.tec import TECMapModel, _restrict_to_best_window, generate_tec_points
+from repro.util.errors import ValidationError
+
+
+class TestSyntheticSpec:
+    def test_counts(self):
+        spec = SyntheticSpec(n_points=10_000, noise_fraction=0.3)
+        assert spec.n_noise == 3000
+        assert spec.n_clustered == 7000
+        assert spec.n_clusters == round(10_000 * CLUSTERS_PER_POINT)
+
+    def test_override(self):
+        spec = SyntheticSpec(n_points=1000, n_clusters_override=7)
+        assert spec.n_clusters == 7
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(n_points=0),
+            dict(n_points=10, noise_fraction=1.0),
+            dict(n_points=10, noise_fraction=-0.1),
+            dict(n_points=10, extent=(0.0, 1.0)),
+            dict(n_points=10, cluster_sigma=0.0),
+        ],
+    )
+    def test_invalid_rejected(self, kw):
+        with pytest.raises(ValidationError):
+            SyntheticSpec(**kw)
+
+
+class TestGenerateSynthetic:
+    def test_exact_point_count_and_truth(self):
+        spec = SyntheticSpec(n_points=1234, noise_fraction=0.2, n_clusters_override=5)
+        pts, truth = generate_synthetic(spec, seed=1)
+        assert pts.shape == (1234, 2)
+        assert truth.shape == (1234,)
+        assert (truth == -1).sum() == spec.n_noise
+        assert set(np.unique(truth[truth >= 0])) <= set(range(5))
+
+    def test_cf_cluster_sizes_uniform(self):
+        spec = SyntheticSpec(n_points=2000, noise_fraction=0.1, n_clusters_override=4)
+        _, truth = generate_synthetic(spec, seed=2)
+        sizes = np.bincount(truth[truth >= 0])
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_cv_cluster_sizes_vary(self):
+        spec = SyntheticSpec(
+            n_points=5000, noise_fraction=0.1, variable_sizes=True, n_clusters_override=8
+        )
+        _, truth = generate_synthetic(spec, seed=3)
+        sizes = np.bincount(truth[truth >= 0], minlength=8)
+        assert sizes.max() - sizes.min() > 5
+        assert sizes.sum() == spec.n_clustered
+
+    def test_points_inside_extent(self):
+        spec = SyntheticSpec(n_points=500, extent=(30.0, 20.0))
+        pts, _ = generate_synthetic(spec, seed=4)
+        assert pts[:, 0].min() >= 0 and pts[:, 0].max() <= 30
+        assert pts[:, 1].min() >= 0 and pts[:, 1].max() <= 20
+
+    def test_deterministic(self):
+        spec = SyntheticSpec(n_points=400)
+        a, ta = generate_synthetic(spec, seed=5)
+        b, tb = generate_synthetic(spec, seed=5)
+        assert np.array_equal(a, b) and np.array_equal(ta, tb)
+
+    def test_seed_changes_data(self):
+        spec = SyntheticSpec(n_points=400)
+        a, _ = generate_synthetic(spec, seed=5)
+        b, _ = generate_synthetic(spec, seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_emitted_in_scan_order(self):
+        spec = SyntheticSpec(n_points=300)
+        pts, _ = generate_synthetic(spec, seed=7)
+        order = np.lexsort((pts[:, 1], pts[:, 0]))
+        assert np.array_equal(order, np.arange(len(pts)))
+
+    def test_clusters_actually_cluster(self):
+        """Planted structure is recoverable: most points have near neighbors."""
+        spec = SyntheticSpec(
+            n_points=1000, noise_fraction=0.05, extent=(50, 25), n_clusters_override=3
+        )
+        pts, truth = generate_synthetic(spec, seed=8)
+        for c in range(3):
+            members = pts[truth == c]
+            centroid = members.mean(axis=0)
+            assert np.linalg.norm(members - centroid, axis=1).mean() < 4.0
+
+
+class TestTEC:
+    def test_exact_count_and_bounds(self):
+        pts = generate_tec_points(777, seed=1)
+        assert pts.shape == (777, 2)
+        assert (-180 <= pts[:, 0]).all() and (pts[:, 0] <= 180.5).all()
+        assert (-90 <= pts[:, 1]).all() and (pts[:, 1] <= 90.5).all()
+
+    def test_deterministic(self):
+        a = generate_tec_points(300, seed=9)
+        b = generate_tec_points(300, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_window_restriction_shrinks_extent(self):
+        full = generate_tec_points(2000, seed=10)
+        win = generate_tec_points(2000, seed=10, area_fraction=0.01)
+        span = lambda p: np.ptp(p[:, 0]) * np.ptp(p[:, 1])
+        assert span(win) < span(full)
+
+    def test_window_preserves_density_scale(self):
+        """n/area inside the window ~ constant when n and area shrink together."""
+        big = generate_tec_points(20_000, seed=11)
+        small = generate_tec_points(2_000, seed=11, area_fraction=0.1)
+        # compare local crowding via median nearest-neighbor distance
+        from scipy.spatial import cKDTree
+
+        d_big = np.median(cKDTree(big).query(big, k=2)[0][:, 1])
+        d_small = np.median(cKDTree(small).query(small, k=2)[0][:, 1])
+        assert d_small < d_big * 3.5
+
+    def test_restrict_to_best_window_math(self):
+        dens = np.zeros((10, 20))
+        dens[2:4, 5:9] = 1.0
+        out = _restrict_to_best_window(dens, 0.25)
+        assert out.sum() == pytest.approx(dens.sum())  # hot block captured
+        assert (out[dens == 0] == 0).all()
+
+    def test_points_in_scan_order(self):
+        pts = generate_tec_points(500, seed=12)
+        order = np.lexsort((pts[:, 1], pts[:, 0]))
+        assert np.array_equal(order, np.arange(len(pts)))
+
+    def test_model_validation(self):
+        with pytest.raises(ValidationError):
+            TECMapModel(threshold_quantile=1.5)
+        with pytest.raises(ValidationError):
+            TECMapModel(grid_resolution=0.0)
+        with pytest.raises(ValidationError):
+            generate_tec_points(0)
+        with pytest.raises(ValidationError):
+            generate_tec_points(10, area_fraction=0.0)
+
+    def test_evaluate_shapes(self):
+        m = TECMapModel(grid_resolution=2.0)
+        lon, lat, tec, cov, tid = m.evaluate(np.random.default_rng(0))
+        assert tec.shape == (len(lat), len(lon)) == cov.shape == tid.shape
+
+
+class TestRegistry:
+    def test_table1_names_complete(self):
+        assert len(DATASETS) == 16
+        assert set(dataset_names("SW")) == {"SW1", "SW2", "SW3", "SW4"}
+        assert len(dataset_names("cF")) == 7
+        assert len(dataset_names("cV")) == 5
+
+    def test_paper_sizes(self):
+        assert DATASETS["SW1"].full_size == 1_864_620
+        assert DATASETS["cF_1M_5N"].full_size == 10**6
+        assert DATASETS["cF_1M_5N"].noise == 0.05
+
+    def test_scaled_load(self):
+        ds = load_dataset("cF_10k_30N", scale=0.2)
+        assert ds.n_points == 2000
+        assert ds.truth is not None
+
+    def test_min_points_floor(self):
+        ds = load_dataset("cF_10k_5N", scale=0.001)
+        assert ds.n_points == 500
+
+    def test_sw_has_no_truth(self):
+        ds = load_dataset("SW1", scale=0.002)
+        assert ds.truth is None
+
+    def test_eps_scale_identity(self):
+        ds = load_dataset("cF_10k_5N", scale=0.1)
+        assert ds.scale_eps(0.5) == 0.5
+
+    def test_cache_returns_same_object(self):
+        clear_cache()
+        a = load_dataset("cF_10k_5N", scale=0.05)
+        b = load_dataset("cF_10k_5N", scale=0.05)
+        assert a is b
+        clear_cache()
+        c = load_dataset("cF_10k_5N", scale=0.05)
+        assert c is not a
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError):
+            load_dataset("SW99")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValidationError):
+            load_dataset("SW1", scale=0.0)
+
+    def test_default_scale_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert default_scale() == DEFAULT_SCALE
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert default_scale() == 0.5
+        monkeypatch.setenv("REPRO_SCALE", "nope")
+        with pytest.raises(ValidationError):
+            default_scale()
+
+    def test_deterministic_across_loads(self):
+        clear_cache()
+        a = load_dataset("cV_10k_30N", scale=0.1, cache=False)
+        b = load_dataset("cV_10k_30N", scale=0.1, cache=False)
+        assert np.array_equal(a.points, b.points)
+
+    def test_spec_seed_stable(self):
+        assert DatasetSpec("SW1", "SW", 1).seed == DatasetSpec("SW1", "SW", 2).seed
+        assert DatasetSpec("SW1", "SW", 1).seed != DatasetSpec("SW2", "SW", 1).seed

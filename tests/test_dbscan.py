@@ -1,0 +1,214 @@
+"""Tests for DBSCAN (Algorithm 1) and the epsilon-neighborhood search.
+
+Correctness is checked two ways: against known cluster structure, and
+against the defining DBSCAN invariants —
+
+* a core point has ``|N_eps| >= minpts`` (counting itself);
+* a noise point has ``|N_eps| < minpts`` and no core point within eps;
+* every cluster member is a core point or within eps of a same-cluster
+  core point;
+* two core points within eps of each other share a cluster;
+* results are independent of the index used (r = 1, large r, grid,
+  brute force) up to label permutation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dbscan import dbscan
+from repro.core.neighbors import NeighborSearcher, neighbor_search
+from repro.core.result import NOISE
+from repro.index import BruteForceIndex, RTree, UniformGridIndex
+from repro.metrics.counters import WorkCounters
+from repro.metrics.quality import quality_score
+from repro.util.errors import ValidationError
+
+coord = st.floats(0.0, 50.0, allow_nan=False)
+
+
+def brute_neighbors(points, i, eps):
+    d = np.linalg.norm(points - points[i], axis=1)
+    return set(np.flatnonzero(d <= eps).tolist())
+
+
+def check_invariants(points, res, eps, minpts):
+    """Assert the DBSCAN structural invariants listed in the docstring."""
+    n = points.shape[0]
+    for i in range(n):
+        nb = brute_neighbors(points, i, eps)
+        if res.core_mask[i]:
+            assert len(nb) >= minpts, f"core point {i} lacks support"
+        else:
+            assert len(nb) < minpts or res.labels[i] != NOISE
+        if res.labels[i] == NOISE:
+            assert not any(res.core_mask[j] for j in nb), f"noise {i} near a core"
+        if res.labels[i] >= 0 and not res.core_mask[i]:
+            # border: within eps of a core point of the same cluster
+            assert any(
+                res.core_mask[j] and res.labels[j] == res.labels[i] for j in nb
+            ), f"border point {i} detached"
+    # core-core merging
+    for i in range(n):
+        if not res.core_mask[i]:
+            continue
+        for j in brute_neighbors(points, i, eps):
+            if res.core_mask[j]:
+                assert res.labels[i] == res.labels[j]
+
+
+class TestNeighborSearch:
+    def test_includes_self(self, two_blobs):
+        idx = RTree(two_blobs, r=4)
+        nb = neighbor_search(idx, 0, 0.5)
+        assert 0 in nb.tolist()
+
+    @pytest.mark.parametrize("r", [1, 8, 70])
+    def test_matches_brute_force(self, two_blobs, r):
+        idx = RTree(two_blobs, r=r)
+        s = NeighborSearcher(idx, 0.7)
+        for i in (0, 17, 200, len(two_blobs) - 1):
+            assert set(s.search(i).tolist()) == brute_neighbors(two_blobs, i, 0.7)
+
+    def test_search_xy_arbitrary_location(self, two_blobs):
+        s = NeighborSearcher(RTree(two_blobs, r=8), 1.0)
+        got = set(s.search_xy(8.0, 8.0).tolist())
+        d = np.linalg.norm(two_blobs - [8.0, 8.0], axis=1)
+        assert got == set(np.flatnonzero(d <= 1.0).tolist())
+
+    def test_counters_accumulate(self, two_blobs):
+        c = WorkCounters()
+        s = NeighborSearcher(RTree(two_blobs, r=8), 0.5, c)
+        s.search(0)
+        s.search(1)
+        assert c.neighbor_searches == 2
+        assert c.candidates_examined >= c.neighbors_found > 0
+        assert c.distance_computations == c.candidates_examined
+
+    def test_boundary_distance_inclusive(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [2.5, 0.0]])
+        s = NeighborSearcher(RTree(pts, r=1), 1.0)
+        assert set(s.search(0).tolist()) == {0, 1}
+
+
+class TestDbscanKnownStructure:
+    def test_two_blobs_two_clusters(self, two_blobs):
+        res = dbscan(two_blobs, 0.6, 4)
+        assert res.n_clusters == 2
+        # the two blob cores are split correctly
+        assert res.labels[0] != res.labels[151] or res.labels[0] == NOISE
+
+    def test_blob_members_share_labels(self, two_blobs):
+        res = dbscan(two_blobs, 0.6, 4)
+        a_labels = set(res.labels[:150].tolist()) - {NOISE}
+        b_labels = set(res.labels[150:300].tolist()) - {NOISE}
+        assert len(a_labels) == 1 and len(b_labels) == 1
+        assert a_labels != b_labels
+
+    def test_uniform_cloud_mostly_noise_at_small_eps(self, uniform_cloud):
+        res = dbscan(uniform_cloud, 0.3, 4)
+        assert res.n_noise > 0.8 * len(uniform_cloud)
+
+    def test_single_big_cluster_at_huge_eps(self, two_blobs):
+        res = dbscan(two_blobs, 50.0, 4)
+        assert res.n_clusters == 1
+        assert res.n_noise == 0
+
+    def test_minpts_one_clusters_everything(self, uniform_cloud):
+        res = dbscan(uniform_cloud, 0.5, 1)
+        assert res.n_noise == 0
+
+    def test_minpts_larger_than_n_all_noise(self, two_blobs):
+        res = dbscan(two_blobs, 0.5, len(two_blobs) + 1)
+        assert res.n_clusters == 0
+
+    def test_empty_database(self):
+        res = dbscan(np.empty((0, 2)), 0.5, 4)
+        assert res.n_points == 0
+        assert res.n_clusters == 0
+
+    def test_single_point(self):
+        res = dbscan(np.array([[1.0, 1.0]]), 0.5, 2)
+        assert res.labels.tolist() == [NOISE]
+
+    def test_single_point_minpts_one(self):
+        res = dbscan(np.array([[1.0, 1.0]]), 0.5, 1)
+        assert res.labels.tolist() == [0]
+
+    def test_duplicate_points_cluster_together(self):
+        pts = np.array([[2.0, 2.0]] * 6)
+        res = dbscan(pts, 0.1, 4)
+        assert res.n_clusters == 1
+        assert set(res.labels.tolist()) == {0}
+
+    def test_recovers_planted_clusters(self, small_synthetic):
+        points, truth = small_synthetic
+        res = dbscan(points, 0.8, 4)
+        # every planted cluster should map to one dominant found label
+        for c in range(truth.max() + 1):
+            members = res.labels[truth == c]
+            members = members[members >= 0]
+            if members.size == 0:
+                continue
+            dominant = np.bincount(members).max()
+            assert dominant >= 0.9 * members.size
+
+    def test_invalid_inputs_rejected(self, two_blobs):
+        with pytest.raises(ValidationError):
+            dbscan(two_blobs, -1.0, 4)
+        with pytest.raises(ValidationError):
+            dbscan(two_blobs, 0.5, 0)
+
+
+class TestDbscanInvariants:
+    @pytest.mark.parametrize("eps,minpts", [(0.5, 4), (1.0, 8), (2.0, 3)])
+    def test_invariants_on_blobs(self, two_blobs, eps, minpts):
+        res = dbscan(two_blobs, eps, minpts)
+        check_invariants(two_blobs, res, eps, minpts)
+
+    def test_invariants_on_uniform(self, uniform_cloud):
+        res = dbscan(uniform_cloud, 1.5, 5)
+        check_invariants(uniform_cloud, res, 1.5, 5)
+
+    def test_labels_dense(self, two_blobs):
+        res = dbscan(two_blobs, 0.9, 3)
+        found = np.unique(res.labels[res.labels >= 0])
+        assert found.tolist() == list(range(res.n_clusters))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=0, max_size=60),
+        st.floats(0.2, 8.0),
+        st.integers(1, 8),
+    )
+    def test_invariants_property(self, pts, eps, minpts):
+        arr = np.asarray(pts, dtype=np.float64).reshape(-1, 2)
+        res = dbscan(arr, eps, minpts)
+        check_invariants(arr, res, eps, minpts)
+
+
+class TestIndexIndependence:
+    @pytest.mark.parametrize(
+        "make_index",
+        [
+            lambda p: RTree(p, r=1),
+            lambda p: RTree(p, r=16),
+            lambda p: RTree(p, r=70),
+            lambda p: BruteForceIndex(p),
+            lambda p: UniformGridIndex(p, cell_width=1.0),
+        ],
+        ids=["r1", "r16", "r70", "brute", "grid"],
+    )
+    def test_same_clustering_for_every_index(self, two_blobs, make_index):
+        ref = dbscan(two_blobs, 0.7, 4, index=RTree(two_blobs, r=1))
+        got = dbscan(two_blobs, 0.7, 4, index=make_index(two_blobs))
+        assert quality_score(ref, got) == pytest.approx(1.0)
+        assert np.array_equal(ref.core_mask, got.core_mask)
+
+    def test_counters_flow_through(self, two_blobs):
+        c = WorkCounters()
+        dbscan(two_blobs, 0.5, 4, counters=c)
+        assert c.neighbor_searches == len(two_blobs)
+        assert c.candidates_examined > 0

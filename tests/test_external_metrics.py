@@ -1,0 +1,91 @@
+"""Tests for the external validation indices (:mod:`repro.metrics.external`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.external import (
+    adjusted_rand_index,
+    contingency_table,
+    purity,
+    rand_index,
+)
+from repro.util.errors import ValidationError
+
+labels = st.lists(st.integers(-1, 4), min_size=2, max_size=50)
+
+
+class TestContingency:
+    def test_basic_table(self):
+        t = contingency_table([0, 0, 1], [0, 1, 1])
+        assert t.tolist() == [[1, 1], [0, 1]]
+
+    def test_noise_becomes_singletons(self):
+        t = contingency_table([-1, -1], [0, 0])
+        assert t.shape == (2, 1)
+        assert t.sum() == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            contingency_table([0], [0, 1])
+
+
+class TestRand:
+    def test_identical_is_one(self):
+        assert rand_index([0, 0, 1, 1], [0, 0, 1, 1]) == 1.0
+        assert adjusted_rand_index([0, 0, 1, 1], [1, 1, 0, 0]) == 1.0
+
+    def test_known_value(self):
+        # pairs: (0,1) together/together, (2,3) apart in b
+        ri = rand_index([0, 0, 1, 1], [0, 0, 1, 2])
+        assert ri == pytest.approx(5 / 6)
+
+    def test_all_noise_vs_all_noise(self):
+        assert rand_index([-1, -1, -1], [-1, -1, -1]) == 1.0
+
+    def test_everything_noise_is_not_perfect_vs_clusters(self):
+        """Noise-as-singletons prevents degenerate perfect scores."""
+        assert adjusted_rand_index([-1, -1, -1, -1], [0, 0, 0, 0]) <= 0.0
+
+    def test_ari_chance_near_zero(self):
+        g = np.random.default_rng(0)
+        a = g.integers(0, 5, 400)
+        b = g.integers(0, 5, 400)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    @settings(max_examples=50, deadline=None)
+    @given(labels, labels)
+    def test_bounds_and_symmetry(self, la, lb):
+        n = min(len(la), len(lb))
+        a, b = la[:n], lb[:n]
+        ri = rand_index(a, b)
+        assert 0.0 <= ri <= 1.0
+        assert ri == pytest.approx(rand_index(b, a))
+        ari = adjusted_rand_index(a, b)
+        assert ari <= 1.0 + 1e-9
+        assert ari == pytest.approx(adjusted_rand_index(b, a))
+
+
+class TestPurity:
+    def test_perfect(self):
+        assert purity([0, 0, 1, 1], [5, 5, 9, 9]) == 1.0
+
+    def test_half(self):
+        assert purity([0, 0, 0, 0], [1, 1, 2, 2]) == 0.5
+
+    def test_bounds(self):
+        g = np.random.default_rng(1)
+        a = g.integers(-1, 3, 100)
+        b = g.integers(-1, 3, 100)
+        assert 0.0 < purity(a, b) <= 1.0
+
+
+class TestOnRealClusterings:
+    def test_dbscan_recovers_truth_by_ari(self, small_synthetic):
+        from repro.core.dbscan import dbscan
+
+        points, truth = small_synthetic
+        res = dbscan(points, 0.8, 4)
+        assert adjusted_rand_index(res.labels, truth) > 0.8

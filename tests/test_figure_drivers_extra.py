@@ -1,0 +1,81 @@
+"""Additional harness tests: Figures 1-3 drivers and the Figure 3
+published-schedule checks (beyond what the benches assert)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import (
+    fig1_tec_map,
+    fig2_boundary_discovery,
+    fig3_dependency_example,
+)
+
+
+class TestFig1:
+    def test_renders_both_panels(self):
+        text = fig1_tec_map(0.001, width=40, height=8)
+        assert "TEC field" in text
+        assert "measurement points" in text
+        # two character panels of the requested width exist
+        lines = [l for l in text.splitlines() if len(l) == 40]
+        assert len(lines) >= 14
+
+
+class TestFig2:
+    def test_stage_counts_consistent(self):
+        info = fig2_boundary_discovery()
+        assert info["cluster_size"] > 0
+        assert info["sweep_candidates"] >= info["cluster_size"]
+        assert (
+            info["outside_points"]
+            == info["sweep_candidates"] - info["cluster_size"]
+        )
+        assert info["points_reused"] >= info["cluster_size"]
+        # boundary discovery searched at least the sweep's outside pts
+        assert info["outside_searched"] >= info["outside_points"]
+
+    def test_result_is_valid_clustering(self):
+        info = fig2_boundary_discovery()
+        res = info["result"]
+        assert res.n_points == len(info["points"])
+        assert res.n_clusters >= 1
+
+    def test_deterministic(self):
+        a = fig2_boundary_discovery(seed=5)
+        b = fig2_boundary_discovery(seed=5)
+        assert a["points_reused"] == b["points_reused"]
+        assert a["sweep_candidates"] == b["sweep_candidates"]
+
+
+class TestFig3:
+    def test_published_s2_schedule(self):
+        info = fig3_dependency_example()
+        assert info["schedule_s2"] == [
+            "(0.2,32)", "(0.4,32)", "(0.6,32)",
+            "(0.2,28)", "(0.2,24)", "(0.2,20)",
+            "(0.4,28)", "(0.4,24)", "(0.4,20)",
+            "(0.6,28)", "(0.6,24)", "(0.6,20)",
+        ]
+
+    def test_tree_shape(self):
+        info = fig3_dependency_example()
+        children = {}
+        for p, c in info["edges"]:
+            children.setdefault(p, []).append(c)
+        # Figure 3(a): (0.2,32) is the root with two children
+        assert sorted(children["(0.2,32)"]) == ["(0.2,28)", "(0.4,32)"]
+        # every variant except the root appears as exactly one child
+        all_children = [c for _, c in info["edges"]]
+        assert len(all_children) == len(set(all_children)) == 11
+
+    def test_s1_is_depth_first_from_root(self):
+        info = fig3_dependency_example()
+        s1 = info["schedule_s1"]
+        assert s1[0] == "(0.2,32)"
+        assert len(s1) == 12
+        parent = {c: p for p, c in info["edges"]}
+        pos = {v: i for i, v in enumerate(s1)}
+        for child, par in parent.items():
+            assert pos[par] < pos[child]

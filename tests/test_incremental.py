@@ -1,0 +1,130 @@
+"""Tests for IncrementalDBSCAN (:mod:`repro.core.incremental`).
+
+The defining property: after any sequence of insertions, the maintained
+clustering equals a from-scratch DBSCAN over the accumulated points, up
+to border-point order dependence (same tolerance as VariantDBSCAN).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dbscan import dbscan
+from repro.core.incremental import IncrementalDBSCAN
+from repro.metrics.quality import quality_score
+
+coord = st.floats(0.0, 12.0, allow_nan=False)
+
+
+def assert_equivalent(inc: IncrementalDBSCAN, min_quality=0.99):
+    snap = inc.snapshot()
+    ref = dbscan(inc.points, inc.eps, inc.minpts)
+    assert quality_score(ref, snap) >= min_quality
+    assert np.array_equal(snap.core_mask, ref.core_mask), "core sets must be exact"
+    return snap, ref
+
+
+class TestBootstrap:
+    def test_single_batch_equals_dbscan(self, two_blobs):
+        inc = IncrementalDBSCAN(0.6, 4)
+        inc.insert(two_blobs)
+        snap, ref = assert_equivalent(inc)
+        assert snap.n_clusters == ref.n_clusters
+
+    def test_empty_insert_is_noop(self):
+        inc = IncrementalDBSCAN(1.0, 3)
+        snap = inc.insert(np.empty((0, 2)))
+        assert snap.n_points == 0
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            IncrementalDBSCAN(-1.0, 3)
+
+
+class TestIncrementalInsertions:
+    def test_two_batches_equal_one(self, two_blobs):
+        inc = IncrementalDBSCAN(0.6, 4)
+        inc.insert(two_blobs[:150])
+        inc.insert(two_blobs[150:])
+        assert_equivalent(inc)
+
+    def test_many_small_batches(self, two_blobs):
+        inc = IncrementalDBSCAN(0.6, 4)
+        for i in range(0, len(two_blobs), 37):
+            inc.insert(two_blobs[i : i + 37])
+        assert_equivalent(inc)
+
+    def test_noise_promoted_to_cluster(self):
+        """Sparse points become a cluster once enough arrive."""
+        inc = IncrementalDBSCAN(1.0, 4)
+        base = np.array([[0.0, 0.0], [0.5, 0.0]])
+        snap = inc.insert(base)
+        assert snap.n_clusters == 0
+        snap = inc.insert(np.array([[0.0, 0.5], [0.5, 0.5], [0.25, 0.25]]))
+        assert snap.n_clusters == 1
+        assert snap.n_noise == 0
+        assert_equivalent(inc)
+
+    def test_bridge_merges_clusters(self):
+        """Inserting a dense bridge merges two existing clusters."""
+        g = np.random.default_rng(5)
+        a = g.normal(0.0, 0.3, (40, 2))
+        b = g.normal([6.0, 0.0], 0.3, (40, 2))
+        inc = IncrementalDBSCAN(0.8, 4)
+        snap = inc.insert(np.vstack([a, b]))
+        assert snap.n_clusters == 2
+        bridge = np.column_stack([np.linspace(0, 6, 30), g.normal(0, 0.05, 30)])
+        snap = inc.insert(bridge)
+        assert snap.n_clusters == 1
+        assert_equivalent(inc)
+
+    def test_clusters_only_grow_or_merge(self, two_blobs):
+        """Insertion monotonicity: co-members stay co-members."""
+        inc = IncrementalDBSCAN(0.6, 4)
+        snap1 = inc.insert(two_blobs[:200])
+        snap2 = inc.insert(two_blobs[200:])
+        for c in range(snap1.n_clusters):
+            members = np.flatnonzero(snap1.labels == c)
+            assert np.unique(snap2.labels[members]).size == 1
+        # clustered points never revert to noise
+        was = snap1.labels >= 0
+        assert (snap2.labels[: len(snap1.labels)][was] >= 0).all()
+
+    def test_core_points_never_demoted(self, two_blobs):
+        inc = IncrementalDBSCAN(0.6, 4)
+        s1 = inc.insert(two_blobs[:200])
+        s2 = inc.insert(two_blobs[200:])
+        assert (s2.core_mask[: s1.n_points][s1.core_mask]).all()
+
+    def test_duplicate_points(self):
+        inc = IncrementalDBSCAN(0.5, 4)
+        inc.insert(np.array([[1.0, 1.0]] * 3))
+        snap = inc.insert(np.array([[1.0, 1.0]] * 3))
+        assert snap.n_clusters == 1
+        assert_equivalent(inc)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=1, max_size=60),
+        st.integers(1, 5),
+        st.floats(0.4, 2.5),
+        st.integers(2, 5),
+    )
+    def test_property_matches_scratch(self, pts, n_batches, eps, minpts):
+        arr = np.asarray(pts, dtype=np.float64).reshape(-1, 2)
+        inc = IncrementalDBSCAN(eps, minpts)
+        for chunk in np.array_split(arr, min(n_batches, len(arr))):
+            if chunk.size:
+                inc.insert(chunk)
+        snap = inc.snapshot()
+        ref = dbscan(arr, eps, minpts)
+        assert np.array_equal(snap.core_mask, ref.core_mask)
+        assert quality_score(ref, snap) >= 0.95
+
+
+class TestRepr:
+    def test_repr(self):
+        inc = IncrementalDBSCAN(0.5, 4)
+        assert "IncrementalDBSCAN" in repr(inc)

@@ -1,0 +1,269 @@
+"""Tests for the spatial indexes: R-tree, grid, brute force, bin sort.
+
+The central property: for any point set and any query rectangle, every
+index returns a candidate superset of the true contents, and
+``query_rect`` returns exactly the true contents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index import (
+    BruteForceIndex,
+    RTree,
+    UniformGridIndex,
+    binsort_order,
+)
+from repro.index._ranges import ranges_to_indices
+from repro.index.mbb import mbb_contains_points, point_query_mbb
+from repro.metrics.counters import WorkCounters
+from repro.util.errors import ValidationError
+
+coord = st.floats(-500.0, 500.0, allow_nan=False, allow_infinity=False)
+point_lists = st.lists(st.tuples(coord, coord), min_size=0, max_size=120)
+
+
+def brute_rect(points: np.ndarray, mbb: np.ndarray) -> set[int]:
+    if points.shape[0] == 0:
+        return set()
+    return set(np.flatnonzero(mbb_contains_points(mbb, points)).tolist())
+
+
+class TestRangesToIndices:
+    def test_basic(self):
+        out = ranges_to_indices(np.array([0, 10]), np.array([3, 2]))
+        assert out.tolist() == [0, 1, 2, 10, 11]
+
+    def test_zero_length_ranges_skipped(self):
+        out = ranges_to_indices(np.array([5, 7, 9]), np.array([0, 2, 0]))
+        assert out.tolist() == [7, 8]
+
+    def test_empty(self):
+        assert ranges_to_indices(np.array([], dtype=int), np.array([], dtype=int)).size == 0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ranges_to_indices(np.array([0]), np.array([-1]))
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            ranges_to_indices(np.array([0, 1]), np.array([1]))
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 1000), st.integers(0, 20)), min_size=0, max_size=30
+        )
+    )
+    def test_matches_naive_expansion(self, ranges):
+        starts = np.array([r[0] for r in ranges], dtype=np.int64)
+        counts = np.array([r[1] for r in ranges], dtype=np.int64)
+        expected = [i for s, c in ranges for i in range(s, s + c)]
+        assert ranges_to_indices(starts, counts).tolist() == expected
+
+
+class TestBinsort:
+    def test_permutation(self):
+        pts = np.random.default_rng(0).uniform(0, 50, (200, 2))
+        order = binsort_order(pts)
+        assert sorted(order.tolist()) == list(range(200))
+
+    def test_orders_by_bins_then_coords(self):
+        pts = np.array([[2.5, 0.1], [0.3, 5.0], [0.2, 0.9], [0.2, 0.1]])
+        order = binsort_order(pts)
+        assert order.tolist() == [3, 2, 1, 0]
+
+    def test_empty(self):
+        assert binsort_order(np.empty((0, 2))).size == 0
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            binsort_order(np.zeros((1, 2)), bin_width=0.0)
+
+    def test_locality_improves_over_input_order(self):
+        """Consecutive bin-sorted points are closer on average than raw order."""
+        pts = np.random.default_rng(5).uniform(0, 100, (500, 2))
+        srt = pts[binsort_order(pts)]
+        raw_gap = np.linalg.norm(np.diff(pts, axis=0), axis=1).mean()
+        srt_gap = np.linalg.norm(np.diff(srt, axis=0), axis=1).mean()
+        assert srt_gap < raw_gap
+
+
+class TestRTreeConstruction:
+    def test_r1_has_n_leaves(self):
+        pts = np.random.default_rng(1).uniform(0, 10, (37, 2))
+        t = RTree(pts, r=1)
+        assert t.n_leaves == 37
+
+    def test_leaf_count_ceil(self):
+        pts = np.random.default_rng(1).uniform(0, 10, (100, 2))
+        assert RTree(pts, r=7).n_leaves == 15  # ceil(100/7)
+
+    def test_larger_r_gives_shallower_tree(self):
+        pts = np.random.default_rng(2).uniform(0, 100, (2000, 2))
+        assert RTree(pts, r=70).height < RTree(pts, r=1).height
+
+    def test_level_sizes_monotone(self):
+        pts = np.random.default_rng(3).uniform(0, 100, (1500, 2))
+        t = RTree(pts, r=4, fanout=8)
+        sizes = t.level_sizes
+        assert sizes == sorted(sizes)
+        assert sizes[0] <= t.fanout
+
+    def test_empty_database(self):
+        t = RTree(np.empty((0, 2)), r=5)
+        q = t.query_candidates(np.array([0.0, 0.0, 1.0, 1.0]))
+        assert q.size == 0
+
+    def test_invalid_r_rejected(self):
+        with pytest.raises(ValidationError):
+            RTree(np.zeros((4, 2)), r=0)
+
+    def test_invalid_fanout_rejected(self):
+        with pytest.raises(ValidationError):
+            RTree(np.zeros((4, 2)), r=1, fanout=1)
+
+
+class TestRTreeQueries:
+    @pytest.mark.parametrize("r", [1, 3, 16, 70])
+    def test_candidates_are_superset_of_rect_contents(self, r):
+        pts = np.random.default_rng(4).uniform(0, 60, (400, 2))
+        t = RTree(pts, r=r)
+        for qx, qy in [(5, 5), (30, 30), (59, 1)]:
+            mbb = point_query_mbb(qx, qy, 3.0)
+            cand = set(t.query_candidates(mbb).tolist())
+            assert brute_rect(pts, mbb) <= cand
+
+    @pytest.mark.parametrize("r", [1, 3, 16, 70])
+    def test_query_rect_exact(self, r):
+        pts = np.random.default_rng(5).uniform(0, 60, (400, 2))
+        t = RTree(pts, r=r)
+        for qx, qy in [(5, 5), (30, 30), (59, 1)]:
+            mbb = point_query_mbb(qx, qy, 4.0)
+            got = set(t.query_rect(mbb).tolist())
+            assert got == brute_rect(pts, mbb)
+
+    def test_r1_candidates_are_exact(self):
+        """With one point per MBB, box overlap == box containment."""
+        pts = np.random.default_rng(6).uniform(0, 20, (150, 2))
+        t = RTree(pts, r=1)
+        mbb = point_query_mbb(10, 10, 2.5)
+        assert set(t.query_candidates(mbb).tolist()) == brute_rect(pts, mbb)
+
+    def test_no_duplicate_candidates(self):
+        pts = np.random.default_rng(7).uniform(0, 10, (300, 2))
+        t = RTree(pts, r=9)
+        cand = t.query_candidates(np.array([0.0, 0.0, 10.0, 10.0]))
+        assert len(set(cand.tolist())) == cand.size == 300
+
+    def test_counters_record_node_visits(self):
+        pts = np.random.default_rng(8).uniform(0, 50, (500, 2))
+        t = RTree(pts, r=5)
+        c = WorkCounters()
+        t.query_candidates(point_query_mbb(25, 25, 1.0), c)
+        assert c.index_nodes_visited > 0
+
+    def test_larger_r_visits_fewer_nodes(self):
+        pts = np.random.default_rng(9).uniform(0, 100, (3000, 2))
+        visits = {}
+        for r in (1, 70):
+            c = WorkCounters()
+            RTree(pts, r=r).query_candidates(point_query_mbb(50, 50, 2.0), c)
+            visits[r] = c.index_nodes_visited
+        assert visits[70] < visits[1]
+
+    def test_larger_r_returns_more_candidates(self):
+        pts = np.random.default_rng(10).uniform(0, 100, (3000, 2))
+        mbb = point_query_mbb(50, 50, 2.0)
+        n1 = RTree(pts, r=1).query_candidates(mbb).size
+        n70 = RTree(pts, r=70).query_candidates(mbb).size
+        assert n70 >= n1
+
+    def test_far_away_query_returns_empty(self):
+        pts = np.random.default_rng(11).uniform(0, 10, (100, 2))
+        t = RTree(pts, r=4)
+        assert t.query_candidates(point_query_mbb(1e5, 1e5, 1.0)).size == 0
+
+    def test_duplicate_points_all_returned(self):
+        pts = np.array([[1.0, 1.0]] * 10 + [[5.0, 5.0]])
+        t = RTree(pts, r=3)
+        got = t.query_rect(point_query_mbb(1.0, 1.0, 0.5))
+        assert sorted(got.tolist()) == list(range(10))
+
+    def test_presort_false_still_correct(self):
+        pts = np.random.default_rng(12).uniform(0, 30, (250, 2))
+        t = RTree(pts, r=8, presort=False)
+        mbb = point_query_mbb(15, 15, 3.0)
+        assert set(t.query_rect(mbb).tolist()) == brute_rect(pts, mbb)
+
+    @settings(max_examples=40, deadline=None)
+    @given(point_lists, coord, coord, st.floats(0.1, 50.0))
+    def test_rect_matches_brute_force(self, pts, qx, qy, eps):
+        arr = np.asarray(pts, dtype=np.float64).reshape(-1, 2)
+        t = RTree(arr, r=5)
+        mbb = point_query_mbb(qx, qy, eps)
+        assert set(t.query_rect(mbb).tolist()) == brute_rect(arr, mbb)
+
+
+class TestBruteForceIndex:
+    def test_all_points_are_candidates(self):
+        pts = np.random.default_rng(13).uniform(0, 10, (50, 2))
+        idx = BruteForceIndex(pts)
+        cand = idx.query_candidates(point_query_mbb(5, 5, 0.1))
+        assert cand.size == 50
+
+    def test_rect_filters_exactly(self):
+        pts = np.random.default_rng(14).uniform(0, 10, (200, 2))
+        idx = BruteForceIndex(pts)
+        mbb = point_query_mbb(5, 5, 2.0)
+        assert set(idx.query_rect(mbb).tolist()) == brute_rect(pts, mbb)
+
+    def test_counts_one_node_visit_per_query(self):
+        idx = BruteForceIndex(np.zeros((10, 2)))
+        c = WorkCounters()
+        idx.query_candidates(np.array([0, 0, 1, 1.0]), c)
+        assert c.index_nodes_visited == 1
+
+
+class TestUniformGrid:
+    def test_rect_matches_brute_force_fixed(self):
+        pts = np.random.default_rng(15).uniform(0, 40, (500, 2))
+        g = UniformGridIndex(pts, cell_width=2.0)
+        for qx, qy, eps in [(5, 5, 1.0), (20, 20, 3.7), (39, 39, 0.5)]:
+            mbb = point_query_mbb(qx, qy, eps)
+            assert set(g.query_rect(mbb).tolist()) == brute_rect(pts, mbb)
+
+    def test_negative_coordinates(self):
+        pts = np.array([[-5.2, -3.1], [-5.0, -3.0], [4.0, 4.0]])
+        g = UniformGridIndex(pts, cell_width=1.0)
+        mbb = point_query_mbb(-5.1, -3.05, 0.5)
+        assert set(g.query_rect(mbb).tolist()) == brute_rect(pts, mbb)
+
+    def test_n_cells(self):
+        pts = np.array([[0.5, 0.5], [0.6, 0.6], [3.5, 3.5]])
+        assert UniformGridIndex(pts, cell_width=1.0).n_cells == 2
+
+    def test_empty(self):
+        g = UniformGridIndex(np.empty((0, 2)), cell_width=1.0)
+        assert g.query_candidates(np.array([0, 0, 1, 1.0])).size == 0
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            UniformGridIndex(np.zeros((2, 2)), cell_width=-1.0)
+
+    def test_counts_cell_probes(self):
+        pts = np.random.default_rng(16).uniform(0, 10, (100, 2))
+        g = UniformGridIndex(pts, cell_width=1.0)
+        c = WorkCounters()
+        g.query_candidates(point_query_mbb(5.0, 5.0, 1.0), c)
+        assert c.index_nodes_visited == 9  # 3x3 block of probes
+
+    @settings(max_examples=40, deadline=None)
+    @given(point_lists, coord, coord, st.floats(0.1, 20.0))
+    def test_rect_matches_brute_force_property(self, pts, qx, qy, eps):
+        arr = np.asarray(pts, dtype=np.float64).reshape(-1, 2)
+        g = UniformGridIndex(arr, cell_width=3.0)
+        mbb = point_query_mbb(qx, qy, eps)
+        assert set(g.query_rect(mbb).tolist()) == brute_rect(arr, mbb)

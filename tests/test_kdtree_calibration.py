@@ -1,0 +1,142 @@
+"""Tests for the k-d tree index and the cost-model calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dbscan import dbscan
+from repro.exec.calibration import CalibrationSample, collect_samples, fit_cost_model
+from repro.exec.cost import CostModel
+from repro.index import KDTree, RTree
+from repro.index.mbb import mbb_contains_points, point_query_mbb
+from repro.metrics.counters import WorkCounters
+from repro.metrics.quality import quality_score
+from repro.util.errors import ValidationError
+
+coord = st.floats(-100.0, 100.0, allow_nan=False)
+
+
+def brute_rect(points, mbb):
+    if points.shape[0] == 0:
+        return set()
+    return set(np.flatnonzero(mbb_contains_points(mbb, points)).tolist())
+
+
+class TestKDTree:
+    @pytest.mark.parametrize("leaf_size", [1, 4, 16, 64])
+    def test_rect_matches_brute_force(self, leaf_size):
+        pts = np.random.default_rng(3).uniform(0, 60, (800, 2))
+        t = KDTree(pts, leaf_size=leaf_size)
+        for qx, qy, eps in [(5, 5, 2.0), (30, 30, 6.0), (59, 1, 0.5)]:
+            mbb = point_query_mbb(qx, qy, eps)
+            assert set(t.query_rect(mbb).tolist()) == brute_rect(pts, mbb)
+
+    def test_empty(self):
+        t = KDTree(np.empty((0, 2)))
+        assert t.query_candidates(np.array([0, 0, 1, 1.0])).size == 0
+
+    def test_duplicates(self):
+        pts = np.array([[2.0, 2.0]] * 9 + [[8.0, 8.0]])
+        t = KDTree(pts, leaf_size=2)
+        got = t.query_rect(point_query_mbb(2, 2, 0.1))
+        assert sorted(got.tolist()) == list(range(9))
+
+    def test_counters_and_leaf_size_tradeoff(self):
+        pts = np.random.default_rng(4).uniform(0, 100, (4000, 2))
+        visits = {}
+        for ls in (1, 64):
+            c = WorkCounters()
+            KDTree(pts, leaf_size=ls).query_candidates(point_query_mbb(50, 50, 2.0), c)
+            visits[ls] = c.index_nodes_visited
+        assert visits[64] < visits[1]
+
+    def test_dbscan_over_kdtree_matches_rtree(self, two_blobs):
+        ref = dbscan(two_blobs, 0.7, 4, index=RTree(two_blobs, r=1))
+        got = dbscan(two_blobs, 0.7, 4, index=KDTree(two_blobs, leaf_size=8))
+        assert quality_score(ref, got) == pytest.approx(1.0)
+
+    def test_invalid_leaf_size(self):
+        with pytest.raises(ValidationError):
+            KDTree(np.zeros((4, 2)), leaf_size=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=0, max_size=100),
+        coord,
+        coord,
+        st.floats(0.1, 30.0),
+    )
+    def test_rect_property(self, pts, qx, qy, eps):
+        arr = np.asarray(pts, dtype=np.float64).reshape(-1, 2)
+        t = KDTree(arr, leaf_size=3)
+        mbb = point_query_mbb(qx, qy, eps)
+        assert set(t.query_rect(mbb).tolist()) == brute_rect(arr, mbb)
+
+
+def synthetic_sample(nodes, cand, searches, reused, model: CostModel):
+    c = WorkCounters(
+        index_nodes_visited=nodes,
+        candidates_examined=cand,
+        neighbor_searches=searches,
+        points_reused=reused,
+    )
+    wall = (
+        model.node_visit_cost * nodes
+        + model.candidate_cost * cand
+        + model.search_overhead * searches
+        + model.reuse_copy_cost * reused
+    )
+    return CalibrationSample(counters=c, wall_seconds=wall)
+
+
+class TestCalibration:
+    def test_recovers_known_coefficients(self):
+        true = CostModel(
+            node_visit_cost=1.0,
+            candidate_cost=0.3,
+            search_overhead=2.0,
+            reuse_copy_cost=0.05,
+        )
+        rng = np.random.default_rng(0)
+        samples = [
+            synthetic_sample(
+                int(rng.integers(1000, 100000)),
+                int(rng.integers(1000, 100000)),
+                int(rng.integers(100, 5000)),
+                int(rng.integers(0, 20000)),
+                true,
+            )
+            for _ in range(12)
+        ]
+        fit = fit_cost_model(samples)
+        assert fit.candidate_cost == pytest.approx(0.3, rel=0.05)
+        assert fit.search_overhead == pytest.approx(2.0, rel=0.05)
+        assert fit.reuse_copy_cost == pytest.approx(0.05, rel=0.2)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValidationError):
+            fit_cost_model([])
+
+    def test_rank_deficient_rejected(self):
+        c = WorkCounters(index_nodes_visited=10)
+        s = CalibrationSample(counters=c, wall_seconds=1.0)
+        with pytest.raises(ValidationError):
+            fit_cost_model([s, s, s, s])
+
+    def test_nonpositive_wall_rejected(self):
+        samples = [
+            synthetic_sample(10 * (i + 1), 5 * (i + 2), i + 1, i, CostModel())
+            for i in range(4)
+        ]
+        bad = CalibrationSample(counters=samples[0].counters, wall_seconds=0.0)
+        with pytest.raises(ValidationError):
+            fit_cost_model(samples[:3] + [bad])
+
+    def test_collect_samples_end_to_end(self, two_blobs):
+        samples = collect_samples(two_blobs, 0.6, 4, r_values=(1, 4, 16, 64))
+        assert len(samples) == 4
+        fit = fit_cost_model(samples)
+        assert fit.node_visit_cost == 1.0
+        assert fit.candidate_cost >= 0.0

@@ -1,0 +1,103 @@
+"""Unit tests for MBB geometry (:mod:`repro.index.mbb`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.index.mbb import (
+    augment_mbb,
+    mbb_area,
+    mbb_contains_points,
+    mbb_of_points,
+    mbbs_overlap,
+    point_query_mbb,
+)
+
+finite = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestMbbOfPoints:
+    def test_single_point_degenerate_box(self):
+        mbb = mbb_of_points(np.array([[3.0, 4.0]]))
+        assert mbb.tolist() == [3.0, 4.0, 3.0, 4.0]
+
+    def test_two_points(self):
+        mbb = mbb_of_points(np.array([[1.0, 5.0], [2.0, -1.0]]))
+        assert mbb.tolist() == [1.0, -1.0, 2.0, 5.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mbb_of_points(np.empty((0, 2)))
+
+    @given(
+        st.lists(st.tuples(finite, finite), min_size=1, max_size=30)
+    )
+    def test_contains_all_inputs(self, pts):
+        arr = np.asarray(pts, dtype=np.float64)
+        mbb = mbb_of_points(arr)
+        assert mbb_contains_points(mbb, arr).all()
+
+
+class TestAugment:
+    def test_augment_grows_all_sides(self):
+        out = augment_mbb(np.array([0.0, 0.0, 1.0, 1.0]), 0.5)
+        assert out.tolist() == [-0.5, -0.5, 1.5, 1.5]
+
+    def test_augment_does_not_mutate_input(self):
+        src = np.array([0.0, 0.0, 1.0, 1.0])
+        augment_mbb(src, 1.0)
+        assert src.tolist() == [0.0, 0.0, 1.0, 1.0]
+
+    def test_point_query_mbb_is_augmented_degenerate_box(self):
+        a = point_query_mbb(2.0, 3.0, 0.25)
+        b = augment_mbb(mbb_of_points(np.array([[2.0, 3.0]])), 0.25)
+        assert np.array_equal(a, b)
+
+
+class TestOverlap:
+    def test_disjoint(self):
+        q = np.array([0.0, 0.0, 1.0, 1.0])
+        boxes = np.array([[2.0, 2.0, 3.0, 3.0]])
+        assert not mbbs_overlap(q, boxes)[0]
+
+    def test_touching_edges_count_as_overlap(self):
+        q = np.array([0.0, 0.0, 1.0, 1.0])
+        boxes = np.array([[1.0, 0.0, 2.0, 1.0]])
+        assert mbbs_overlap(q, boxes)[0]
+
+    def test_containment_is_overlap(self):
+        q = np.array([0.0, 0.0, 10.0, 10.0])
+        boxes = np.array([[4.0, 4.0, 5.0, 5.0]])
+        assert mbbs_overlap(q, boxes)[0]
+
+    def test_batch_mix(self):
+        q = np.array([0.0, 0.0, 1.0, 1.0])
+        boxes = np.array(
+            [[0.5, 0.5, 2.0, 2.0], [5.0, 5.0, 6.0, 6.0], [-1.0, -1.0, 0.0, 0.0]]
+        )
+        assert mbbs_overlap(q, boxes).tolist() == [True, False, True]
+
+    def test_single_box_1d_input(self):
+        q = np.array([0.0, 0.0, 1.0, 1.0])
+        assert mbbs_overlap(q, np.array([0.5, 0.5, 2.0, 2.0])).tolist() == [True]
+
+    @given(finite, finite, st.floats(0.01, 100.0))
+    def test_overlap_is_symmetric(self, x, y, eps):
+        a = point_query_mbb(x, y, eps)
+        b = point_query_mbb(x + eps, y, eps)
+        assert mbbs_overlap(a, b.reshape(1, 4))[0] == mbbs_overlap(b, a.reshape(1, 4))[0]
+
+
+class TestAreaAndContainment:
+    def test_area(self):
+        assert mbb_area(np.array([0.0, 0.0, 2.0, 3.0])) == 6.0
+
+    def test_degenerate_area_zero(self):
+        assert mbb_area(np.array([1.0, 1.0, 1.0, 1.0])) == 0.0
+
+    def test_contains_boundary_points(self):
+        mbb = np.array([0.0, 0.0, 1.0, 1.0])
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [0.5, 0.5], [1.0001, 0.5]])
+        assert mbb_contains_points(mbb, pts).tolist() == [True, True, True, False]

@@ -1,0 +1,155 @@
+"""Tests for work counters, the cost model, and run records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.variants import Variant
+from repro.exec.cost import DEFAULT_COST_MODEL, CostModel
+from repro.metrics.counters import WorkCounters
+from repro.metrics.records import BatchRunRecord, VariantRunRecord
+
+
+class TestWorkCounters:
+    def test_starts_zeroed(self):
+        assert all(v == 0 for v in WorkCounters().as_dict().values())
+
+    def test_merge_adds(self):
+        a = WorkCounters(neighbor_searches=3, candidates_examined=10)
+        b = WorkCounters(neighbor_searches=2, index_nodes_visited=7)
+        a.merge(b)
+        assert a.neighbor_searches == 5
+        assert a.index_nodes_visited == 7
+        assert a.candidates_examined == 10
+
+    def test_add_operator_does_not_mutate(self):
+        a = WorkCounters(neighbor_searches=1)
+        b = WorkCounters(neighbor_searches=2)
+        c = a + b
+        assert c.neighbor_searches == 3
+        assert a.neighbor_searches == 1
+
+    def test_snapshot_independent(self):
+        a = WorkCounters(points_reused=4)
+        s = a.snapshot()
+        a.points_reused = 9
+        assert s.points_reused == 4
+
+    def test_diff(self):
+        base = WorkCounters(neighbor_searches=2)
+        now = WorkCounters(neighbor_searches=7)
+        assert now.diff(base).neighbor_searches == 5
+
+    def test_reset(self):
+        c = WorkCounters(neighbor_searches=5)
+        c.reset()
+        assert c.neighbor_searches == 0
+
+    def test_total_memory_accesses(self):
+        c = WorkCounters(index_nodes_visited=3, candidates_examined=4, points_reused=5)
+        assert c.total_memory_accesses == 12
+
+
+class TestCostModel:
+    def test_duration_components(self):
+        m = CostModel(
+            node_visit_cost=1.0,
+            candidate_cost=0.5,
+            reuse_copy_cost=0.1,
+            search_overhead=2.0,
+            bandwidth_saturation=2.0,
+        )
+        c = WorkCounters(
+            neighbor_searches=10,
+            index_nodes_visited=100,
+            candidates_examined=40,
+            points_reused=50,
+        )
+        assert m.compute_work(c) == pytest.approx(40 * 0.5 + 10 * 2.0)
+        assert m.memory_work(c) == pytest.approx(100 + 5.0)
+        assert m.duration(c, 1) == pytest.approx(40.0 + 105.0)
+        # at T = 8 memory work slows by 8/2 = 4x
+        assert m.duration(c, 8) == pytest.approx(40.0 + 105.0 * 4.0)
+
+    def test_contention_identity_at_one_thread(self):
+        assert DEFAULT_COST_MODEL.contention(1) == 1.0
+
+    def test_contention_never_below_one(self):
+        assert DEFAULT_COST_MODEL.contention(2) >= 1.0
+
+    def test_duration_monotone_in_concurrency(self):
+        c = WorkCounters(index_nodes_visited=100)
+        d = [DEFAULT_COST_MODEL.duration(c, t) for t in (1, 4, 16)]
+        assert d == sorted(d)
+
+    def test_memory_bound_scaling_ceiling(self):
+        """Pure memory-bound work scales at most to bandwidth_saturation —
+        the paper's r = 1 observation (~2.4x at 16 threads)."""
+        m = DEFAULT_COST_MODEL
+        c = WorkCounters(index_nodes_visited=10_000)
+        t = 16
+        speedup = t * m.duration(c, 1) / m.duration(c, t)
+        assert speedup == pytest.approx(m.bandwidth_saturation)
+
+    def test_compute_bound_scales_linearly(self):
+        m = DEFAULT_COST_MODEL
+        c = WorkCounters(candidates_examined=10_000)
+        assert m.duration(c, 16) == pytest.approx(m.duration(c, 1))
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COST_MODEL.candidate_cost = 0.0  # type: ignore[misc]
+
+
+def rec(v, t0, t1, tid=0, reused=None, rt=None):
+    return VariantRunRecord(
+        variant=v,
+        reused_from=reused,
+        response_time=rt if rt is not None else t1 - t0,
+        start=t0,
+        finish=t1,
+        thread_id=tid,
+    )
+
+
+class TestBatchRunRecord:
+    def make(self):
+        a, b, c = Variant(0.2, 8), Variant(0.3, 8), Variant(0.4, 8)
+        records = [
+            rec(a, 0.0, 4.0, 0),
+            rec(b, 0.0, 2.0, 1),
+            rec(c, 2.0, 5.0, 1, reused=a),
+        ]
+        return BatchRunRecord(records=records, n_threads=2, makespan=5.0)
+
+    def test_totals(self):
+        br = self.make()
+        assert br.n_variants == 3
+        assert br.total_response_time == pytest.approx(9.0)
+
+    def test_from_scratch_count(self):
+        assert self.make().n_from_scratch == 2
+
+    def test_lower_bound_and_slowdown(self):
+        br = self.make()
+        assert br.lower_bound_makespan == pytest.approx(4.5)
+        assert br.slowdown_vs_lower_bound == pytest.approx(5.0 / 4.5 - 1.0)
+
+    def test_makespan_at_least_lower_bound(self):
+        br = self.make()
+        assert br.makespan >= br.lower_bound_makespan
+
+    def test_thread_timelines_sorted(self):
+        lanes = self.make().thread_timelines()
+        assert list(lanes) == [0, 1]
+        assert [r.start for r in lanes[1]] == [0.0, 2.0]
+
+    def test_speedup_over(self):
+        assert self.make().speedup_over(50.0) == pytest.approx(10.0)
+
+    def test_average_reuse_fraction_empty(self):
+        assert BatchRunRecord(records=[]).average_reuse_fraction == 0.0
+
+    def test_from_scratch_property(self):
+        assert rec(Variant(0.2, 4), 0, 1).from_scratch
+        assert not rec(Variant(0.2, 4), 0, 1, reused=Variant(0.2, 8)).from_scratch

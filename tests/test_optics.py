@@ -1,0 +1,114 @@
+"""Tests for the OPTICS baseline (:mod:`repro.baselines.optics`).
+
+The defining property: extracting at any ``eps <= delta`` must match
+plain DBSCAN at ``(eps, minpts)`` up to border-point order-dependence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import extract_dbscan, optics
+from repro.core.dbscan import dbscan
+from repro.metrics.quality import quality_score
+
+coord = st.floats(0.0, 20.0, allow_nan=False)
+
+
+class TestOrdering:
+    def test_order_is_permutation(self, two_blobs):
+        res = optics(two_blobs, 1.0, 4)
+        assert sorted(res.order.tolist()) == list(range(len(two_blobs)))
+
+    def test_first_point_unreachable(self, two_blobs):
+        res = optics(two_blobs, 1.0, 4)
+        assert np.isinf(res.reachability[0])
+
+    def test_reachability_at_least_core_distance_of_predecessor_component(
+        self, two_blobs
+    ):
+        res = optics(two_blobs, 1.0, 4)
+        finite = np.isfinite(res.reachability)
+        assert (res.reachability[finite] >= 0).all()
+
+    def test_core_distance_definition(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0], [10.0, 0.0]])
+        res = optics(pts, 5.0, 3)
+        # minpts=3 counting self: point 1's 3rd closest (incl. itself) is
+        # at distance 1 (points 0 and 2).
+        assert res.core_distance[1] == pytest.approx(1.0)
+        # point 3 has fewer than 3 neighbors within delta=5 -> inf
+        assert np.isinf(res.core_distance[3])
+
+    def test_components_each_start_with_inf(self):
+        pts = np.vstack(
+            [np.random.default_rng(0).normal(0, 0.2, (30, 2)),
+             np.random.default_rng(1).normal(50, 0.2, (30, 2))]
+        )
+        res = optics(pts, 2.0, 4)
+        assert int(np.isinf(res.reachability).sum()) >= 2
+
+    def test_one_search_per_point(self, two_blobs):
+        res = optics(two_blobs, 1.0, 4)
+        assert res.counters.neighbor_searches == len(two_blobs)
+
+
+class TestExtraction:
+    @pytest.mark.parametrize("eps", [0.4, 0.6, 1.0, 1.5])
+    def test_matches_dbscan(self, two_blobs, eps):
+        ordering = optics(two_blobs, 1.5, 4)
+        ext = extract_dbscan(ordering, eps)
+        ref = dbscan(two_blobs, eps, 4)
+        assert quality_score(ref, ext) >= 0.99
+        assert ext.n_clusters == ref.n_clusters
+
+    def test_eps_above_delta_rejected(self, two_blobs):
+        ordering = optics(two_blobs, 0.5, 4)
+        with pytest.raises(ValueError):
+            extract_dbscan(ordering, 0.6)
+
+    def test_core_masks_match_dbscan(self, two_blobs):
+        ordering = optics(two_blobs, 1.0, 4)
+        ext = extract_dbscan(ordering, 0.7)
+        ref = dbscan(two_blobs, 0.7, 4)
+        assert np.array_equal(ext.core_mask, ref.core_mask)
+
+    def test_all_noise_case(self, uniform_cloud):
+        ordering = optics(uniform_cloud, 0.3, 10)
+        ext = extract_dbscan(ordering, 0.3)
+        assert ext.n_clusters == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=0, max_size=50),
+        st.floats(0.3, 3.0),
+        st.integers(2, 6),
+    )
+    def test_extraction_core_structure_matches_dbscan(self, pts, eps, minpts):
+        """ExtractDBSCAN guarantees the *core* structure exactly.
+
+        Border points may be dropped to noise when the ordering visits
+        them before the core point that would claim them (the known
+        ExtractDBSCAN caveat, see the extract_dbscan docstring), so
+        equivalence is asserted on core points: identical core sets and
+        identical core co-clustering; non-core points are either noise
+        in both or assigned in the extraction only where DBSCAN also
+        assigns them.
+        """
+        arr = np.asarray(pts, dtype=np.float64).reshape(-1, 2)
+        if arr.shape[0] == 0:
+            return
+        ordering = optics(arr, eps * 1.5, minpts)
+        ext = extract_dbscan(ordering, eps)
+        ref = dbscan(arr, eps, minpts)
+        assert np.array_equal(ext.core_mask, ref.core_mask)
+        cores = np.flatnonzero(ref.core_mask)
+        # identical partition of core points (pairwise co-membership)
+        for i in cores:
+            same_ref = ref.labels[cores] == ref.labels[i]
+            same_ext = ext.labels[cores] == ext.labels[i]
+            assert np.array_equal(same_ref, same_ext)
+        # extraction never clusters a point DBSCAN calls noise
+        assert not np.any((ext.labels >= 0) & (ref.labels < 0))

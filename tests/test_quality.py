@@ -1,0 +1,90 @@
+"""Tests for the Januzaj per-point quality metric (Section V-D)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.result import ClusteringResult
+from repro.metrics.quality import per_point_quality, quality_score
+from repro.util.errors import ValidationError
+
+
+def res(labels):
+    labels = np.asarray(labels, dtype=np.int64)
+    return ClusteringResult(labels, labels >= 0)
+
+
+class TestPerPoint:
+    def test_identical_results_score_one(self):
+        a = res([0, 0, 1, -1])
+        assert per_point_quality(a, res([0, 0, 1, -1])).tolist() == [1, 1, 1, 1]
+
+    def test_label_permutation_scores_one(self):
+        a = res([0, 0, 1, 1])
+        b = res([1, 1, 0, 0])
+        assert quality_score(a, b) == pytest.approx(1.0)
+
+    def test_noise_mismatch_scores_zero(self):
+        a = res([0, -1])
+        b = res([0, 0])
+        assert per_point_quality(a, b)[1] == 0.0
+
+    def test_clustered_vs_noise_scores_zero(self):
+        a = res([0, 0])
+        b = res([-1, -1])
+        assert per_point_quality(a, b).tolist() == [0.0, 0.0]
+
+    def test_both_noise_scores_one(self):
+        assert per_point_quality(res([-1]), res([-1])).tolist() == [1.0]
+
+    def test_split_cluster_jaccard(self):
+        """Reference one 4-cluster; other splits it in half: J = 2/4."""
+        a = res([0, 0, 0, 0])
+        b = res([0, 0, 1, 1])
+        assert per_point_quality(a, b).tolist() == [0.5, 0.5, 0.5, 0.5]
+
+    def test_partial_overlap_jaccard(self):
+        # E = {0,1,2}, F = {2,3}: point 2 scores |{2}| / |{0,1,2,3}| = 1/4
+        a = res([0, 0, 0, 1])
+        b = res([0, 0, 1, 1])
+        scores = per_point_quality(a, b)
+        assert scores[2] == pytest.approx(1 / 4)
+
+    def test_mean_is_quality_score(self):
+        a = res([0, 0, -1])
+        b = res([0, 0, 0])
+        assert quality_score(a, b) == pytest.approx(per_point_quality(a, b).mean())
+
+    def test_empty_results(self):
+        assert quality_score(res([]), res([])) == 1.0
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            quality_score(res([0]), res([0, 0]))
+
+
+label_arrays = st.lists(st.integers(-1, 4), min_size=1, max_size=40)
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(label_arrays)
+    def test_self_similarity_is_one(self, labels):
+        from repro.core.result import relabel_dense
+
+        dense, _ = relabel_dense(np.asarray(labels))
+        a = res(dense)
+        assert quality_score(a, a) == pytest.approx(1.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(label_arrays, label_arrays)
+    def test_scores_bounded(self, la, lb):
+        from repro.core.result import relabel_dense
+
+        n = min(len(la), len(lb))
+        a = res(relabel_dense(np.asarray(la[:n]))[0])
+        b = res(relabel_dense(np.asarray(lb[:n]))[0])
+        scores = per_point_quality(a, b)
+        assert ((scores >= 0) & (scores <= 1)).all()

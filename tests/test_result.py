@@ -1,0 +1,130 @@
+"""Tests for :class:`ClusteringResult` and label utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.result import NOISE, ClusteringResult, relabel_dense
+from repro.util.errors import ValidationError
+
+
+def make_result(labels, core=None, **kw):
+    labels = np.asarray(labels, dtype=np.int64)
+    if core is None:
+        core = labels >= 0
+    return ClusteringResult(labels, np.asarray(core, dtype=bool), **kw)
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        r = make_result([0, 0, 1, -1, 1, 1])
+        assert r.n_points == 6
+        assert r.n_clusters == 2
+        assert r.n_noise == 1
+
+    def test_all_noise(self):
+        r = make_result([-1, -1, -1])
+        assert r.n_clusters == 0
+        assert r.n_noise == 3
+
+    def test_empty(self):
+        r = make_result([])
+        assert r.n_points == 0
+        assert r.n_clusters == 0
+
+    def test_gap_in_cluster_ids_rejected(self):
+        with pytest.raises(ValidationError):
+            make_result([0, 2])
+
+    def test_labels_below_noise_rejected(self):
+        with pytest.raises(ValidationError):
+            make_result([-2, 0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            ClusteringResult(np.array([0, 1]), np.array([True]))
+
+    def test_noise_mask(self):
+        r = make_result([0, -1, 0])
+        assert r.noise_mask.tolist() == [False, True, False]
+
+    def test_reuse_fraction(self):
+        r = make_result([0, 0, 1, 1], points_reused=2)
+        assert r.reuse_fraction == 0.5
+
+    def test_reuse_fraction_empty(self):
+        assert make_result([]).reuse_fraction == 0.0
+
+
+class TestPerClusterViews:
+    def test_cluster_members_partition_clustered_points(self):
+        labels = [0, 1, 0, -1, 2, 1, 0]
+        r = make_result(labels)
+        members = r.cluster_members()
+        assert [m.tolist() for m in members] == [[0, 2, 6], [1, 5], [4]]
+
+    def test_cluster_sizes(self):
+        r = make_result([0, 1, 0, -1, 1, 1])
+        assert r.cluster_sizes().tolist() == [2, 3]
+
+    def test_cluster_sizes_empty(self):
+        assert make_result([-1]).cluster_sizes().size == 0
+
+    def test_cluster_mbbs(self):
+        pts = np.array([[0.0, 0.0], [5.0, 5.0], [1.0, 2.0], [9.0, 9.0]])
+        r = make_result([0, 1, 0, 1])
+        mbbs = r.cluster_mbbs(pts)
+        assert mbbs[0].tolist() == [0.0, 0.0, 1.0, 2.0]
+        assert mbbs[1].tolist() == [5.0, 5.0, 9.0, 9.0]
+
+    def test_densities_plain_and_squared(self):
+        pts = np.array([[0.0, 0.0], [2.0, 1.0], [0.0, 1.0], [2.0, 0.0]])
+        r = make_result([0, 0, 0, 0])
+        d1 = r.cluster_densities(pts)
+        d2 = r.cluster_densities(pts, squared=True)
+        assert d1[0] == pytest.approx(4 / 2.0)
+        assert d2[0] == pytest.approx(16 / 2.0)
+
+    def test_densities_with_eps_augmentation(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        r = make_result([0, 0])
+        d = r.cluster_densities(pts, eps=0.5)
+        assert d[0] == pytest.approx(2 / 4.0)  # (1+1)*(1+1)
+
+    def test_degenerate_cluster_density_finite(self):
+        pts = np.array([[3.0, 3.0]])
+        r = make_result([0])
+        assert np.isfinite(r.cluster_densities(pts)[0])
+
+    def test_members_cached(self):
+        r = make_result([0, 0, 1])
+        assert r.cluster_members() is r.cluster_members()
+
+
+class TestSummary:
+    def test_summary_keys(self):
+        r = make_result([0, -1])
+        s = r.summary()
+        assert set(s) >= {"n_points", "n_clusters", "n_noise", "counters", "variant"}
+
+
+class TestRelabelDense:
+    def test_preserves_first_appearance_order(self):
+        out, k = relabel_dense(np.array([5, 5, 2, -1, 9, 2]))
+        assert out.tolist() == [0, 0, 1, -1, 2, 1]
+        assert k == 3
+
+    def test_already_dense_unchanged(self):
+        out, k = relabel_dense(np.array([0, 1, -1, 0]))
+        assert out.tolist() == [0, 1, -1, 0]
+        assert k == 2
+
+    def test_all_noise(self):
+        out, k = relabel_dense(np.array([-1, -1]))
+        assert out.tolist() == [-1, -1]
+        assert k == 0
+
+    def test_empty(self):
+        out, k = relabel_dense(np.array([], dtype=np.int64))
+        assert out.size == 0 and k == 0

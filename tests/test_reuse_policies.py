@@ -1,0 +1,118 @@
+"""Tests for the cluster-seed selection policies (Section IV-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.result import ClusteringResult
+from repro.core.reuse import (
+    CLUS_DEFAULT,
+    CLUS_DENSITY,
+    CLUS_PTS_SQUARED,
+    POLICIES,
+    ClusDensity,
+    get_seed_list,
+)
+
+
+@pytest.fixture()
+def handmade():
+    """Three clusters with hand-computable geometry.
+
+    * cluster 0: 4 points on a 3x3 square   -> density 4/9
+    * cluster 1: 9 points on a 1x1 square   -> density 9
+    * cluster 2: 25 points on a 10x10 square -> density 0.25
+    """
+    pts = []
+    labels = []
+    pts += [[0, 0], [3, 0], [0, 3], [3, 3]]
+    labels += [0] * 4
+    base = np.array([20.0, 20.0])
+    for i in range(3):
+        for j in range(3):
+            pts.append((base + [i * 0.5, j * 0.5]).tolist())
+    labels += [1] * 9
+    for i in range(5):
+        for j in range(5):
+            pts.append([50 + i * 2.5, 50 + j * 2.5])
+    labels += [2] * 25
+    points = np.asarray(pts, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    return points, ClusteringResult(labels, labels >= 0)
+
+
+class TestOrderings:
+    def test_default_is_generation_order(self, handmade):
+        points, result = handmade
+        assert CLUS_DEFAULT.get_seed_list(result, points).tolist() == [0, 1, 2]
+
+    def test_density_order(self, handmade):
+        points, result = handmade
+        # densities: 4/9 = 0.44, 9/1 = 9, 25/100 = 0.25
+        assert CLUS_DENSITY.get_seed_list(result, points).tolist() == [1, 0, 2]
+
+    def test_pts_squared_order(self, handmade):
+        points, result = handmade
+        # |C|^2/a: 16/9 = 1.78, 81/1 = 81, 625/100 = 6.25
+        assert CLUS_PTS_SQUARED.get_seed_list(result, points).tolist() == [1, 2, 0]
+
+    def test_eps_augmentation_demotes_tiny_clusters(self):
+        """A 2-point micro-cluster outranks a real blob on raw area but
+        not on the eps-augmented footprint."""
+        pts = np.array(
+            [[0.0, 0.0], [0.01, 0.01]]  # micro cluster, raw area ~1e-4
+            + [[10 + 0.3 * i, 10 + 0.3 * j] for i in range(5) for j in range(5)]
+        )
+        labels = np.array([0, 0] + [1] * 25)
+        res = ClusteringResult(labels, labels >= 0)
+        raw = CLUS_DENSITY.get_seed_list(res, pts).tolist()
+        aug = CLUS_DENSITY.get_seed_list(res, pts, eps=1.0).tolist()
+        assert raw == [0, 1]
+        assert aug == [1, 0]
+
+    def test_ties_keep_generation_order(self):
+        pts = np.array([[0, 0], [1, 1], [10, 10], [11, 11]], dtype=float)
+        labels = np.array([0, 0, 1, 1])
+        res = ClusteringResult(labels, labels >= 0)
+        assert CLUS_DENSITY.get_seed_list(res, pts).tolist() == [0, 1]
+
+    def test_no_clusters_empty_list(self):
+        res = ClusteringResult(np.array([-1, -1]), np.zeros(2, bool))
+        assert CLUS_DENSITY.get_seed_list(res, np.zeros((2, 2))).size == 0
+
+
+class TestFilteringAndHelpers:
+    def test_min_cluster_size_filter(self, handmade):
+        points, result = handmade
+        policy = ClusDensity(min_cluster_size=5)
+        assert policy.get_seed_list(result, points).tolist() == [1, 2]
+
+    def test_functional_wrapper_defaults_to_density(self, handmade):
+        points, result = handmade
+        assert get_seed_list(result, points).tolist() == [1, 0, 2]
+
+    def test_registry_names(self):
+        assert set(POLICIES) == {
+            "CLUSDEFAULT",
+            "CLUSDENSITY",
+            "CLUSPTSSQUARED",
+            "CLUSSIZE",
+            "CLUSMASSDENSITY",
+        }
+
+    def test_size_policy_order(self, handmade):
+        from repro.core.reuse import CLUS_SIZE
+
+        points, result = handmade
+        assert CLUS_SIZE.get_seed_list(result, points).tolist() == [2, 1, 0]
+
+    def test_mass_density_policy_is_permutation(self, handmade):
+        from repro.core.reuse import CLUS_MASS_DENSITY
+
+        points, result = handmade
+        order = CLUS_MASS_DENSITY.get_seed_list(result, points)
+        assert sorted(order.tolist()) == [0, 1, 2]
+
+    def test_repr_is_paper_name(self):
+        assert repr(CLUS_DENSITY) == "CLUSDENSITY"

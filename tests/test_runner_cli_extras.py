@@ -1,0 +1,76 @@
+"""Tests for the report runner and the extended CLI subcommands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_full_report
+from repro.cli import main
+
+TINY = 0.001
+
+
+class TestRunner:
+    def test_full_report_structure(self, tmp_path):
+        out = tmp_path / "REPORT.md"
+        text = run_full_report(TINY, TINY, output=str(out), quick=True)
+        assert out.exists()
+        for section in (
+            "# VariantDBSCAN evaluation report",
+            "## Table I",
+            "## Figure 3",
+            "## Figure 4",
+            "## Figures 5/6",
+            "## Figure 7",
+            "## Figure 8",
+            "## Figure 9",
+        ):
+            assert section in text
+        # markdown tables present
+        assert text.count("|---") >= 5
+
+    def test_report_without_output_is_returned_only(self):
+        text = run_full_report(TINY, TINY, quick=True)
+        assert "SCHEDGREEDY" in text
+
+
+class TestCliExtras:
+    def test_figure_fig2(self, capsys):
+        assert main(["figure", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "points_reused" in out
+
+    def test_figure_fig3(self, capsys):
+        assert main(["figure", "fig3"]) == 0
+        assert "(0.2,32)" in capsys.readouterr().out
+
+    def test_optics_command(self, capsys):
+        rc = main(
+            [
+                "optics",
+                "cF_10k_5N",
+                "--scale",
+                "0.06",
+                "--delta",
+                "3.0",
+                "--minpts",
+                "4",
+                "--eps",
+                "1.5,3.0",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "OPTICS pass" in out
+        assert "eps=1.5" in out
+
+    def test_calibrate_command(self, capsys):
+        rc = main(["calibrate", "cF_10k_5N", "--scale", "0.06", "--eps", "2.0"])
+        assert rc == 0
+        assert "candidate_cost" in capsys.readouterr().out
+
+    def test_report_command(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        rc = main(["report", "--scale", str(TINY), "--heavy-scale", str(TINY), "-o", str(out)])
+        assert rc == 0
+        assert out.exists()

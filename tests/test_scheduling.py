@@ -1,0 +1,182 @@
+"""Tests for variant scheduling (Section IV-D), including the paper's
+Figure 3 worked example, which we reproduce exactly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dbscan import dbscan
+from repro.core.result import ClusteringResult
+from repro.core.scheduling import (
+    CompletedRegistry,
+    PlannedVariant,
+    SchedGreedy,
+    SchedMinpts,
+    SCHEDULERS,
+    dependency_tree,
+    depth_first_schedule,
+)
+from repro.core.variants import Variant, VariantSet
+from repro.util.errors import SchedulingError
+
+#: The paper's Figure 3 variant set: A = {0.2, 0.4, 0.6}, B = {20, 24, 28, 32}.
+FIG3 = VariantSet.from_product([0.2, 0.4, 0.6], [20, 24, 28, 32])
+
+
+def dummy_result(n=4) -> ClusteringResult:
+    return ClusteringResult(np.zeros(n, dtype=np.int64), np.ones(n, dtype=bool))
+
+
+class TestCompletedRegistry:
+    def test_add_and_get(self):
+        reg = CompletedRegistry()
+        v = Variant(0.2, 4)
+        r = dummy_result()
+        reg.add(v, r)
+        assert reg.get(v) is r
+        assert v in reg
+        assert len(reg) == 1
+
+    def test_get_missing_raises(self):
+        with pytest.raises(SchedulingError):
+            CompletedRegistry().get(Variant(0.2, 4))
+
+    def test_completed_before_inclusive(self):
+        reg = CompletedRegistry()
+        reg.add(Variant(0.2, 4), dummy_result(), finished_at=5.0)
+        assert reg.completed_variants(before=5.0) == [Variant(0.2, 4)]
+        assert reg.completed_variants(before=4.9) == []
+
+    def test_best_source_prefers_min_distance(self):
+        reg = CompletedRegistry()
+        reg.add(Variant(0.2, 32), dummy_result())
+        reg.add(Variant(0.6, 24), dummy_result())
+        got = reg.best_source(Variant(0.6, 20), FIG3)
+        assert got is not None
+        assert got[0] == Variant(0.6, 24)  # Figure 3 discussion: not (0.2, 32)
+
+    def test_best_source_respects_inclusion(self):
+        reg = CompletedRegistry()
+        reg.add(Variant(0.6, 20), dummy_result())
+        assert reg.best_source(Variant(0.2, 32), FIG3) is None
+
+    def test_best_source_respects_time(self):
+        reg = CompletedRegistry()
+        reg.add(Variant(0.2, 32), dummy_result(), finished_at=10.0)
+        assert reg.best_source(Variant(0.4, 32), FIG3, before=5.0) is None
+        assert reg.best_source(Variant(0.4, 32), FIG3, before=10.0) is not None
+
+    def test_best_source_empty_registry(self):
+        assert CompletedRegistry().best_source(Variant(0.6, 20), FIG3) is None
+
+
+class TestSchedGreedy:
+    def test_plan_is_canonical_order(self):
+        plan = SchedGreedy().plan(FIG3)
+        assert [p.variant.as_tuple() for p in plan[:4]] == [
+            (0.2, 32),
+            (0.2, 28),
+            (0.2, 24),
+            (0.2, 20),
+        ]
+        assert not any(p.force_scratch for p in plan)
+
+    def test_plan_covers_all_variants_once(self):
+        plan = SchedGreedy().plan(FIG3)
+        assert sorted(p.variant.as_tuple() for p in plan) == sorted(
+            v.as_tuple() for v in FIG3
+        )
+
+
+class TestSchedMinpts:
+    def test_head_list_is_max_minpts_per_eps(self):
+        plan = SchedMinpts().plan(FIG3)
+        heads = [p for p in plan if p.force_scratch]
+        assert [p.variant.as_tuple() for p in heads] == [
+            (0.2, 32),
+            (0.4, 32),
+            (0.6, 32),
+        ]
+
+    def test_figure3c_schedule(self):
+        """Figure 3(c): S2 = ((0.2,32),(0.4,32),(0.6,32),(0.2,28),...)."""
+        plan = SchedMinpts().plan(FIG3)
+        expected = [
+            (0.2, 32),
+            (0.4, 32),
+            (0.6, 32),
+            (0.2, 28),
+            (0.2, 24),
+            (0.2, 20),
+            (0.4, 28),
+            (0.4, 24),
+            (0.4, 20),
+            (0.6, 28),
+            (0.6, 24),
+            (0.6, 20),
+        ]
+        assert [p.variant.as_tuple() for p in plan] == expected
+
+    def test_forced_scratch_never_selects_source(self):
+        reg = CompletedRegistry()
+        reg.add(Variant(0.2, 32), dummy_result())
+        sched = SchedMinpts()
+        planned = PlannedVariant(Variant(0.4, 32), force_scratch=True)
+        assert sched.select_source(planned, FIG3, reg) is None
+
+    def test_non_head_uses_greedy_selection(self):
+        reg = CompletedRegistry()
+        reg.add(Variant(0.2, 32), dummy_result())
+        sched = SchedMinpts()
+        planned = PlannedVariant(Variant(0.2, 28))
+        got = sched.select_source(planned, FIG3, reg)
+        assert got is not None and got[0] == Variant(0.2, 32)
+
+
+class TestDependencyTree:
+    def test_single_root(self):
+        tree = dependency_tree(FIG3)
+        roots = [v for v, d in tree.nodes(data=True) if d.get("root")]
+        assert roots == [Variant(0.2, 32)]
+
+    def test_figure3a_edges(self):
+        """Spot-check the minimal-difference parents of Figure 3(a)."""
+        tree = dependency_tree(FIG3)
+        parent = {c: p for p, c in tree.edges()}
+        assert parent[Variant(0.2, 28)] == Variant(0.2, 32)
+        assert parent[Variant(0.4, 32)] == Variant(0.2, 32)
+        assert parent[Variant(0.6, 32)] == Variant(0.4, 32)
+        assert parent[Variant(0.6, 20)] == Variant(0.6, 24)
+
+    def test_every_nonroot_has_reusable_parent(self):
+        tree = dependency_tree(FIG3)
+        for p, c in tree.edges():
+            assert c.can_reuse(p)
+
+    def test_forest_covers_all(self):
+        tree = dependency_tree(FIG3)
+        assert tree.number_of_nodes() == len(FIG3)
+
+    def test_depth_first_schedule_is_valid_topologically(self):
+        tree = dependency_tree(FIG3)
+        order = depth_first_schedule(tree)
+        pos = {v: i for i, v in enumerate(order)}
+        for p, c in tree.edges():
+            assert pos[p] < pos[c]
+
+    def test_depth_first_schedule_starts_at_root(self):
+        order = depth_first_schedule(dependency_tree(FIG3))
+        assert order[0] == Variant(0.2, 32)
+        assert len(order) == len(FIG3)
+
+    def test_disconnected_sets_have_multiple_roots(self):
+        vs = VariantSet.from_pairs([(0.1, 4), (0.2, 8)])  # mutually non-reusable
+        tree = dependency_tree(vs)
+        roots = [v for v, d in tree.nodes(data=True) if d.get("root")]
+        assert len(roots) == 2
+
+
+class TestRegistryLookups:
+    def test_schedulers_registry(self):
+        assert set(SCHEDULERS) == {"SCHEDGREEDY", "SCHEDMINPTS"}

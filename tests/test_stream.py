@@ -1,0 +1,146 @@
+"""Tests for the streaming subsystem: VariantMonitor and ClusterTracker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dbscan import dbscan
+from repro.core.variants import Variant, VariantSet
+from repro.metrics.quality import quality_score
+from repro.stream import ClusterTracker, VariantMonitor
+from repro.util.errors import ValidationError
+
+VSET = VariantSet.from_product([0.8, 1.2], [4, 8])
+
+
+def blob(center, n, seed, sigma=0.3):
+    return np.random.default_rng(seed).normal(center, sigma, (n, 2))
+
+
+class TestVariantMonitor:
+    def test_observe_updates_all_variants(self):
+        mon = VariantMonitor(VSET)
+        summary = mon.observe(blob([0, 0], 60, 1))
+        assert set(summary.per_variant) == set(VSET)
+        assert summary.epoch == 0
+        assert summary.n_points == 60
+
+    def test_snapshots_match_scratch_after_epochs(self):
+        mon = VariantMonitor(VSET)
+        batches = [blob([0, 0], 50, 2), blob([6, 6], 50, 3), blob([0, 0], 30, 4)]
+        for b in batches:
+            mon.observe(b)
+        all_points = mon.points()
+        for v in VSET:
+            ref = dbscan(all_points, v.eps, v.minpts)
+            assert quality_score(ref, mon.snapshot(v)) >= 0.99
+
+    def test_dominant_share_grows_with_concentration(self):
+        mon = VariantMonitor(VSET)
+        s1 = mon.observe(np.random.default_rng(5).uniform(0, 30, (100, 2)))
+        s2 = mon.observe(blob([15, 15], 300, 6))
+        assert s2.dominant_share > s1.dominant_share
+
+    def test_baseline_then_observe(self):
+        mon = VariantMonitor(VSET)
+        backlog = np.vstack([blob([0, 0], 80, 7), blob([8, 8], 80, 8)])
+        s0 = mon.baseline(backlog)
+        assert s0.n_points == 160
+        assert s0.median_clusters >= 1
+        s1 = mon.observe(blob([0, 0], 20, 9))
+        assert s1.n_points == 180
+        for v in VSET:
+            ref = dbscan(mon.points(), v.eps, v.minpts)
+            assert quality_score(ref, mon.snapshot(v)) >= 0.99
+
+    def test_baseline_after_observe_rejected(self):
+        mon = VariantMonitor(VSET)
+        mon.observe(blob([0, 0], 20, 1))
+        with pytest.raises(ValidationError):
+            mon.baseline(blob([0, 0], 20, 2))
+
+    def test_unknown_variant_snapshot_rejected(self):
+        mon = VariantMonitor(VSET)
+        mon.observe(blob([0, 0], 20, 1))
+        with pytest.raises(ValidationError):
+            mon.snapshot(Variant(9.9, 99))
+
+
+class TestClusterTracker:
+    def _cluster(self, pts):
+        return dbscan(pts, 0.8, 4)
+
+    def test_stationary_cluster_forms_one_track(self):
+        tracker = ClusterTracker(gate=2.0, min_size=5)
+        for epoch in range(4):
+            pts = blob([0, 0], 60, 10 + epoch)
+            tracker.update(pts, self._cluster(pts))
+        tracks = tracker.tracks(min_length=4)
+        assert len(tracks) == 1
+        assert tracks[0].speed() == pytest.approx(0.0, abs=0.3)
+
+    def test_moving_cluster_velocity(self):
+        tracker = ClusterTracker(gate=3.0, min_size=5, overlap_eps=1.0)
+        for epoch in range(5):
+            pts = blob([2.0 * epoch, 0.0], 80, 20 + epoch)
+            tracker.update(pts, self._cluster(pts))
+        (track,) = tracker.tracks(min_length=5)
+        v = track.velocity()
+        assert v is not None
+        assert v[0] == pytest.approx(2.0, abs=0.3)
+        assert abs(v[1]) < 0.3
+
+    def test_two_separate_features_two_tracks(self):
+        tracker = ClusterTracker(gate=2.0, min_size=5)
+        for epoch in range(3):
+            pts = np.vstack([blob([0, 0], 50, epoch), blob([20, 20], 50, 40 + epoch)])
+            tracker.update(pts, self._cluster(pts))
+        assert len(tracker.tracks(min_length=3)) == 2
+
+    def test_disappearing_feature_closes_after_misses(self):
+        tracker = ClusterTracker(gate=2.0, min_size=5, max_misses=1)
+        pts = blob([0, 0], 60, 50)
+        tracker.update(pts, self._cluster(pts))
+        empty = np.random.default_rng(0).uniform(40, 60, (30, 2))
+        tracker.update(empty, self._cluster(empty))  # miss 1 (coast)
+        assert len(tracker.closed) == 0
+        tracker.update(empty, self._cluster(empty))  # miss 2 -> closed
+        assert any(t.length == 1 for t in tracker.closed)
+
+    def test_new_feature_opens_track(self):
+        tracker = ClusterTracker(gate=2.0, min_size=5)
+        pts1 = blob([0, 0], 60, 60)
+        up1 = tracker.update(pts1, self._cluster(pts1))
+        assert len(up1.opened) == 1
+        pts2 = np.vstack([blob([0, 0], 60, 61), blob([15, 0], 60, 62)])
+        up2 = tracker.update(pts2, self._cluster(pts2))
+        assert len(up2.opened) == 1
+        assert len(up2.matched) == 1
+
+    def test_min_size_filters_specks(self):
+        tracker = ClusterTracker(gate=2.0, min_size=50)
+        pts = blob([0, 0], 20, 70)
+        up = tracker.update(pts, self._cluster(pts))
+        assert up.opened == []
+
+    def test_gate_blocks_teleporting_match(self):
+        tracker = ClusterTracker(gate=1.0, min_size=5)
+        pts1 = blob([0, 0], 60, 80)
+        tracker.update(pts1, self._cluster(pts1))
+        pts2 = blob([30, 30], 60, 81)
+        up = tracker.update(pts2, self._cluster(pts2))
+        assert len(up.matched) == 0
+        assert len(up.opened) == 1
+
+    def test_invalid_gate(self):
+        with pytest.raises(ValidationError):
+            ClusterTracker(gate=0.0)
+
+    def test_single_observation_velocity_none(self):
+        tracker = ClusterTracker(gate=2.0, min_size=5)
+        pts = blob([0, 0], 60, 90)
+        tracker.update(pts, self._cluster(pts))
+        (track,) = tracker.tracks()
+        assert track.velocity() is None
+        assert track.speed() is None

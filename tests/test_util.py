@@ -1,0 +1,162 @@
+"""Unit tests for :mod:`repro.util` (validation, rng, timing, errors)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    ReproError,
+    ReuseCriteriaError,
+    SchedulingError,
+    Stopwatch,
+    ValidationError,
+    as_points_array,
+    check_eps,
+    check_minpts,
+    check_positive_int,
+    resolve_rng,
+    spawn_rngs,
+)
+
+
+class TestErrors:
+    def test_validation_error_is_repro_error(self):
+        assert issubclass(ValidationError, ReproError)
+
+    def test_validation_error_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)
+
+    def test_reuse_and_scheduling_errors_are_repro_errors(self):
+        assert issubclass(ReuseCriteriaError, ReproError)
+        assert issubclass(SchedulingError, ReproError)
+
+
+class TestAsPointsArray:
+    def test_list_of_pairs(self):
+        arr = as_points_array([[0, 1], [2, 3]])
+        assert arr.shape == (2, 2)
+        assert arr.dtype == np.float64
+        assert arr.flags.c_contiguous
+
+    def test_empty_input_yields_zero_by_two(self):
+        arr = as_points_array([])
+        assert arr.shape == (0, 2)
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValidationError):
+            as_points_array([[1.0, 2.0, 3.0]])
+
+    def test_one_dimensional_rejected(self):
+        with pytest.raises(ValidationError):
+            as_points_array([1.0, 2.0, 3.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            as_points_array([[np.nan, 0.0]])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValidationError):
+            as_points_array([[np.inf, 0.0]])
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ValidationError):
+            as_points_array([["a", "b"]])
+
+    def test_existing_float64_array_not_copied(self):
+        src = np.zeros((5, 2), dtype=np.float64)
+        out = as_points_array(src)
+        assert out is src
+
+    def test_int_array_converted(self):
+        out = as_points_array(np.array([[1, 2], [3, 4]]))
+        assert out.dtype == np.float64
+
+
+class TestScalarChecks:
+    def test_check_eps_accepts_positive(self):
+        assert check_eps(0.5) == 0.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf"), "x", None])
+    def test_check_eps_rejects(self, bad):
+        with pytest.raises(ValidationError):
+            check_eps(bad)
+
+    def test_check_minpts_accepts_one(self):
+        assert check_minpts(1) == 1
+
+    @pytest.mark.parametrize("bad", [0, -3, 2.5, "x", None, True])
+    def test_check_minpts_rejects(self, bad):
+        with pytest.raises(ValidationError):
+            check_minpts(bad)
+
+    def test_check_positive_int_accepts_integral_float(self):
+        assert check_positive_int(4.0) == 4
+
+    def test_check_positive_int_name_in_message(self):
+        with pytest.raises(ValidationError, match="fanout"):
+            check_positive_int(0, name="fanout")
+
+
+class TestRng:
+    def test_resolve_from_int_is_deterministic(self):
+        a = resolve_rng(42).random(4)
+        b = resolve_rng(42).random(4)
+        assert np.array_equal(a, b)
+
+    def test_resolve_passes_generator_through(self):
+        g = np.random.default_rng(1)
+        assert resolve_rng(g) is g
+
+    def test_resolve_none_gives_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+    def test_spawn_produces_independent_streams(self):
+        a, b = spawn_rngs(7, 2)
+        assert not np.array_equal(a.random(8), b.random(8))
+
+    def test_spawn_is_deterministic(self):
+        first = [g.random(3).tolist() for g in spawn_rngs(9, 3)]
+        second = [g.random(3).tolist() for g in spawn_rngs(9, 3)]
+        assert first == second
+
+    def test_spawn_zero(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+
+class TestStopwatch:
+    def test_context_manager_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        with sw:
+            pass
+        assert sw.laps == 2
+        assert sw.elapsed >= 0.0
+
+    def test_stop_returns_lap_duration(self):
+        sw = Stopwatch().start()
+        lap = sw.stop()
+        assert lap >= 0.0
+        assert sw.elapsed == pytest.approx(lap)
+
+    def test_double_start_rejected(self):
+        sw = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.elapsed == 0.0
+        assert sw.laps == 0

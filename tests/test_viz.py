@@ -1,0 +1,110 @@
+"""Tests for the ASCII visualization helpers (:mod:`repro.viz`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.variants import Variant
+from repro.metrics.records import BatchRunRecord, VariantRunRecord
+from repro.viz import heatmap, reachability_plot, scatter, timeline
+
+
+class TestScatter:
+    def test_dimensions(self):
+        pts = np.random.default_rng(0).uniform(0, 10, (100, 2))
+        out = scatter(pts, width=40, height=10)
+        lines = out.splitlines()
+        assert len(lines) == 10
+        assert all(len(l) == 40 for l in lines)
+
+    def test_empty(self):
+        out = scatter(np.empty((0, 2)), width=10, height=3)
+        assert out.splitlines() == [" " * 10] * 3
+
+    def test_labels_use_letters_by_size(self):
+        pts = np.vstack([np.full((10, 2), 0.0), np.full((3, 2), 9.0)])
+        labels = np.array([0] * 10 + [1] * 3)
+        out = scatter(pts, labels, width=20, height=5)
+        assert "A" in out and "B" in out
+
+    def test_noise_renders_as_comma(self):
+        pts = np.array([[0.0, 0.0], [5.0, 5.0]])
+        out = scatter(pts, np.array([-1, -1]), width=10, height=5)
+        assert "," in out
+
+    def test_single_point(self):
+        out = scatter(np.array([[3.0, 3.0]]), width=8, height=4)
+        assert out.count("*") == 1
+
+
+class TestHeatmap:
+    def test_dimensions_and_ramp(self):
+        field = np.linspace(0, 1, 100).reshape(10, 10)
+        out = heatmap(field, width=20, height=8)
+        lines = out.splitlines()
+        assert len(lines) == 8
+        assert all(len(l) == 20 for l in lines)
+        assert "@" in out and " " in out  # full ramp used
+
+    def test_constant_field(self):
+        out = heatmap(np.ones((5, 5)), width=10, height=4)
+        assert len(set(out.replace("\n", ""))) == 1
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            heatmap(np.zeros(5))
+
+    def test_north_is_up(self):
+        field = np.zeros((10, 10))
+        field[-1, :] = 1.0  # top row of the field (highest index)
+        out = heatmap(field, width=10, height=10).splitlines()
+        assert "@" in out[0] and "@" not in out[-1]
+
+
+def _rec(v, t0, t1, tid, reused=None):
+    return VariantRunRecord(
+        variant=v, reused_from=reused, response_time=t1 - t0,
+        start=t0, finish=t1, thread_id=tid,
+    )
+
+
+class TestTimeline:
+    def test_lanes_and_markers(self):
+        a, b = Variant(0.2, 8), Variant(0.3, 8)
+        rec = BatchRunRecord(
+            records=[_rec(a, 0, 5, 0), _rec(b, 0, 3, 1, reused=a)],
+            n_threads=2,
+            makespan=5.0,
+        )
+        out = timeline(rec, width=20)
+        lines = out.splitlines()
+        assert lines[0].startswith("T0")
+        assert "#" in lines[0]  # scratch
+        assert "=" in lines[1]  # reused
+        assert "." in lines[1]  # idle tail
+
+    def test_empty(self):
+        assert "empty" in timeline(BatchRunRecord(records=[]))
+
+
+class TestReachability:
+    def test_dimensions(self):
+        out = reachability_plot([np.inf, 1.0, 0.5, 0.4, 2.0], width=20, height=6)
+        lines = out.splitlines()
+        assert len(lines) == 7  # height + baseline
+        assert all(len(l) == 20 for l in lines)
+
+    def test_inf_renders_separator(self):
+        out = reachability_plot([np.inf, 0.5, np.inf, 0.5], width=4, height=4)
+        assert "|" in out
+
+    def test_empty(self):
+        assert "empty" in reachability_plot([])
+
+    def test_valleys_lower_than_peaks(self):
+        reach = [np.inf] + [0.1] * 10 + [5.0] + [0.1] * 10
+        out = reachability_plot(reach, width=22, height=8).splitlines()
+        top = out[0]
+        assert "#" in top  # the peak reaches the top row
+        assert top.count("#") <= 3  # valleys don't
