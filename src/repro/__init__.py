@@ -30,6 +30,7 @@ from repro.core import (
     ClusteringResult,
     CompletedRegistry,
     NeighborSearcher,
+    NeighborhoodCache,
     SchedGreedy,
     SchedMinpts,
     Scheduler,
@@ -66,6 +67,7 @@ __all__ = [
     "dbscan",
     "variant_dbscan",
     "NeighborSearcher",
+    "NeighborhoodCache",
     "CLUS_DEFAULT",
     "CLUS_DENSITY",
     "CLUS_PTS_SQUARED",

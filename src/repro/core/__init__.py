@@ -14,8 +14,9 @@ Module map (paper section in parentheses):
   SCHEDMINPTS (IV-D).
 """
 
-from repro.core.dbscan import dbscan
+from repro.core.dbscan import DEFAULT_BATCH_SIZE, dbscan
 from repro.core.neighbors import NeighborSearcher, neighbor_search
+from repro.core.neighcache import NeighborhoodCache
 from repro.core.result import ClusteringResult
 from repro.core.reuse import (
     ReusePolicy,
@@ -39,8 +40,10 @@ __all__ = [
     "VariantSet",
     "ClusteringResult",
     "NeighborSearcher",
+    "NeighborhoodCache",
     "neighbor_search",
     "dbscan",
+    "DEFAULT_BATCH_SIZE",
     "variant_dbscan",
     "ReusePolicy",
     "CLUS_DEFAULT",

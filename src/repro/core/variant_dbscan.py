@@ -33,8 +33,9 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.dbscan import dbscan, dbscan_into
+from repro.core.dbscan import DEFAULT_BATCH_SIZE, dbscan, dbscan_into, expand_frontier
 from repro.core.neighbors import NeighborSearcher
+from repro.core.neighcache import NeighborhoodCache
 from repro.core.result import NOISE, ClusteringResult
 from repro.core.reuse import CLUS_DENSITY, ReusePolicy
 from repro.core.variants import Variant
@@ -65,14 +66,18 @@ def expand_cluster(
     old_labels: np.ndarray,
     destroyed: set[int],
     cid: int,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> None:
     """Algorithm 4: grow cluster ``cid`` outward from ``grow_points``.
 
     ``grow_points`` are the boundary members discovered by the MBB
     sweep (already labeled ``cid``); standard DBSCAN frontier expansion
-    proceeds from them.  Whenever a previously *unclustered* point is
-    absorbed, the old cluster it belonged to (``old_labels``) is added
-    to ``destroyed`` — that cluster's identity no longer survives into
+    proceeds from them — in blocks of ``batch_size`` through the
+    batched epsilon-search engine, or one point at a time when
+    ``batch_size <= 1`` (identical labels, cores, and counters either
+    way).  Whenever a previously *unclustered* point is absorbed, the
+    old cluster it belonged to (``old_labels``) is added to
+    ``destroyed`` — that cluster's identity no longer survives into
     this variant, so it must not be used as a reuse seed later
     (Algorithm 4 lines 10-11).
 
@@ -80,6 +85,21 @@ def expand_cluster(
     re-assigned (the ``clusterSet`` membership test of line 8).
     """
     in_seeds[grow_points] = True
+    if batch_size > 1:
+        expand_frontier(
+            searcher,
+            minpts,
+            grow_points,
+            labels=labels,
+            core_mask=core_mask,
+            visited=visited,
+            in_seeds=in_seeds,
+            cid=cid,
+            batch_size=batch_size,
+            old_labels=old_labels,
+            destroyed=destroyed,
+        )
+        return
     seeds: list[int] = [int(i) for i in grow_points]
     k = 0
     while k < len(seeds):
@@ -110,6 +130,8 @@ def variant_dbscan(
     t_low: Optional[RTree] = None,
     reuse_policy: ReusePolicy = CLUS_DENSITY,
     counters: Optional[WorkCounters] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    cache: Optional[NeighborhoodCache] = None,
 ) -> ClusteringResult:
     """Cluster ``points`` under ``variant``, reusing ``previous`` if given.
 
@@ -131,6 +153,14 @@ def variant_dbscan(
         Cluster-seed prioritisation (Section IV-C); default CLUSDENSITY.
     counters:
         Work-counter sink.
+    batch_size:
+        Block size for the batched epsilon-search engine (boundary
+        discovery and frontier expansion); ``<= 1`` selects the scalar
+        reference loops.  Results and counters are identical.
+    cache:
+        Optional per-eps neighborhood cache; variants sharing an eps
+        (and this index) reuse each other's epsilon searches (see
+        :mod:`repro.core.neighcache`).
 
     Raises
     ------
@@ -146,7 +176,15 @@ def variant_dbscan(
         t_low = RTree(points, r=DEFAULT_LOW_RES_R)
 
     if previous is None:
-        return dbscan(points, variant.eps, variant.minpts, index=t_low, counters=counters)
+        return dbscan(
+            points,
+            variant.eps,
+            variant.minpts,
+            index=t_low,
+            counters=counters,
+            batch_size=batch_size,
+            cache=cache,
+        )
 
     if previous.variant is None:
         raise ReuseCriteriaError("previous result has no variant attached")
@@ -170,7 +208,7 @@ def variant_dbscan(
     destroyed: set[int] = set()
     old_labels = previous.labels
     members = previous.cluster_members()
-    searcher = NeighborSearcher(t_low, variant.eps, counters)
+    searcher = NeighborSearcher(t_low, variant.eps, counters, cache=cache)
 
     seed_list = reuse_policy.get_seed_list(previous, points, variant.eps)
     points_reused = 0
@@ -193,13 +231,25 @@ def variant_dbscan(
         cand = t_high.query_rect(sweep_mbb, counters)
         outside = cand[labels[cand] != cid]
         boundary_hits: list[np.ndarray] = []
-        for p in outside:
-            counters.outside_points_searched += 1
-            neigh = searcher.search(int(p))
-            if neigh.size:
+        if batch_size > 1:
+            # Batched boundary discovery: the outside points are known
+            # up front, so whole blocks go through search_batch and the
+            # "reaches the cluster" test is one vectorized label
+            # comparison per block.
+            counters.outside_points_searched += int(outside.size)
+            for s in range(0, outside.size, batch_size):
+                _, neigh = searcher.search_batch(outside[s : s + batch_size])
                 inside = neigh[labels[neigh] == cid]
                 if inside.size:
                     boundary_hits.append(inside)
+        else:
+            for p in outside:
+                counters.outside_points_searched += 1
+                neigh = searcher.search(int(p))
+                if neigh.size:
+                    inside = neigh[labels[neigh] == cid]
+                    if inside.size:
+                        boundary_hits.append(inside)
         if boundary_hits:
             grow_points = np.unique(np.concatenate(boundary_hits))
         else:
@@ -216,6 +266,7 @@ def variant_dbscan(
             old_labels=old_labels,
             destroyed=destroyed,
             cid=cid,
+            batch_size=batch_size,
         )
         cid += 1
 
@@ -231,6 +282,8 @@ def variant_dbscan(
         visited=visited,
         counters=counters,
         next_cluster_id=cid,
+        batch_size=batch_size,
+        cache=cache,
     )
     elapsed = sw.stop()
     return ClusteringResult(

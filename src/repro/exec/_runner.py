@@ -12,6 +12,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.dbscan import DEFAULT_BATCH_SIZE
+from repro.core.neighcache import NeighborhoodCache
 from repro.core.result import ClusteringResult
 from repro.core.reuse import ReusePolicy
 from repro.core.scheduling import CompletedRegistry, PlannedVariant, Scheduler
@@ -37,6 +39,8 @@ def execute_variant(
     *,
     concurrency: int = 1,
     before: Optional[float] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    cache: Optional[NeighborhoodCache] = None,
 ) -> tuple[ClusteringResult, VariantRunRecord]:
     """Run one planned variant and return its result and run record.
 
@@ -45,6 +49,8 @@ def execute_variant(
     whatever has completed by now").  The record's ``response_time`` is
     priced by ``cost_model`` at the given ``concurrency``; ``start`` /
     ``finish`` / ``thread_id`` are the caller's to fill in.
+    ``batch_size`` and ``cache`` are forwarded into VariantDBSCAN's
+    epsilon-search engine (see :class:`~repro.exec.base.BaseExecutor`).
     """
     counters = WorkCounters()
     source = scheduler.select_source(planned, vset, registry, before=before)
@@ -55,6 +61,8 @@ def execute_variant(
             None,
             t_low=indexes.t_low,
             counters=counters,
+            batch_size=batch_size,
+            cache=cache,
         )
     else:
         _, source_result = source
@@ -66,6 +74,8 @@ def execute_variant(
             t_low=indexes.t_low,
             reuse_policy=reuse_policy,
             counters=counters,
+            batch_size=batch_size,
+            cache=cache,
         )
     record = VariantRunRecord(
         variant=planned.variant,

@@ -28,6 +28,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.dbscan import DEFAULT_BATCH_SIZE
+from repro.core.neighcache import NeighborhoodCache
 from repro.core.result import ClusteringResult
 from repro.core.reuse import CLUS_DENSITY, ReusePolicy
 from repro.core.scheduling import Scheduler, SchedGreedy
@@ -102,6 +104,16 @@ class BaseExecutor(abc.ABC):
     cost_model:
         Work-unit pricing (used by the simulated executor and for the
         work-unit response times recorded by every backend).
+    batch_size:
+        Block size for the batched epsilon-search engine inside each
+        variant run; ``<= 1`` selects the scalar reference loops
+        (identical results and counters, more Python overhead).
+    cache_bytes:
+        Capacity of the per-eps neighborhood cache shared across the
+        batch's variants; ``0`` (the default) disables caching.  The
+        shared-memory backends (serial, threads, simulated) share one
+        cache across all variants; the process backend gives each
+        worker its own.
     """
 
     name: str = "?"
@@ -114,12 +126,26 @@ class BaseExecutor(abc.ABC):
         reuse_policy: ReusePolicy = CLUS_DENSITY,
         low_res_r: int = DEFAULT_LOW_RES_R,
         cost_model: CostModel = DEFAULT_COST_MODEL,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        cache_bytes: int = 0,
     ) -> None:
         self.n_threads = check_positive_int(n_threads, name="n_threads")
         self.scheduler = scheduler if scheduler is not None else SchedGreedy()
         self.reuse_policy = reuse_policy
         self.low_res_r = check_positive_int(low_res_r, name="low_res_r")
         self.cost_model = cost_model
+        self.batch_size = int(batch_size)
+        if self.batch_size < 0:
+            raise ValueError(f"batch_size must be >= 0, got {batch_size}")
+        self.cache_bytes = int(cache_bytes)
+        if self.cache_bytes < 0:
+            raise ValueError(f"cache_bytes must be >= 0, got {cache_bytes}")
+
+    def _build_cache(self) -> Optional[NeighborhoodCache]:
+        """One fresh neighborhood cache per batch, or ``None`` if disabled."""
+        if self.cache_bytes <= 0:
+            return None
+        return NeighborhoodCache(capacity_bytes=self.cache_bytes)
 
     def run(
         self,

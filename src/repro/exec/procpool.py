@@ -92,13 +92,23 @@ def _worker(
     low_res_r: int,
     cost_model: CostModel,
     t0: float,
+    batch_size: int,
+    cache_bytes: int,
 ):
-    """Run one group serially inside a worker process."""
+    """Run one group serially inside a worker process.
+
+    The neighborhood cache cannot cross the process boundary, so each
+    worker builds its own (keyed to its own indexes); intra-group eps
+    sharing is preserved, cross-group sharing is forfeited along with
+    cross-group cluster reuse.
+    """
     group = _ChainSerialExecutor(
         order=[Variant(e, m) for e, m in variant_tuples],
         reuse_policy=POLICIES[reuse_policy_name],
         low_res_r=low_res_r,
         cost_model=cost_model,
+        batch_size=batch_size,
+        cache_bytes=cache_bytes,
     )
     vset = VariantSet(Variant(e, m) for e, m in variant_tuples)
     start = time.time() - t0
@@ -158,6 +168,8 @@ class ProcessPoolExecutorBackend(BaseExecutor):
                     self.low_res_r,
                     self.cost_model,
                     t0,
+                    self.batch_size,
+                    self.cache_bytes,
                 )
                 for group in groups
             ]

@@ -36,6 +36,7 @@ class SerialExecutor(BaseExecutor):
         self, points: np.ndarray, variants: VariantSet, indexes: IndexPair
     ) -> BatchResult:
         registry = CompletedRegistry()
+        cache = self._build_cache()
         results = {}
         records = []
         clock = 0.0
@@ -50,6 +51,8 @@ class SerialExecutor(BaseExecutor):
                 registry,
                 self.cost_model,
                 concurrency=1,
+                batch_size=self.batch_size,
+                cache=cache,
             )
             record.start = clock
             clock += record.response_time

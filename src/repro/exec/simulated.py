@@ -48,6 +48,7 @@ class SimulatedExecutor(BaseExecutor):
         self, points: np.ndarray, variants: VariantSet, indexes: IndexPair
     ) -> BatchResult:
         registry = CompletedRegistry()
+        cache = self._build_cache()
         results = {}
         records = []
         # (available_time, thread_id) min-heap of virtual workers.
@@ -67,6 +68,8 @@ class SimulatedExecutor(BaseExecutor):
                 self.cost_model,
                 concurrency=self.n_threads,
                 before=start,
+                batch_size=self.batch_size,
+                cache=cache,
             )
             finish = start + record.response_time
             record.start = start

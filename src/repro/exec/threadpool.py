@@ -43,6 +43,9 @@ class ThreadPoolExecutorBackend(BaseExecutor):
     ) -> BatchResult:
         plan = self.scheduler.plan(variants)
         registry = CompletedRegistry()
+        # One cache shared by all workers; NeighborhoodCache locks
+        # internally, so concurrent hit/miss/put traffic is safe.
+        cache = self._build_cache()
         queue_lock = threading.Lock()
         results_lock = threading.Lock()
         results = {}
@@ -70,6 +73,8 @@ class ThreadPoolExecutorBackend(BaseExecutor):
                     self.cost_model,
                     concurrency=self.n_threads,
                     before=None,  # wall clock: anything completed is eligible
+                    batch_size=self.batch_size,
+                    cache=cache,
                 )
                 finish = time.perf_counter() - t0
                 record.start = start

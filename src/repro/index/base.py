@@ -16,7 +16,13 @@ from typing import Optional
 
 import numpy as np
 
+from repro.index.mbb import mbb_contains_points
 from repro.metrics.counters import WorkCounters
+
+
+def empty_csr(n_queries: int) -> tuple[np.ndarray, np.ndarray]:
+    """An all-empty CSR result for ``n_queries`` queries."""
+    return np.zeros(n_queries + 1, dtype=np.int64), np.empty(0, dtype=np.int64)
 
 
 class SpatialIndex(abc.ABC):
@@ -58,6 +64,75 @@ class SpatialIndex(abc.ABC):
         duplicates).
         """
 
+    def query_candidates_batch(
+        self, mbbs: np.ndarray, counters: Optional[WorkCounters] = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Candidates for a whole block of query MBBs, CSR-encoded.
+
+        Parameters
+        ----------
+        mbbs:
+            ``(m, 4)`` batch of query MBBs (``[xmin, ymin, xmax, ymax]``
+            rows, as everywhere in :mod:`repro.index.mbb`).
+        counters:
+            Work-counter sink; node visits are tallied exactly as if
+            the ``m`` queries had been issued one at a time.
+
+        Returns
+        -------
+        (indptr, indices)
+            ``indptr`` is ``(m + 1,)`` int64; query ``i``'s candidates
+            are ``indices[indptr[i]:indptr[i + 1]]``, in the same order
+            the scalar :meth:`query_candidates` would return them.
+
+        The base implementation loops over :meth:`query_candidates`;
+        every bundled index overrides it with a descent/probe that is
+        vectorized *across queries*, which is where the batched
+        epsilon-search engine gets its speed (one set of NumPy ops per
+        tree level instead of one per query).
+        """
+        mbbs = np.asarray(mbbs, dtype=np.float64).reshape(-1, 4)
+        m = mbbs.shape[0]
+        if m == 0:
+            return empty_csr(0)
+        rows = [self.query_candidates(mbbs[i], counters) for i in range(m)]
+        indptr = np.zeros(m + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum(np.array([r.size for r in rows], dtype=np.int64))
+        return indptr, (
+            np.concatenate(rows) if indptr[-1] else np.empty(0, dtype=np.int64)
+        )
+
+    def query_candidates_batch_visits(
+        self, mbbs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batch query plus *per-query* node-visit counts; charges nothing.
+
+        ``visits[i]`` is exactly what ``query_candidates(mbbs[i])``
+        would add to ``counters.index_nodes_visited``.  Callers that
+        consume results speculatively (the outer-scan prefetch in
+        :mod:`repro.core.dbscan`) use this to charge each query's
+        scalar-equivalent cost if and only if its row is used.
+        """
+        mbbs = np.asarray(mbbs, dtype=np.float64).reshape(-1, 4)
+        m = mbbs.shape[0]
+        visits = np.zeros(m, dtype=np.int64)
+        if m == 0:
+            return (*empty_csr(0), visits)
+        tmp = WorkCounters()
+        rows = []
+        prev = 0
+        for i in range(m):
+            rows.append(self.query_candidates(mbbs[i], tmp))
+            visits[i] = tmp.index_nodes_visited - prev
+            prev = tmp.index_nodes_visited
+        indptr = np.zeros(m + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum(np.array([r.size for r in rows], dtype=np.int64))
+        return (
+            indptr,
+            np.concatenate(rows) if indptr[-1] else np.empty(0, dtype=np.int64),
+            visits,
+        )
+
     def query_rect(
         self, mbb: np.ndarray, counters: Optional[WorkCounters] = None
     ) -> np.ndarray:
@@ -68,8 +143,6 @@ class SpatialIndex(abc.ABC):
         a vectorized containment filter, charging the examined
         candidates to ``counters``.
         """
-        from repro.index.mbb import mbb_contains_points
-
         cand = self.query_candidates(mbb, counters)
         if cand.size == 0:
             return cand

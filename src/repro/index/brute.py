@@ -12,7 +12,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.index.base import SpatialIndex
+from repro.index.base import SpatialIndex, empty_csr
 from repro.metrics.counters import WorkCounters
 from repro.util.validation import as_points_array
 
@@ -36,3 +36,26 @@ class BruteForceIndex(SpatialIndex):
         if counters is not None:
             counters.index_nodes_visited += 1
         return self._all
+
+    def query_candidates_batch(
+        self, mbbs: np.ndarray, counters: Optional[WorkCounters] = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Every query's candidate row is the full database."""
+        mbbs = np.asarray(mbbs, dtype=np.float64).reshape(-1, 4)
+        m = mbbs.shape[0]
+        if m == 0:
+            return empty_csr(0)
+        if counters is not None:
+            counters.index_nodes_visited += m
+        n = self._all.size
+        indptr = np.arange(m + 1, dtype=np.int64) * n
+        return indptr, np.tile(self._all, m)
+
+    def query_candidates_batch_visits(
+        self, mbbs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batch query plus per-query visit counts (one scan per query)."""
+        mbbs = np.asarray(mbbs, dtype=np.float64).reshape(-1, 4)
+        m = mbbs.shape[0]
+        indptr, indices = self.query_candidates_batch(mbbs, None)
+        return indptr, indices, np.ones(m, dtype=np.int64)

@@ -20,7 +20,7 @@ from typing import Optional
 import numpy as np
 
 from repro.index._ranges import ranges_to_indices
-from repro.index.base import SpatialIndex
+from repro.index.base import SpatialIndex, empty_csr
 from repro.index.mbb import XMAX, XMIN, YMAX, YMIN
 from repro.metrics.counters import WorkCounters
 from repro.util.validation import as_points_array
@@ -61,6 +61,31 @@ class UniformGridIndex(SpatialIndex):
         self._cell_keys = np.column_stack([cx_s[starts], cy_s[starts]])
         self._offsets = np.append(starts, n).astype(np.int64)
         self._order = order.astype(np.int64)
+        self._build_encoded_keys()
+
+    def _build_encoded_keys(self) -> None:
+        """Pack lexicographic (cx, cy) keys into one sorted int64 array.
+
+        ``cx * span + (cy - cy_min)`` is strictly increasing over the
+        lex-sorted keys, so batched cell lookups become one
+        ``searchsorted``.  If the packed range would overflow int64
+        (astronomical coordinates / tiny cells), ``_enc`` stays ``None``
+        and the batch query falls back to the scalar probe loop.
+        """
+        self._enc: Optional[np.ndarray] = None
+        keys = self._cell_keys
+        if keys.shape[0] == 0:
+            return
+        cx_lo, cx_hi = int(keys[0, 0]), int(keys[-1, 0])
+        cy_lo = int(keys[:, 1].min())
+        cy_hi = int(keys[:, 1].max())
+        span = cy_hi - cy_lo + 1
+        if max(abs(cx_lo), abs(cx_hi) + 1) * span >= 2**62:
+            return
+        self._cx_lo, self._cx_hi = cx_lo, cx_hi
+        self._cy_lo, self._cy_hi = cy_lo, cy_hi
+        self._span = span
+        self._enc = keys[:, 0] * span + (keys[:, 1] - cy_lo)
 
     @property
     def n_cells(self) -> int:
@@ -112,3 +137,84 @@ class UniformGridIndex(SpatialIndex):
         starts = self._offsets[slot_arr]
         counts = self._offsets[slot_arr + 1] - starts
         return self._order[ranges_to_indices(starts, counts)]
+
+    def query_candidates_batch(
+        self, mbbs: np.ndarray, counters: Optional[WorkCounters] = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched cell probes: one ``searchsorted`` for every query's cells.
+
+        Each query's (cx, cy) probe grid is expanded in the scalar loop
+        order (cx outer, cy inner), probed against the packed key array
+        in one shot, and hit cells' point ranges expanded CSR-style, so
+        every row matches :meth:`query_candidates` elementwise and the
+        probe tally is identical.
+        """
+        mbbs = np.asarray(mbbs, dtype=np.float64).reshape(-1, 4)
+        m = mbbs.shape[0]
+        if m == 0:
+            return empty_csr(0)
+        if self._order.size == 0:  # scalar returns before probing, too
+            return empty_csr(m)
+        if self._enc is None:  # packed-key overflow: scalar fallback
+            return super().query_candidates_batch(mbbs, counters)
+        w = self.cell_width
+        cx0 = np.floor(mbbs[:, XMIN] / w).astype(np.int64)
+        cx1 = np.floor(mbbs[:, XMAX] / w).astype(np.int64)
+        cy0 = np.floor(mbbs[:, YMIN] / w).astype(np.int64)
+        cy1 = np.floor(mbbs[:, YMAX] / w).astype(np.int64)
+        ncx = cx1 - cx0 + 1
+        ncy = cy1 - cy0 + 1
+        if counters is not None:
+            counters.index_nodes_visited += int((ncx * ncy).sum())
+        # Expand (query, cx) pairs, then each pair's cy range.
+        qid_x = np.repeat(np.arange(m, dtype=np.int64), ncx)
+        cx_cells = ranges_to_indices(cx0, ncx)
+        reps = ncy[qid_x]
+        qid = np.repeat(qid_x, reps)
+        cx_cells = np.repeat(cx_cells, reps)
+        cy_cells = ranges_to_indices(cy0[qid_x], reps)
+        # Probe: encode in-range cells and binary-search the key array.
+        ok = (
+            (cx_cells >= self._cx_lo)
+            & (cx_cells <= self._cx_hi)
+            & (cy_cells >= self._cy_lo)
+            & (cy_cells <= self._cy_hi)
+        )
+        enc_q = cx_cells[ok] * self._span + (cy_cells[ok] - self._cy_lo)
+        pos = np.searchsorted(self._enc, enc_q)
+        pos[pos >= self._enc.size] = 0  # guard; verified by equality below
+        hit = self._enc[pos] == enc_q
+        slots = pos[hit]
+        qid_hit = qid[ok][hit]
+        if slots.size == 0:
+            return empty_csr(m)
+        starts = self._offsets[slots]
+        counts = self._offsets[slots + 1] - starts
+        indices = self._order[ranges_to_indices(starts, counts)]
+        per_query = np.bincount(qid_hit, weights=counts, minlength=m).astype(np.int64)
+        indptr = np.zeros(m + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum(per_query)
+        return indptr, indices
+
+    def query_candidates_batch_visits(
+        self, mbbs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batch query plus per-query probe counts; charges nothing.
+
+        A query's visit count is its probe-grid size ``ncx * ncy`` —
+        exactly what the scalar loop tallies — so no separate traversal
+        bookkeeping is needed.
+        """
+        mbbs = np.asarray(mbbs, dtype=np.float64).reshape(-1, 4)
+        m = mbbs.shape[0]
+        if m == 0 or self._order.size == 0 or self._enc is None:
+            return super().query_candidates_batch_visits(mbbs)
+        w = self.cell_width
+        ncx = np.floor(mbbs[:, XMAX] / w).astype(np.int64) - np.floor(
+            mbbs[:, XMIN] / w
+        ).astype(np.int64) + 1
+        ncy = np.floor(mbbs[:, YMAX] / w).astype(np.int64) - np.floor(
+            mbbs[:, YMIN] / w
+        ).astype(np.int64) + 1
+        indptr, indices = self.query_candidates_batch(mbbs, None)
+        return indptr, indices, ncx * ncy

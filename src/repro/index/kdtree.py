@@ -20,7 +20,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.index.base import SpatialIndex
+from repro.index._ranges import ranges_to_indices
+from repro.index.base import SpatialIndex, empty_csr
 from repro.index.mbb import XMAX, XMIN, YMAX, YMIN
 from repro.metrics.counters import WorkCounters
 from repro.util.validation import as_points_array, check_positive_int
@@ -62,6 +63,8 @@ class KDTree(SpatialIndex):
         self._split_val_a = np.asarray(self._split_val, dtype=np.float64)
         self._left_a = np.asarray(self._left, dtype=np.int64)
         self._right_a = np.asarray(self._right, dtype=np.int64)
+        self._start_a = np.asarray([s for s, _ in self._range], dtype=np.int64)
+        self._end_a = np.asarray([e for _, e in self._range], dtype=np.int64)
 
     def _new_node(self) -> int:
         self._split_axis.append(-1)
@@ -129,6 +132,91 @@ class KDTree(SpatialIndex):
         if not out:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(out)
+
+    def query_candidates_batch(
+        self, mbbs: np.ndarray, counters: Optional[WorkCounters] = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Level-synchronous descent for a block of query MBBs.
+
+        The frontier is a flat ``(query id, node id)`` pair list
+        processed wave by wave; each wave does the leaf/internal split
+        and both straddle tests as whole-array ops.  Every pair is
+        processed exactly once, so the node-visit tally equals the sum
+        of the scalar calls'.  Hit leaves are re-sorted per query into
+        descending payload order — the order the scalar right-first
+        DFS emits them — so each CSR row matches
+        :meth:`query_candidates` elementwise.
+        """
+        indptr, indices, visited, _ = self._batch_descend(mbbs, track_visits=False)
+        if counters is not None:
+            counters.index_nodes_visited += visited
+        return indptr, indices
+
+    def query_candidates_batch_visits(
+        self, mbbs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batch query plus per-query node-visit counts; charges nothing."""
+        indptr, indices, _, visits = self._batch_descend(mbbs, track_visits=True)
+        return indptr, indices, visits
+
+    def _batch_descend(
+        self, mbbs: np.ndarray, *, track_visits: bool
+    ) -> tuple[np.ndarray, np.ndarray, int, Optional[np.ndarray]]:
+        mbbs = np.asarray(mbbs, dtype=np.float64).reshape(-1, 4)
+        m = mbbs.shape[0]
+        visits = np.zeros(m, dtype=np.int64) if track_visits else None
+        if m == 0:
+            return (*empty_csr(0), 0, visits)
+        if self._root < 0:
+            return (*empty_csr(m), 0, visits)
+        qx0 = mbbs[:, XMIN]
+        qy0 = mbbs[:, YMIN]
+        qx1 = mbbs[:, XMAX]
+        qy1 = mbbs[:, YMAX]
+        qid = np.arange(m, dtype=np.int64)
+        nodes = np.full(m, self._root, dtype=np.int64)
+        visited = 0
+        leaf_qid_parts: list[np.ndarray] = []
+        leaf_node_parts: list[np.ndarray] = []
+        axis_a, val_a = self._split_axis_a, self._split_val_a
+        left_a, right_a = self._left_a, self._right_a
+        while nodes.size:
+            visited += nodes.size
+            if track_visits:
+                visits += np.bincount(qid, minlength=m)
+            axis = axis_a[nodes]
+            is_leaf = axis < 0
+            if is_leaf.any():
+                leaf_qid_parts.append(qid[is_leaf])
+                leaf_node_parts.append(nodes[is_leaf])
+            inner = ~is_leaf
+            qi = qid[inner]
+            nd = nodes[inner]
+            ax = axis[inner]
+            v = val_a[nd]
+            lo = np.where(ax == 0, qx0[qi], qy0[qi])
+            hi = np.where(ax == 0, qx1[qi], qy1[qi])
+            go_left = lo <= v
+            go_right = hi >= v
+            qid = np.concatenate([qi[go_left], qi[go_right]])
+            nodes = np.concatenate([left_a[nd][go_left], right_a[nd][go_right]])
+        if not leaf_qid_parts:
+            return (*empty_csr(m), int(visited), visits)
+        lq = np.concatenate(leaf_qid_parts)
+        ln = np.concatenate(leaf_node_parts)
+        starts = self._start_a[ln]
+        counts = self._end_a[ln] - starts
+        # Scalar DFS pops the right child first, emitting leaves in
+        # descending payload order within each query.
+        order = np.lexsort((-starts, lq))
+        lq = lq[order]
+        starts = starts[order]
+        counts = counts[order]
+        indices = self._order[ranges_to_indices(starts, counts)]
+        per_query = np.bincount(lq, weights=counts, minlength=m).astype(np.int64)
+        indptr = np.zeros(m + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum(per_query)
+        return indptr, indices, int(visited), visits
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"KDTree(n={self.n_points}, leaf_size={self.leaf_size}, nodes={self.n_nodes})"

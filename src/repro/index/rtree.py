@@ -28,9 +28,10 @@ from typing import Optional
 
 import numpy as np
 
-from repro.index.base import SpatialIndex
+from repro.index._ranges import ranges_to_indices
+from repro.index.base import SpatialIndex, empty_csr
 from repro.index.binsort import binsort_order
-from repro.index.mbb import XMAX, XMIN, YMAX, YMIN
+from repro.index.mbb import XMAX, XMIN, YMAX, YMIN, mbb_contains_points
 from repro.metrics.counters import WorkCounters
 from repro.util.errors import ValidationError
 from repro.util.validation import as_points_array, check_positive_int
@@ -114,6 +115,13 @@ class RTree(SpatialIndex):
         # Hoisted strides for the hot query path.
         self._arange_r = np.arange(self.r, dtype=np.int64)
         self._arange_fanout = np.arange(self.fanout, dtype=np.int64)
+        # Root-level node ids, built once: every query descent starts
+        # from this same array, so reallocating it per query is waste.
+        self._root_ids = (
+            np.arange(self._levels[0].shape[0], dtype=np.int64)
+            if self._levels
+            else np.empty(0, dtype=np.int64)
+        )
         # Per-level column views: descent tests whole columns, and
         # contiguous columns filter faster than row-sliced boxes.
         self._cols = [
@@ -174,7 +182,7 @@ class RTree(SpatialIndex):
             float(mbb[YMAX]),
         )
         visited = 0
-        nodes = np.arange(self._levels[0].shape[0], dtype=np.int64)
+        nodes = self._root_ids
         last = len(self._levels) - 1
         for depth in range(len(self._levels)):
             visited += nodes.size
@@ -201,6 +209,89 @@ class RTree(SpatialIndex):
             return np.empty(0, dtype=np.int64)
         return self._leaf_point_indices(nodes)
 
+    def query_candidates_batch(
+        self, mbbs: np.ndarray, counters: Optional[WorkCounters] = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized-across-queries descent for a block of query MBBs.
+
+        The frontier is a flat ``(query id, node id)`` pair list: one
+        interval test per level filters every query's surviving nodes
+        at once, and the fixed-stride child expansion is a single
+        broadcasted add.  Pairs stay sorted by query id with node ids
+        ascending within each query, so each CSR row is elementwise
+        identical to the scalar :meth:`query_candidates` result, and
+        the per-level pair counts sum to exactly the node visits the
+        scalar calls would have charged.
+        """
+        indptr, indices, visited, _ = self._batch_descend(mbbs, track_visits=False)
+        if counters is not None:
+            counters.index_nodes_visited += visited
+        return indptr, indices
+
+    def query_candidates_batch_visits(
+        self, mbbs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batch query plus *per-query* node-visit counts; charges nothing.
+
+        Used by the speculative outer-scan prefetch (see
+        :meth:`~repro.core.neighbors.NeighborSearcher.prefetch_block`):
+        the caller charges each query's exact scalar-equivalent cost
+        only when its result is actually consumed.
+        """
+        indptr, indices, _, visits = self._batch_descend(mbbs, track_visits=True)
+        return indptr, indices, visits
+
+    def _batch_descend(
+        self, mbbs: np.ndarray, *, track_visits: bool
+    ) -> tuple[np.ndarray, np.ndarray, int, Optional[np.ndarray]]:
+        mbbs = np.ascontiguousarray(np.asarray(mbbs, dtype=np.float64).reshape(-1, 4))
+        m = mbbs.shape[0]
+        visits = np.zeros(m, dtype=np.int64) if track_visits else None
+        if m == 0 or not self._levels:
+            return (*empty_csr(m), 0, visits)
+        qx0 = mbbs[:, XMIN]
+        qy0 = mbbs[:, YMIN]
+        qx1 = mbbs[:, XMAX]
+        qy1 = mbbs[:, YMAX]
+        n_root = self._root_ids.size
+        qid = np.repeat(np.arange(m, dtype=np.int64), n_root)
+        nodes = np.tile(self._root_ids, m)
+        visited = 0
+        last = len(self._levels) - 1
+        for depth in range(len(self._levels)):
+            visited += nodes.size
+            if nodes.size == 0:
+                break
+            if track_visits:
+                visits += np.bincount(qid, minlength=m)
+            cx0, cy0, cx1, cy1 = self._cols[depth]
+            mask = (
+                (cx0[nodes] <= qx1[qid])
+                & (cx1[nodes] >= qx0[qid])
+                & (cy0[nodes] <= qy1[qid])
+                & (cy1[nodes] >= qy0[qid])
+            )
+            nodes = nodes[mask]
+            qid = qid[mask]
+            if depth < last:
+                n_next = self._levels[depth + 1].shape[0]
+                nodes = (nodes[:, None] * self.fanout + self._arange_fanout).reshape(-1)
+                qid = np.repeat(qid, self.fanout)
+                keep = nodes < n_next
+                if not keep.all():
+                    nodes = nodes[keep]
+                    qid = qid[keep]
+        if nodes.size == 0:
+            return (*empty_csr(m), int(visited), visits)
+        n = self.points.shape[0]
+        starts = nodes * self.r
+        leaf_counts = np.minimum(starts + self.r, n) - starts
+        indices = self._order[ranges_to_indices(starts, leaf_counts)]
+        per_query = np.bincount(qid, weights=leaf_counts, minlength=m).astype(np.int64)
+        indptr = np.zeros(m + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum(per_query)
+        return indptr, indices, int(visited), visits
+
     def query_rect(
         self, mbb: np.ndarray, counters: Optional[WorkCounters] = None
     ) -> np.ndarray:
@@ -215,8 +306,6 @@ class RTree(SpatialIndex):
         cand = self.query_candidates(mbb, counters)
         if self.r == 1 or cand.size == 0:
             return cand
-        from repro.index.mbb import mbb_contains_points
-
         if counters is not None:
             counters.candidates_examined += int(cand.size)
         return cand[mbb_contains_points(mbb, self.points[cand])]
