@@ -15,6 +15,15 @@ reduced size (see DESIGN.md's density-preserving scaling).  Two knobs:
 Every figure bench writes its rows to ``benchmarks/out/<name>.txt`` so
 results persist beyond pytest's captured stdout, and prints them too
 (visible with ``pytest -s``).
+
+Tracing
+-------
+Set ``REPRO_TRACE_DIR=<dir>`` to run the whole bench session under the
+observability layer (:mod:`repro.obs`): every executor the benches
+construct resolves the session tracer, and at teardown the aggregated
+per-phase breakdown is printed and the raw trace is written to
+``<dir>/bench_trace.jsonl`` (plus a Chrome-trace twin for
+``chrome://tracing`` / Perfetto).
 """
 
 from __future__ import annotations
@@ -34,6 +43,29 @@ def bench_scale(heavy: bool = False) -> float:
     var = "REPRO_BENCH_SCALE_HEAVY" if heavy else "REPRO_BENCH_SCALE"
     default = 0.002 if heavy else 0.01
     return float(os.environ.get(var, default))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def session_tracer():
+    """Install a session-wide tracer when ``REPRO_TRACE_DIR`` is set."""
+    trace_dir = os.environ.get("REPRO_TRACE_DIR")
+    if not trace_dir:
+        yield None
+        return
+    from repro.obs import MetricsRegistry, Tracer, use_tracer
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        yield tracer
+    registry = MetricsRegistry()
+    registry.add_spans(tracer.records())
+    registry.meta = {"source": "benchmarks", "trace_dir": trace_dir}
+    out = Path(trace_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    registry.to_jsonl(out / "bench_trace.jsonl")
+    registry.to_chrome_trace(out / "bench_trace.chrome.json")
+    print(f"\n{registry.summary()}")
+    print(f"[trace saved to {out / 'bench_trace.jsonl'}]")
 
 
 @pytest.fixture(scope="session")

@@ -57,6 +57,7 @@ from repro.metrics import (
     quality_score,
 )
 from repro.metrics.external import adjusted_rand_index
+from repro.obs import MetricsRegistry, Tracer, use_tracer
 
 __version__ = "1.0.0"
 
@@ -88,6 +89,9 @@ __all__ = [
     "IncrementalDBSCAN",
     "optics",
     "extract_dbscan",
+    "Tracer",
+    "use_tracer",
+    "MetricsRegistry",
     "adjusted_rand_index",
     "SerialExecutor",
     "SimulatedExecutor",

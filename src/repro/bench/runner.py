@@ -33,6 +33,7 @@ def run_full_report(
     *,
     output: Optional[str] = None,
     quick: bool = False,
+    trace_jsonl: Optional[str] = None,
 ) -> str:
     """Regenerate Table I and Figures 3-9; return (and optionally write)
     the Markdown report.
@@ -42,7 +43,49 @@ def run_full_report(
     schedules are included since they are exact, data-free artifacts.
     ``quick`` restricts Figures 7/8 to a slice of their datasets — a
     smoke mode for tests and demos.
+
+    ``trace_jsonl`` runs the whole evaluation under the observability
+    layer (:mod:`repro.obs`): every executor the figures construct
+    resolves the installed tracer, the aggregated phase breakdown is
+    appended to the report as an *Observability* section, and the raw
+    trace is written to the given JSONL path.
     """
+    if trace_jsonl is not None:
+        from repro.obs import MetricsRegistry, Tracer, use_tracer
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            report = run_full_report(
+                scale, heavy_scale, output=None, quick=quick
+            )
+        registry = MetricsRegistry()
+        registry.add_spans(tracer.records())
+        registry.meta = {"source": "run_full_report", "scale": scale,
+                         "heavy_scale": heavy_scale, "quick": quick}
+        registry.to_jsonl(trace_jsonl)
+        totals = registry.phase_totals()
+        grand = sum(totals.values()) or 1.0
+        parts = [report, "## Observability — where the evaluation spent its time\n"]
+        parts.append(_md_table(
+            ["phase", "total (ms)", "share"],
+            [
+                [name, f"{dur * 1e3:,.1f}", f"{dur / grand:.1%}"]
+                for name, dur in sorted(totals.items(), key=lambda kv: -kv[1])
+            ],
+        ))
+        if registry.cache is not None:
+            parts.append(
+                "\ncache: {hits} hits / {misses} misses ({rate:.1%} hit rate), "
+                "{evictions} evictions".format(
+                    rate=registry.cache_hit_rate, **registry.cache
+                )
+            )
+        parts.append(f"\nraw trace: `{trace_jsonl}`\n")
+        report = "\n".join(parts)
+        if output:
+            Path(output).write_text(report)
+        return report
+
     heavy_scale = heavy_scale if heavy_scale is not None else scale
     from repro.bench.scenarios import S2_CONFIG, S3_CONFIGS
 

@@ -17,6 +17,9 @@ Commands
     DBSCAN-equivalent extractions at chosen radii.
 ``calibrate``
     Fit the work-unit cost model to this machine's wall-clock times.
+``trace``
+    Run a variant sweep under the observability layer and export the
+    phase-level trace (JSONL and/or Chrome trace format).
 ``report``
     Regenerate the whole evaluation into one Markdown report.
 
@@ -256,16 +259,51 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import MetricsRegistry, Tracer, use_tracer
+
+    points, name = _load_points(args.dataset, args.scale)
+    variants = VariantSet.from_product(_floats(args.eps), _ints(args.minpts))
+    executor = EXECUTORS[args.executor](
+        n_threads=args.threads,
+        scheduler=SCHEDULERS[args.scheduler],
+        reuse_policy=POLICIES[args.policy],
+        low_res_r=args.r,
+    )
+    tracer = Tracer()
+    with use_tracer(tracer):
+        batch = executor.run(points, variants, dataset=name)
+    registry = MetricsRegistry.from_batch(batch, tracer)
+    print(registry.summary())
+    coverage = registry.phase_coverage()
+    if coverage:
+        worst = min(coverage.values(), key=lambda v: -abs(v - 1.0))
+        print(f"phase coverage: {len(coverage)} variants, worst {worst:.1%} of wall")
+    if args.jsonl:
+        registry.to_jsonl(args.jsonl)
+        print(f"JSONL trace written to {args.jsonl}")
+    if args.chrome:
+        registry.to_chrome_trace(args.chrome)
+        print(f"Chrome trace written to {args.chrome} (load in chrome://tracing)")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.bench.runner import run_full_report
 
     text = run_full_report(
-        args.scale, args.heavy_scale, output=args.output, quick=args.quick
+        args.scale,
+        args.heavy_scale,
+        output=args.output,
+        quick=args.quick,
+        trace_jsonl=args.trace_jsonl,
     )
     if args.output:
         print(f"report written to {args.output}")
     else:
         print(text)
+    if args.trace_jsonl:
+        print(f"trace written to {args.trace_jsonl}")
     return 0
 
 
@@ -328,11 +366,29 @@ def build_parser() -> argparse.ArgumentParser:
     k.add_argument("--scale", type=float, default=None)
     k.set_defaults(func=cmd_calibrate)
 
+    t = sub.add_parser("trace", help="run a sweep under the tracing layer")
+    t.add_argument("dataset", help="registry name or .npz file")
+    t.add_argument("--eps", required=True, help="comma-separated eps values (A)")
+    t.add_argument("--minpts", required=True, help="comma-separated minpts values (B)")
+    t.add_argument("--executor", choices=sorted(EXECUTORS), default="serial")
+    t.add_argument("--threads", type=int, default=1)
+    t.add_argument("--scheduler", choices=sorted(SCHEDULERS), default="SCHEDGREEDY")
+    t.add_argument("--policy", choices=sorted(POLICIES), default="CLUSDENSITY")
+    t.add_argument("--r", type=int, default=70)
+    t.add_argument("--scale", type=float, default=None)
+    t.add_argument("--jsonl", default=None, help="write the trace as JSONL")
+    t.add_argument("--chrome", default=None,
+                   help="write a chrome://tracing-loadable JSON file")
+    t.set_defaults(func=cmd_trace)
+
     r = sub.add_parser("report", help="regenerate the whole evaluation")
     r.add_argument("--scale", type=float, default=None)
     r.add_argument("--heavy-scale", type=float, default=None, dest="heavy_scale")
     r.add_argument("-o", "--output", default=None)
     r.add_argument("--quick", action="store_true", help="dataset slice smoke mode")
+    r.add_argument("--trace-jsonl", default=None, dest="trace_jsonl",
+                   help="run the evaluation under the tracing layer and "
+                        "write the phase trace as JSONL")
     r.set_defaults(func=cmd_report)
 
     return p

@@ -31,6 +31,12 @@ Implementation notes
   when the scan actually consumes it, so counter totals (and cache
   contents) still match the scalar machine exactly (see DESIGN.md
   substitutions).
+* When a tracer is active (:mod:`repro.obs`), a
+  :class:`~repro.obs.span.PhaseClock` partitions the run into
+  ``outer_scan`` (scanning for founders, including their searches) and
+  ``expand`` (frontier expansion of founded clusters) phases, switched
+  at cluster granularity.  Disabled tracing costs one no-op method
+  call per founded cluster.
 """
 
 from __future__ import annotations
@@ -46,6 +52,7 @@ from repro.core.variants import Variant
 from repro.index.base import SpatialIndex
 from repro.index.rtree import RTree
 from repro.metrics.counters import WorkCounters
+from repro.obs.span import PhaseClock, Tracer, resolve_tracer
 from repro.util.timing import Stopwatch
 from repro.util.validation import as_points_array, check_eps, check_minpts
 
@@ -67,6 +74,7 @@ def dbscan(
     counters: Optional[WorkCounters] = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
     cache: Optional[NeighborhoodCache] = None,
+    tracer: Optional[Tracer] = None,
 ) -> ClusteringResult:
     """Cluster ``points`` with DBSCAN.
 
@@ -93,6 +101,9 @@ def dbscan(
     cache:
         Optional per-eps neighborhood cache shared across runs (see
         :mod:`repro.core.neighcache`).
+    tracer:
+        Span/phase collector; ``None`` uses the active tracer
+        (disabled by default — see :mod:`repro.obs`).
 
     Returns
     -------
@@ -108,12 +119,17 @@ def dbscan(
     if counters is None:
         counters = WorkCounters()
 
+    variant = Variant(eps, minpts)
     n = points.shape[0]
     labels = np.full(n, NOISE, dtype=np.int64)
     core_mask = np.zeros(n, dtype=bool)
     visited = np.zeros(n, dtype=bool)
 
     sw = Stopwatch().start()
+    phases = resolve_tracer(tracer).phase_clock(variant=str(variant))
+    # Charges searcher/prefetcher construction inside dbscan_into to a
+    # visible phase instead of leaking it from the wall-time partition.
+    phases.switch("setup")
     n_clusters = dbscan_into(
         index,
         eps,
@@ -125,13 +141,18 @@ def dbscan(
         next_cluster_id=0,
         batch_size=batch_size,
         cache=cache,
+        phases=phases,
     )
+    # Stop the wall clock before finish(): record emission allocates and
+    # must not land inside the window the phase totals are checked
+    # against ("phases sum to wall-clock" would leak the emission cost).
     elapsed = sw.stop()
+    phases.finish()
     del n_clusters  # ids are already dense; ClusteringResult re-derives the count
     return ClusteringResult(
         labels,
         core_mask,
-        variant=Variant(eps, minpts),
+        variant=variant,
         counters=counters,
         elapsed=elapsed,
     )
@@ -207,6 +228,7 @@ def dbscan_into(
     next_cluster_id: int,
     batch_size: int = DEFAULT_BATCH_SIZE,
     cache: Optional[NeighborhoodCache] = None,
+    phases: Optional[PhaseClock] = None,
 ) -> int:
     """Run the Algorithm 1 main loop *into* caller-owned state arrays.
 
@@ -217,8 +239,14 @@ def dbscan_into(
     already holding a label >= 0 are never re-assigned, so reused
     clusters keep their members.
 
+    ``phases`` is a caller-owned phase clock (never finished here):
+    the loop runs under ``outer_scan`` and switches to ``expand`` for
+    each founded cluster's frontier expansion.
+
     Returns the next unused cluster id.
     """
+    if phases is None:
+        phases = resolve_tracer(None).phase_clock()
     searcher = NeighborSearcher(index, eps, counters, cache=cache)
     n = labels.shape[0]
     in_seeds = np.zeros(n, dtype=bool)
@@ -227,6 +255,7 @@ def dbscan_into(
         OuterScanPrefetcher(searcher, visited, batch_size) if batch_size > 1 else None
     )
 
+    phases.switch("outer_scan")
     for p in range(n):
         if visited[p]:
             continue
@@ -239,6 +268,7 @@ def dbscan_into(
         core_mask[p] = True
         in_seeds[neigh] = True
         in_seeds[p] = True
+        phases.switch("expand")
         if batch_size > 1:
             expand_frontier(
                 searcher,
@@ -253,6 +283,7 @@ def dbscan_into(
             )
         else:
             _expand_scalar(searcher, minpts, p, neigh, labels, core_mask, visited, in_seeds, cid)
+        phases.switch("outer_scan")
         cid += 1
     return cid
 

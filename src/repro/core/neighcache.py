@@ -61,6 +61,7 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from repro.index._ranges import ranges_to_indices
+from repro.obs.span import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.index.base import SpatialIndex
@@ -234,9 +235,18 @@ class NeighborhoodCache:
             # Evict least-recently-used entries (never the one just
             # touched — it sits at the MRU end) until under capacity.
             while self._bytes > self.capacity_bytes and len(self._entries) > 1:
-                _, victim = self._entries.popitem(last=False)
-                self._bytes -= victim.nbytes
-                self._evictions += 1
+                self._evict_lru()
+
+    def _evict_lru(self) -> None:
+        """Drop the LRU entry (caller holds the lock); traces the event."""
+        victim_key, victim = self._entries.popitem(last=False)
+        self._bytes -= victim.nbytes
+        self._evictions += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "cache.evict", eps=victim_key[0], bytes=victim.nbytes
+            )
 
     def get_many(
         self, eps: float, index: "SpatialIndex", idxs: np.ndarray
@@ -298,9 +308,7 @@ class NeighborhoodCache:
             entry.nbytes += size * 8
             self._bytes += size * 8
             while self._bytes > self.capacity_bytes and len(self._entries) > 1:
-                _, victim = self._entries.popitem(last=False)
-                self._bytes -= victim.nbytes
-                self._evictions += 1
+                self._evict_lru()
 
     # ------------------------------------------------------------------
     # introspection

@@ -42,6 +42,7 @@ from repro.core.variants import Variant
 from repro.index.mbb import augment_mbb, mbb_of_points
 from repro.index.rtree import RTree
 from repro.metrics.counters import WorkCounters
+from repro.obs.span import Tracer, resolve_tracer
 from repro.util.errors import ReuseCriteriaError, ValidationError
 from repro.util.timing import Stopwatch
 from repro.util.validation import as_points_array
@@ -132,6 +133,7 @@ def variant_dbscan(
     counters: Optional[WorkCounters] = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
     cache: Optional[NeighborhoodCache] = None,
+    tracer: Optional[Tracer] = None,
 ) -> ClusteringResult:
     """Cluster ``points`` under ``variant``, reusing ``previous`` if given.
 
@@ -161,6 +163,13 @@ def variant_dbscan(
         Optional per-eps neighborhood cache; variants sharing an eps
         (and this index) reuse each other's epsilon searches (see
         :mod:`repro.core.neighcache`).
+    tracer:
+        Span/phase collector; ``None`` uses the active tracer
+        (disabled by default).  When enabled, a phase clock partitions
+        the run into ``setup`` / ``seed_order`` / ``reuse_copy`` /
+        ``mbb_sweep`` / ``boundary_search`` / ``expand`` /
+        ``outer_scan`` phases (the last two shared with the remainder
+        DBSCAN pass).
 
     Raises
     ------
@@ -184,6 +193,7 @@ def variant_dbscan(
             counters=counters,
             batch_size=batch_size,
             cache=cache,
+            tracer=tracer,
         )
 
     if previous.variant is None:
@@ -201,6 +211,8 @@ def variant_dbscan(
         t_high = RTree(points, r=1)
 
     sw = Stopwatch().start()
+    phases = resolve_tracer(tracer).phase_clock(variant=str(variant))
+    phases.switch("setup")
     labels = np.full(n, NOISE, dtype=np.int64)
     core_mask = np.zeros(n, dtype=bool)
     visited = np.zeros(n, dtype=bool)
@@ -210,6 +222,7 @@ def variant_dbscan(
     members = previous.cluster_members()
     searcher = NeighborSearcher(t_low, variant.eps, counters, cache=cache)
 
+    phases.switch("seed_order")
     seed_list = reuse_policy.get_seed_list(previous, points, variant.eps)
     points_reused = 0
     cid = 0
@@ -217,6 +230,7 @@ def variant_dbscan(
         j = int(j_raw)
         if j in destroyed:
             continue
+        phases.switch("reuse_copy")
         c_idx = members[j]
         # Copy the old cluster wholesale: no searches on its interior.
         labels[c_idx] = cid
@@ -226,11 +240,13 @@ def variant_dbscan(
         points_reused += int(c_idx.size)
 
         # Boundary discovery (Algorithm 3 lines 10-16).
+        phases.switch("mbb_sweep")
         sweep_mbb = augment_mbb(mbb_of_points(points[c_idx]), variant.eps)
         counters.cluster_mbb_sweeps += 1
         cand = t_high.query_rect(sweep_mbb, counters)
         outside = cand[labels[cand] != cid]
         boundary_hits: list[np.ndarray] = []
+        phases.switch("boundary_search")
         if batch_size > 1:
             # Batched boundary discovery: the outside points are known
             # up front, so whole blocks go through search_batch and the
@@ -255,6 +271,7 @@ def variant_dbscan(
         else:
             grow_points = np.empty(0, dtype=np.int64)
         visited[grow_points] = False
+        phases.switch("expand")
         expand_cluster(
             searcher,
             variant.minpts,
@@ -272,7 +289,9 @@ def variant_dbscan(
 
     counters.points_reused += points_reused
 
-    # Cluster the remainder from scratch (Algorithm 3 line 18).
+    # Cluster the remainder from scratch (Algorithm 3 line 18); shares
+    # this run's phase clock, so its scan/expansion time lands in the
+    # same ``outer_scan`` / ``expand`` buckets.
     dbscan_into(
         t_low,
         variant.eps,
@@ -284,8 +303,12 @@ def variant_dbscan(
         next_cluster_id=cid,
         batch_size=batch_size,
         cache=cache,
+        phases=phases,
     )
+    # Wall clock stops first: finish()'s record emission allocates and
+    # must not leak into the window the phase totals partition.
     elapsed = sw.stop()
+    phases.finish()
     return ClusteringResult(
         labels,
         core_mask,

@@ -23,6 +23,7 @@ from repro.exec.base import IndexPair
 from repro.exec.cost import CostModel
 from repro.metrics.counters import WorkCounters
 from repro.metrics.records import VariantRunRecord
+from repro.obs.span import Tracer, resolve_tracer
 
 __all__ = ["execute_variant"]
 
@@ -41,6 +42,7 @@ def execute_variant(
     before: Optional[float] = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
     cache: Optional[NeighborhoodCache] = None,
+    tracer: Optional[Tracer] = None,
 ) -> tuple[ClusteringResult, VariantRunRecord]:
     """Run one planned variant and return its result and run record.
 
@@ -50,32 +52,42 @@ def execute_variant(
     priced by ``cost_model`` at the given ``concurrency``; ``start`` /
     ``finish`` / ``thread_id`` are the caller's to fill in.
     ``batch_size`` and ``cache`` are forwarded into VariantDBSCAN's
-    epsilon-search engine (see :class:`~repro.exec.base.BaseExecutor`).
+    epsilon-search engine (see :class:`~repro.exec.base.BaseExecutor`);
+    ``tracer`` wraps the run in a ``variant`` span and collects the
+    kernel's phase timings.
     """
+    tr = resolve_tracer(tracer)
     counters = WorkCounters()
-    source = scheduler.select_source(planned, vset, registry, before=before)
-    if source is None:
-        result = variant_dbscan(
-            points,
-            planned.variant,
-            None,
-            t_low=indexes.t_low,
-            counters=counters,
-            batch_size=batch_size,
-            cache=cache,
-        )
-    else:
-        _, source_result = source
-        result = variant_dbscan(
-            points,
-            planned.variant,
-            source_result,
-            t_high=indexes.t_high,
-            t_low=indexes.t_low,
-            reuse_policy=reuse_policy,
-            counters=counters,
-            batch_size=batch_size,
-            cache=cache,
+    with tr.span("variant", variant=str(planned.variant)) as span:
+        source = scheduler.select_source(planned, vset, registry, before=before)
+        if source is None:
+            result = variant_dbscan(
+                points,
+                planned.variant,
+                None,
+                t_low=indexes.t_low,
+                counters=counters,
+                batch_size=batch_size,
+                cache=cache,
+                tracer=tr,
+            )
+        else:
+            _, source_result = source
+            result = variant_dbscan(
+                points,
+                planned.variant,
+                source_result,
+                t_high=indexes.t_high,
+                t_low=indexes.t_low,
+                reuse_policy=reuse_policy,
+                counters=counters,
+                batch_size=batch_size,
+                cache=cache,
+                tracer=tr,
+            )
+        span.set(
+            reused_from=str(result.reused_from) if result.reused_from else None,
+            points_reused=result.points_reused,
         )
     record = VariantRunRecord(
         variant=planned.variant,

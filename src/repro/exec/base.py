@@ -38,6 +38,7 @@ from repro.core.variants import Variant, VariantSet
 from repro.exec.cost import DEFAULT_COST_MODEL, CostModel
 from repro.index.rtree import RTree
 from repro.metrics.records import BatchRunRecord
+from repro.obs.span import Tracer, resolve_tracer
 from repro.util.validation import as_points_array, check_positive_int
 
 __all__ = ["BatchResult", "BaseExecutor", "IndexPair"]
@@ -114,6 +115,11 @@ class BaseExecutor(abc.ABC):
         shared-memory backends (serial, threads, simulated) share one
         cache across all variants; the process backend gives each
         worker its own.
+    tracer:
+        Span/phase collector for the batch (see :mod:`repro.obs`);
+        ``None`` (the default) resolves to the active tracer at run
+        time, which is a disabled null tracer unless one was installed
+        with :func:`repro.obs.set_tracer` / ``use_tracer``.
     """
 
     name: str = "?"
@@ -128,6 +134,7 @@ class BaseExecutor(abc.ABC):
         cost_model: CostModel = DEFAULT_COST_MODEL,
         batch_size: int = DEFAULT_BATCH_SIZE,
         cache_bytes: int = 0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.n_threads = check_positive_int(n_threads, name="n_threads")
         self.scheduler = scheduler if scheduler is not None else SchedGreedy()
@@ -140,12 +147,32 @@ class BaseExecutor(abc.ABC):
         self.cache_bytes = int(cache_bytes)
         if self.cache_bytes < 0:
             raise ValueError(f"cache_bytes must be >= 0, got {cache_bytes}")
+        self.tracer = tracer
 
     def _build_cache(self) -> Optional[NeighborhoodCache]:
         """One fresh neighborhood cache per batch, or ``None`` if disabled."""
         if self.cache_bytes <= 0:
             return None
         return NeighborhoodCache(capacity_bytes=self.cache_bytes)
+
+    def _tracer(self) -> Tracer:
+        """The batch's tracer: explicit one, else the active tracer."""
+        return resolve_tracer(self.tracer)
+
+    @staticmethod
+    def _trace_cache_stats(tracer: Tracer, cache: Optional[NeighborhoodCache]) -> None:
+        """Emit the batch's final cache statistics as an instant event."""
+        if cache is None or not tracer.enabled:
+            return
+        s = cache.stats()
+        tracer.instant(
+            "cache.stats",
+            hits=s.hits,
+            misses=s.misses,
+            evictions=s.evictions,
+            entries=s.entries,
+            bytes_stored=s.bytes_stored,
+        )
 
     def run(
         self,

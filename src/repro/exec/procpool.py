@@ -38,6 +38,7 @@ from repro.exec.base import BaseExecutor, BatchResult, IndexPair
 from repro.exec.cost import CostModel
 from repro.exec.serial import SerialExecutor
 from repro.metrics.records import BatchRunRecord
+from repro.obs.span import Tracer, set_tracer
 
 __all__ = ["ProcessPoolExecutorBackend", "partition_reuse_chains"]
 
@@ -94,6 +95,7 @@ def _worker(
     t0: float,
     batch_size: int,
     cache_bytes: int,
+    trace: bool,
 ):
     """Run one group serially inside a worker process.
 
@@ -101,7 +103,16 @@ def _worker(
     worker builds its own (keyed to its own indexes); intra-group eps
     sharing is preserved, cross-group sharing is forfeited along with
     cross-group cluster reuse.
+
+    Tracing follows the same pattern: a live tracer cannot be shared
+    either, so when ``trace`` is set the worker installs its own
+    :class:`~repro.obs.span.Tracer`, runs the group under it, rebases
+    every span onto the batch's wall window (the worker's monotonic
+    clock has a different origin), and ships the plain records back
+    for the parent to merge.
     """
+    tracer = Tracer() if trace else None
+    set_tracer(tracer)
     group = _ChainSerialExecutor(
         order=[Variant(e, m) for e, m in variant_tuples],
         reuse_policy=POLICIES[reuse_policy_name],
@@ -109,9 +120,11 @@ def _worker(
         cost_model=cost_model,
         batch_size=batch_size,
         cache_bytes=cache_bytes,
+        tracer=tracer,
     )
     vset = VariantSet(Variant(e, m) for e, m in variant_tuples)
     start = time.time() - t0
+    perf_start = time.perf_counter()
     batch = group.run(points, vset)
     finish = time.time() - t0
     # Re-stamp the work-unit timestamps onto the worker's wall window.
@@ -121,7 +134,13 @@ def _worker(
         rec.start = start + rec.start / total * span
         rec.finish = start + rec.finish / total * span
         rec.response_time = rec.finish - rec.start
-    return batch
+    spans = None
+    if tracer is not None:
+        spans = tracer.drain()
+        for s in spans:
+            s.t0 = s.t0 - perf_start + start
+        set_tracer(None)
+    return batch, spans
 
 
 class _ChainSerialExecutor(SerialExecutor):
@@ -154,6 +173,7 @@ class ProcessPoolExecutorBackend(BaseExecutor):
         self, points: np.ndarray, variants: VariantSet, indexes: IndexPair
     ) -> BatchResult:
         del indexes  # each worker builds its own (trees are not picklable-cheap)
+        tracer = self._tracer()
         groups = partition_reuse_chains(variants, self.n_threads)
         t0 = time.time()
         results = {}
@@ -170,14 +190,17 @@ class ProcessPoolExecutorBackend(BaseExecutor):
                     t0,
                     self.batch_size,
                     self.cache_bytes,
+                    tracer.enabled,
                 )
                 for group in groups
             ]
             for wid, fut in enumerate(futures):
-                batch = fut.result()
+                batch, spans = fut.result()
                 for rec in batch.record.records:
                     rec.thread_id = wid
                     records.append(rec)
+                if spans:
+                    tracer.add_records(spans, thread=f"worker-{wid}")
                 results.update(batch.results)
         makespan = max((r.finish for r in records), default=0.0)
         batch_record = BatchRunRecord(

@@ -37,6 +37,7 @@ class SerialExecutor(BaseExecutor):
     ) -> BatchResult:
         registry = CompletedRegistry()
         cache = self._build_cache()
+        tracer = self._tracer()
         results = {}
         records = []
         clock = 0.0
@@ -53,6 +54,7 @@ class SerialExecutor(BaseExecutor):
                 concurrency=1,
                 batch_size=self.batch_size,
                 cache=cache,
+                tracer=tracer,
             )
             record.start = clock
             clock += record.response_time
@@ -61,5 +63,6 @@ class SerialExecutor(BaseExecutor):
             registry.add(planned.variant, result, finished_at=clock)
             results[planned.variant] = result
             records.append(record)
+        self._trace_cache_stats(tracer, cache)
         batch = BatchRunRecord(records=records, n_threads=1, makespan=clock)
         return BatchResult(results=results, record=batch)

@@ -49,6 +49,7 @@ class SimulatedExecutor(BaseExecutor):
     ) -> BatchResult:
         registry = CompletedRegistry()
         cache = self._build_cache()
+        tracer = self._tracer()
         results = {}
         records = []
         # (available_time, thread_id) min-heap of virtual workers.
@@ -70,6 +71,7 @@ class SimulatedExecutor(BaseExecutor):
                 before=start,
                 batch_size=self.batch_size,
                 cache=cache,
+                tracer=tracer,
             )
             finish = start + record.response_time
             record.start = start
@@ -80,6 +82,7 @@ class SimulatedExecutor(BaseExecutor):
             results[planned.variant] = result
             records.append(record)
             makespan = max(makespan, finish)
+        self._trace_cache_stats(tracer, cache)
         batch = BatchRunRecord(
             records=records, n_threads=self.n_threads, makespan=makespan
         )

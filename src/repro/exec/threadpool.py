@@ -44,8 +44,11 @@ class ThreadPoolExecutorBackend(BaseExecutor):
         plan = self.scheduler.plan(variants)
         registry = CompletedRegistry()
         # One cache shared by all workers; NeighborhoodCache locks
-        # internally, so concurrent hit/miss/put traffic is safe.
+        # internally, so concurrent hit/miss/put traffic is safe.  The
+        # tracer is likewise shared: record emission locks, and span
+        # records carry the emitting worker thread's name.
         cache = self._build_cache()
+        tracer = self._tracer()
         queue_lock = threading.Lock()
         results_lock = threading.Lock()
         results = {}
@@ -75,6 +78,7 @@ class ThreadPoolExecutorBackend(BaseExecutor):
                     before=None,  # wall clock: anything completed is eligible
                     batch_size=self.batch_size,
                     cache=cache,
+                    tracer=tracer,
                 )
                 finish = time.perf_counter() - t0
                 record.start = start
@@ -94,6 +98,7 @@ class ThreadPoolExecutorBackend(BaseExecutor):
             t.start()
         for t in threads:
             t.join()
+        self._trace_cache_stats(tracer, cache)
         makespan = max((r.finish for r in records), default=0.0)
         batch = BatchRunRecord(
             records=records, n_threads=self.n_threads, makespan=makespan

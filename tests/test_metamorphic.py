@@ -1,0 +1,154 @@
+"""Metamorphic properties of the inclusion criteria (Section IV-B).
+
+For a variant pair where ``relaxed.eps >= strict.eps`` and
+``relaxed.minpts <= strict.minpts``, relaxing the density requirement
+can only *grow* clusters, never split them.  The order-independent
+consequences DBSCAN guarantees (and these tests assert, via
+hypothesis-generated parameter pairs):
+
+* **core monotonicity** — every core point of the strict run is core
+  in the relaxed run;
+* **cluster containment on cores** — the core points of one strict
+  cluster all land in a single relaxed cluster (they are density-
+  connected under the strict parameters, hence under the relaxed);
+* **clustered monotonicity** — every point clustered by the strict
+  run is clustered by the relaxed run (equivalently, relaxed noise is
+  a subset of strict noise).
+
+Full *border-point* containment is deliberately not asserted: a border
+point reachable from two clusters is assigned order-dependently by
+DBSCAN itself, so it is not a metamorphic invariant.
+
+Each property is checked both with reuse **disabled** (two independent
+plain-DBSCAN runs) and **enabled** (the relaxed run seeded from the
+strict run through VariantDBSCAN), across all four spatial index
+types.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dbscan import dbscan
+from repro.core.result import ClusteringResult
+from repro.core.variant_dbscan import variant_dbscan
+from repro.core.variants import Variant
+from repro.index.brute import BruteForceIndex
+from repro.index.grid import UniformGridIndex
+from repro.index.kdtree import KDTree
+from repro.index.rtree import RTree
+from repro.util.rng import resolve_rng
+
+INDEX_BUILDERS = {
+    "brute": lambda pts, eps: BruteForceIndex(pts),
+    "grid": lambda pts, eps: UniformGridIndex(pts, cell_width=max(eps, 0.1)),
+    "kdtree": lambda pts, eps: KDTree(pts, leaf_size=8),
+    "rtree": lambda pts, eps: RTree(pts, r=16),
+}
+
+# Parameter pairs satisfying the inclusion criteria:
+# relaxed.eps >= strict.eps and relaxed.minpts <= strict.minpts.
+variant_pairs = st.tuples(
+    st.sampled_from([0.35, 0.5, 0.65]),      # strict eps
+    st.sampled_from([0.0, 0.15, 0.3]),       # eps relaxation
+    st.sampled_from([3, 5, 8]),              # relaxed minpts
+    st.sampled_from([0, 2, 4]),              # minpts tightening
+).map(
+    lambda t: (
+        Variant(t[0] + t[1], t[2]),          # relaxed
+        Variant(t[0], t[2] + t[3]),          # strict
+    )
+)
+
+datasets = st.sampled_from([3, 11, 29])
+
+
+def _points(seed: int) -> np.ndarray:
+    g = resolve_rng(seed)
+    return np.vstack(
+        [
+            g.normal(0.0, 0.45, (70, 2)),
+            g.normal(4.0, 0.45, (70, 2)),
+            g.uniform(-2.0, 6.0, (30, 2)),
+        ]
+    )
+
+
+def assert_metamorphic(
+    strict: ClusteringResult, relaxed: ClusteringResult, context: str
+) -> None:
+    """Assert the three order-independent inclusion-criteria properties."""
+    s, r = strict.labels, relaxed.labels
+
+    # Core monotonicity.
+    lost_core = strict.core_mask & ~relaxed.core_mask
+    assert not lost_core.any(), (
+        f"{context}: {int(lost_core.sum())} strict core points lost core "
+        f"status in the relaxed run (points {np.flatnonzero(lost_core)[:10]})"
+    )
+
+    # Clustered monotonicity (noise can only shrink when relaxing).
+    demoted = (s >= 0) & (r < 0)
+    assert not demoted.any(), (
+        f"{context}: {int(demoted.sum())} points clustered under the strict "
+        f"params became noise under the relaxed "
+        f"(points {np.flatnonzero(demoted)[:10]})"
+    )
+
+    # Each strict cluster's cores land in exactly one relaxed cluster.
+    for cid in range(strict.n_clusters):
+        cores = np.flatnonzero((s == cid) & strict.core_mask)
+        targets = np.unique(r[cores])
+        assert targets.size <= 1, (
+            f"{context}: strict cluster {cid} has core points scattered over "
+            f"relaxed clusters {targets.tolist()}"
+        )
+
+
+@pytest.mark.parametrize("index_kind", sorted(INDEX_BUILDERS))
+class TestInclusionMetamorphic:
+    @settings(max_examples=15, deadline=None)
+    @given(pair=variant_pairs, seed=datasets)
+    def test_reuse_disabled(self, index_kind, pair, seed):
+        relaxed_v, strict_v = pair
+        points = _points(seed)
+        build = INDEX_BUILDERS[index_kind]
+        strict = dbscan(
+            points, strict_v.eps, strict_v.minpts,
+            index=build(points, strict_v.eps),
+        )
+        relaxed = dbscan(
+            points, relaxed_v.eps, relaxed_v.minpts,
+            index=build(points, relaxed_v.eps),
+        )
+        assert_metamorphic(
+            strict, relaxed,
+            f"[{index_kind}] scratch {strict_v} -> {relaxed_v} (seed {seed})",
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(pair=variant_pairs, seed=datasets)
+    def test_reuse_enabled(self, index_kind, pair, seed):
+        relaxed_v, strict_v = pair
+        if relaxed_v == strict_v:
+            return  # self-reuse is rejected by design; nothing to check
+        points = _points(seed)
+        build = INDEX_BUILDERS[index_kind]
+        strict = dbscan(
+            points, strict_v.eps, strict_v.minpts,
+            index=build(points, strict_v.eps),
+        )
+        reused = variant_dbscan(
+            points,
+            relaxed_v,
+            strict,
+            t_high=RTree(points, r=1),
+            t_low=build(points, relaxed_v.eps),
+        )
+        assert reused.reused_from == strict_v
+        assert_metamorphic(
+            strict, reused,
+            f"[{index_kind}] reuse {strict_v} -> {relaxed_v} (seed {seed})",
+        )

@@ -1,0 +1,153 @@
+"""Seeded fuzz layer for the scheduling module.
+
+Hypothesis generates random variant sets and drives them through both
+schedulers and the static dependency tree, asserting the structural
+guarantees the executors rely on:
+
+* every plan covers each variant exactly once;
+* replaying a plan against a growing completed-registry only ever
+  selects reuse sources satisfying the inclusion criteria (and never
+  for ``force_scratch`` entries);
+* the dependency tree is acyclic, covers the set, and every edge
+  satisfies the inclusion criteria.
+
+Failures print the offending plan — hypothesis shrinks the variant set
+to a minimal counterexample, so the reproduction is readable.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.result import ClusteringResult
+from repro.core.scheduling import (
+    CompletedRegistry,
+    SchedGreedy,
+    SchedMinpts,
+    dependency_tree,
+    depth_first_schedule,
+)
+from repro.core.variants import Variant, VariantSet
+
+eps_vals = st.sampled_from([0.3, 0.45, 0.6, 0.8, 1.0, 1.3])
+minpts_vals = st.sampled_from([2, 3, 4, 6, 8, 12])
+variant_sets = st.builds(
+    VariantSet,
+    st.lists(
+        st.builds(Variant, eps=eps_vals, minpts=minpts_vals),
+        min_size=1,
+        max_size=12,
+    ),
+)
+schedulers = st.sampled_from([SchedGreedy(), SchedMinpts()])
+
+
+def _dummy_result(variant: Variant) -> ClusteringResult:
+    """A minimal completed result to feed the registry (5 points, 1 cluster)."""
+    return ClusteringResult(
+        np.zeros(5, dtype=np.int64), np.ones(5, dtype=bool), variant=variant
+    )
+
+
+def _fmt_plan(plan) -> str:
+    return " -> ".join(
+        f"{p.variant}{'!' if p.force_scratch else ''}" for p in plan
+    )
+
+
+class TestPlanFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(vset=variant_sets, scheduler=schedulers)
+    def test_plan_covers_each_variant_once(self, vset, scheduler):
+        plan = scheduler.plan(vset)
+        planned = [p.variant for p in plan]
+        assert sorted(planned, key=lambda v: v.as_tuple()) == sorted(
+            vset, key=lambda v: v.as_tuple()
+        ), f"{scheduler.name} plan {_fmt_plan(plan)} does not cover {vset}"
+
+    @settings(max_examples=60, deadline=None)
+    @given(vset=variant_sets, scheduler=schedulers)
+    def test_replay_only_selects_legal_sources(self, vset, scheduler):
+        """Simulate serial execution: every selected source must satisfy
+        the reuse precondition at the moment it is selected."""
+        plan = scheduler.plan(vset)
+        registry = CompletedRegistry()
+        clock = 0.0
+        for step, planned in enumerate(plan):
+            source = scheduler.select_source(planned, vset, registry, before=clock)
+            if planned.force_scratch:
+                assert source is None, (
+                    f"{scheduler.name} step {step}: force_scratch entry "
+                    f"{planned.variant} was handed source {source[0]} "
+                    f"(plan: {_fmt_plan(plan)})"
+                )
+            if source is not None:
+                src_variant, src_result = source
+                assert planned.variant.can_reuse(src_variant), (
+                    f"{scheduler.name} step {step}: {planned.variant} may not "
+                    f"reuse {src_variant} (plan: {_fmt_plan(plan)})"
+                )
+                assert src_result.variant == src_variant
+                assert src_variant in registry
+            clock += 1.0
+            registry.add(planned.variant, _dummy_result(planned.variant), clock)
+
+    @settings(max_examples=60, deadline=None)
+    @given(vset=variant_sets)
+    def test_greedy_source_is_distance_minimal(self, vset):
+        """SCHEDGREEDY with everything completed must pick the same
+        source as the static dependency tree (global knowledge)."""
+        registry = CompletedRegistry()
+        for v in vset:
+            registry.add(v, _dummy_result(v))
+        tree = dependency_tree(vset)
+        scheduler = SchedGreedy()
+        for planned in scheduler.plan(vset):
+            source = scheduler.select_source(planned, vset, registry)
+            parents = list(tree.predecessors(planned.variant))
+            if source is None:
+                assert not parents, (
+                    f"{planned.variant} is a tree child of {parents} but the "
+                    f"scheduler found no source"
+                )
+            else:
+                assert parents == [source[0]], (
+                    f"{planned.variant}: tree parent {parents} != greedy "
+                    f"source {source[0]}"
+                )
+
+
+class TestDependencyTreeFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(vset=variant_sets)
+    def test_tree_is_acyclic_forest_with_legal_edges(self, vset):
+        tree = dependency_tree(vset)
+        assert set(tree.nodes) == set(vset)
+        assert nx.is_directed_acyclic_graph(tree), (
+            f"dependency tree has a cycle: {list(nx.simple_cycles(tree))}"
+        )
+        for parent, child in tree.edges:
+            assert child.can_reuse(parent), (
+                f"edge {parent} -> {child} violates the inclusion criteria"
+            )
+        for v, data in tree.nodes(data=True):
+            indeg = tree.in_degree(v)
+            assert indeg <= 1, f"{v} has {indeg} parents"
+            assert data.get("root") == (indeg == 0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(vset=variant_sets)
+    def test_depth_first_schedule_respects_dependencies(self, vset):
+        tree = dependency_tree(vset)
+        order = depth_first_schedule(tree)
+        assert sorted(order, key=lambda v: v.as_tuple()) == sorted(
+            vset, key=lambda v: v.as_tuple()
+        )
+        position = {v: i for i, v in enumerate(order)}
+        for parent, child in tree.edges:
+            assert position[parent] < position[child], (
+                f"schedule visits {child} before its reuse source {parent}: "
+                f"{' -> '.join(map(str, order))}"
+            )
