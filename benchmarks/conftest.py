@@ -45,6 +45,39 @@ def bench_scale(heavy: bool = False) -> float:
     return float(os.environ.get(var, default))
 
 
+# One engine Session per (dataset, scale) for the whole bench run: the
+# point store and memoized T_high/T_low are built once and shared by
+# every bench that touches the dataset.  Construction happens under the
+# session tracer (when REPRO_TRACE_DIR is set), so traces include the
+# engine's ``index_build`` and ``shm_attach`` phases alongside the
+# kernel phases.
+_SESSIONS: dict = {}
+
+
+def bench_session(dataset: str, scale: float = None, **session_kwargs):
+    """The shared :class:`repro.Session` for ``dataset`` at ``scale``."""
+    from repro.data.registry import load_dataset
+    from repro.engine import Session
+
+    scale = bench_scale() if scale is None else scale
+    key = (dataset, scale)
+    session = _SESSIONS.get(key)
+    if session is None or session.closed:
+        ds = load_dataset(dataset, scale)
+        session = Session(ds.points, dataset=dataset, **session_kwargs)
+        _SESSIONS[key] = session
+    return session
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _close_bench_sessions():
+    """Close every shared session (unlinking any shm segments) at exit."""
+    yield
+    for session in _SESSIONS.values():
+        session.close()
+    _SESSIONS.clear()
+
+
 @pytest.fixture(scope="session", autouse=True)
 def session_tracer():
     """Install a session-wide tracer when ``REPRO_TRACE_DIR`` is set."""

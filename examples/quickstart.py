@@ -17,12 +17,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro import (
-    SerialExecutor,
+    Session,
     Variant,
     VariantSet,
     dbscan,
     quality_score,
-    run_variants,
 )
 
 # ----------------------------------------------------------------- 1.
@@ -52,7 +51,10 @@ print(
 variants = VariantSet.from_product([0.4, 0.6, 0.8], [4, 8, 16])
 print(f"\nvariant grid: |V| = {len(variants)}  ->  {list(variants)}")
 
-batch = run_variants(points, variants)  # SerialExecutor, SCHEDGREEDY, CLUSDENSITY
+# The Session owns the point store and memoized indexes; defaults are
+# the paper's (SerialExecutor, SCHEDGREEDY, CLUSDENSITY).
+session = Session(points)
+batch = session.run(variants)
 
 # ----------------------------------------------------------------- 4.
 print("\nper-variant results (note reuse kicking in after the first):")
@@ -72,7 +74,9 @@ v = Variant(0.8, 4)
 scratch = dbscan(points, v.eps, v.minpts)
 print(f"quality of reused {v} vs scratch: {quality_score(scratch, batch[v]):.4f}")
 
-# Executors are pluggable; the serial one above is the simplest:
-batch2 = SerialExecutor(low_res_r=100).run(points, variants)
+# Executors and knobs are pluggable per run; the indexes built above
+# are reused unless a knob (here low_res_r) forces a different pair.
+batch2 = session.run(variants, executor="serial", low_res_r=100)
 assert len(batch2) == len(variants)
+session.close()
 print("done.")

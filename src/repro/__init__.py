@@ -11,13 +11,14 @@ evaluation.
 Quickstart
 ----------
 >>> import numpy as np
->>> from repro import Variant, VariantSet, run_variants, dbscan
+>>> from repro import Session, Variant, VariantSet, dbscan
 >>> rng = np.random.default_rng(0)
 >>> pts = np.vstack([rng.normal(0, 0.5, (200, 2)), rng.normal(8, 0.5, (200, 2))])
 >>> res = dbscan(pts, eps=0.6, minpts=4)
 >>> res.n_clusters
 2
->>> batch = run_variants(pts, VariantSet.from_product([0.6, 0.8], [4, 8]))
+>>> with Session(pts) as session:
+...     batch = session.run(VariantSet.from_product([0.6, 0.8], [4, 8]))
 >>> len(batch.results)
 4
 """
@@ -41,6 +42,13 @@ from repro.core import (
     variant_dbscan,
 )
 from repro.core.incremental import IncrementalDBSCAN
+from repro.engine import (
+    IndexFactory,
+    IndexPair,
+    PointStore,
+    RunContext,
+    Session,
+)
 from repro.exec import (
     BatchResult,
     SerialExecutor,
@@ -86,6 +94,11 @@ __all__ = [
     "BatchRunRecord",
     "run_variants",
     "BatchResult",
+    "Session",
+    "PointStore",
+    "IndexFactory",
+    "IndexPair",
+    "RunContext",
     "IncrementalDBSCAN",
     "optics",
     "extract_dbscan",

@@ -40,16 +40,15 @@ from repro.core.reuse import CLUS_DEFAULT, CLUS_DENSITY, CLUS_PTS_SQUARED, Reuse
 from repro.core.scheduling import SchedGreedy, SchedMinpts, Scheduler
 from repro.core.variants import VariantSet
 from repro.data.registry import LoadedDataset, load_dataset
-from repro.exec.base import IndexPair
+from repro.engine import IndexPair, Session
 from repro.exec.cost import DEFAULT_COST_MODEL, CostModel
-from repro.exec.serial import SerialExecutor
-from repro.exec.simulated import SimulatedExecutor
 from repro.index.rtree import RTree
 from repro.metrics.counters import WorkCounters
 from repro.metrics.quality import quality_score
 from repro.metrics.records import BatchRunRecord
 
 __all__ = [
+    "close_sessions",
     "table1_rows",
     "fig1_tec_map",
     "fig2_boundary_discovery",
@@ -66,6 +65,27 @@ __all__ = [
 # shared caches (benchmarks hit the same dataset/baseline repeatedly)
 # ----------------------------------------------------------------------
 _ref_cache: dict[tuple, ReferenceRun] = {}
+
+# One Session per (dataset, scale): every figure driver that runs
+# executors shares the point store and the memoized T_high/T_low pair
+# instead of rebuilding both trees per policy/scheduler cell.
+_session_cache: dict[tuple, Session] = {}
+
+
+def _dataset_session(ds: LoadedDataset) -> Session:
+    key = (ds.spec.name, ds.scale)
+    session = _session_cache.get(key)
+    if session is None or session.closed:
+        session = Session(ds.points, dataset=ds.spec.name)
+        _session_cache[key] = session
+    return session
+
+
+def close_sessions() -> None:
+    """Close every cached figure-driver session (frees index memory)."""
+    for session in _session_cache.values():
+        session.close()
+    _session_cache.clear()
 
 
 def _cached_reference(
@@ -278,13 +298,15 @@ def fig5_per_variant(
     """
     ds = load_dataset(dataset, scale)
     variants = s2_variant_set(ds)
-    executor = SerialExecutor(
+    batch = _dataset_session(ds).run(
+        variants,
+        executor="serial",
         scheduler=SchedGreedy(),
-        reuse_policy=policy,
+        policy=policy,
         low_res_r=low_res_r,
         cost_model=cost_model,
+        dataset=dataset,
     )
-    batch = executor.run(ds.points, variants, dataset=dataset)
     return batch.record
 
 
@@ -339,15 +361,17 @@ def fig7_summary(
         ds = load_dataset(name, scale)
         variants = s2_variant_set(ds)
         ref = _cached_reference(ds, variants, cost_model)
-        indexes = IndexPair.build(ds.points, low_res_r)
+        session = _dataset_session(ds)
         for policy in policies:
-            executor = SerialExecutor(
+            batch = session.run(
+                variants,
+                executor="serial",
                 scheduler=SchedGreedy(),
-                reuse_policy=policy,
+                policy=policy,
                 low_res_r=low_res_r,
                 cost_model=cost_model,
+                dataset=name,
             )
-            batch = executor.run(ds.points, variants, indexes=indexes, dataset=name)
             qualities = [
                 quality_score(ref.results[v], batch.results[v]) for v in variants
             ]
@@ -388,18 +412,18 @@ def fig8_combined(
         ds = load_dataset(cfg.dataset, scale)
         variants = cfg.variant_set(ds)
         ref = _cached_reference(ds, variants, cost_model)
-        indexes = IndexPair.build(ds.points, low_res_r)
+        session = _dataset_session(ds)
         for sched in schedulers:
             for policy in policies:
-                executor = SimulatedExecutor(
+                batch = session.run(
+                    variants,
+                    executor="simulated",
                     n_threads=n_threads,
                     scheduler=sched,
-                    reuse_policy=policy,
+                    policy=policy,
                     low_res_r=low_res_r,
                     cost_model=cost_model,
-                )
-                batch = executor.run(
-                    ds.points, variants, indexes=indexes, dataset=cfg.dataset
+                    dataset=cfg.dataset,
                 )
                 rows.append(
                     {
@@ -440,16 +464,18 @@ def fig9_makespan(
 
     ds = load_dataset(dataset, scale)
     variants = s3_variant_set(ds, variant_set_name)
-    indexes = IndexPair.build(ds.points, low_res_r)
+    session = _dataset_session(ds)
     out: dict[str, BatchRunRecord] = {}
     for sched in (SchedGreedy(), SchedMinpts()):
-        executor = SimulatedExecutor(
+        batch = session.run(
+            variants,
+            executor="simulated",
             n_threads=n_threads,
             scheduler=sched,
-            reuse_policy=CLUS_DENSITY,
+            policy=CLUS_DENSITY,
             low_res_r=low_res_r,
             cost_model=cost_model,
+            dataset=dataset,
         )
-        batch = executor.run(ds.points, variants, indexes=indexes, dataset=dataset)
         out[sched.name] = batch.record
     return out

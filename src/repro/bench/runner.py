@@ -86,6 +86,21 @@ def run_full_report(
             Path(output).write_text(report)
         return report
 
+    try:
+        return _run_full_report_body(scale, heavy_scale, output=output, quick=quick)
+    finally:
+        # The figure drivers share per-dataset Sessions (point store +
+        # memoized index pairs); release them once the report is built.
+        figmod.close_sessions()
+
+
+def _run_full_report_body(
+    scale: Optional[float],
+    heavy_scale: Optional[float],
+    *,
+    output: Optional[str],
+    quick: bool,
+) -> str:
     heavy_scale = heavy_scale if heavy_scale is not None else scale
     from repro.bench.scenarios import S2_CONFIG, S3_CONFIGS
 

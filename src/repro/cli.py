@@ -100,13 +100,18 @@ def cmd_cluster(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     points, name = _load_points(args.dataset, args.scale)
     variants = VariantSet.from_product(_floats(args.eps), _ints(args.minpts))
-    executor = EXECUTORS[args.executor](
-        n_threads=args.threads,
+    from repro.engine import Session
+
+    with Session(
+        points,
+        dataset=name,
+        low_res_r=args.r,
         scheduler=SCHEDULERS[args.scheduler],
         reuse_policy=POLICIES[args.policy],
-        low_res_r=args.r,
-    )
-    batch = executor.run(points, variants, dataset=name)
+    ) as session:
+        batch = session.run(
+            variants, executor=args.executor, n_threads=args.threads
+        )
     rec = batch.record
     rows = [
         [
@@ -264,15 +269,19 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
     points, name = _load_points(args.dataset, args.scale)
     variants = VariantSet.from_product(_floats(args.eps), _ints(args.minpts))
-    executor = EXECUTORS[args.executor](
-        n_threads=args.threads,
+    from repro.engine import Session
+
+    tracer = Tracer()
+    with use_tracer(tracer), Session(
+        points,
+        dataset=name,
+        low_res_r=args.r,
         scheduler=SCHEDULERS[args.scheduler],
         reuse_policy=POLICIES[args.policy],
-        low_res_r=args.r,
-    )
-    tracer = Tracer()
-    with use_tracer(tracer):
-        batch = executor.run(points, variants, dataset=name)
+    ) as session:
+        batch = session.run(
+            variants, executor=args.executor, n_threads=args.threads
+        )
     registry = MetricsRegistry.from_batch(batch, tracer)
     print(registry.summary())
     coverage = registry.phase_coverage()

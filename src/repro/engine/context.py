@@ -1,0 +1,89 @@
+"""The unified executor contract: one object carries a run's state.
+
+Before the engine refactor every executor method threaded seven-plus
+positional arguments (``points, variants, indexes, scheduler,
+reuse_policy, cost_model, tracer, batch knobs...``) through three
+layers; :class:`RunContext` collapses them into a single immutable
+carrier that :class:`~repro.engine.session.Session` (or the
+compatibility path in :class:`~repro.exec.base.BaseExecutor`)
+assembles once per run and every backend consumes uniformly.
+
+Backends read **all** configuration from the context — never from
+executor instance attributes — so a single executor instance can serve
+many sessions/configurations, and the context is the one seam future
+sharding/async/service layers need to extend.
+
+Runtime imports here are deliberately minimal (dataclass + typing);
+the concrete types live in their own layers and are only imported for
+type checking, keeping ``engine.context`` importable from anywhere in
+the stack without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.neighcache import NeighborhoodCache
+    from repro.core.reuse import ReusePolicy
+    from repro.core.scheduling import Scheduler
+    from repro.engine.factory import IndexPair
+    from repro.engine.store import PointStore
+    from repro.exec.cost import CostModel
+    from repro.obs.span import Tracer
+
+__all__ = ["RunContext"]
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Everything a backend needs to execute one variant batch.
+
+    Attributes
+    ----------
+    store:
+        The immutable point database (shared-memory capable).
+    indexes:
+        The built ``(T_high, T_low)`` pair for Algorithm 3.
+    scheduler:
+        Variant ordering + reuse-source selection strategy.
+    reuse_policy:
+        Cluster-seed prioritisation inside VariantDBSCAN.
+    cost_model:
+        Work-unit pricing for response times / the simulated clock.
+    n_threads:
+        Worker count ``T`` for this run.
+    batch_size:
+        Epsilon-search engine block size (``<= 1`` = scalar loops).
+    cache:
+        Per-run neighborhood cache shared across the batch's variants,
+        or ``None`` when caching is disabled.
+    tracer:
+        Resolved span collector for the run (never ``None``; disabled
+        tracing is the null tracer).
+    dataset:
+        Label stamped onto the batch record for reporting.
+    """
+
+    store: "PointStore"
+    indexes: "IndexPair"
+    scheduler: "Scheduler"
+    reuse_policy: "ReusePolicy"
+    cost_model: "CostModel"
+    n_threads: int = 1
+    batch_size: int = 0
+    cache: Optional["NeighborhoodCache"] = None
+    tracer: "Tracer" = field(repr=False, default=None)  # type: ignore[assignment]
+    dataset: str = ""
+
+    @property
+    def points(self) -> np.ndarray:
+        """The read-only point array (convenience for ``store.points``)."""
+        return self.store.points
+
+    def with_(self, **changes) -> "RunContext":
+        """A copy with the given fields replaced (contexts are frozen)."""
+        return replace(self, **changes)

@@ -1,0 +1,317 @@
+"""The session engine: one owner for dataset, indexes, caches, tracer.
+
+The paper's premise (Section IV) is that one in-memory database ``D``
+and its two R-trees are built **once** and shared by every variant.
+:class:`Session` is that premise as an object:
+
+* it owns the immutable :class:`~repro.engine.store.PointStore`
+  (shared-memory capable, content-fingerprinted);
+* it owns an :class:`~repro.engine.factory.IndexFactory`, so
+  ``T_high``/``T_low`` are built once per session and reused across
+  every run, benchmark iteration, and figure driver;
+* it assembles the :class:`~repro.engine.context.RunContext` each run
+  and hands it to an executor backend — the single seam every layer
+  (CLI, benchmarks, figure drivers, future service endpoints) routes
+  through.
+
+Usage::
+
+    from repro import Session, VariantSet
+
+    with Session(points, dataset="SW1") as session:
+        batch = session.run(VariantSet.from_product([0.5, 0.7], [4]))
+        again = session.run(variants, executor="processes", n_threads=8)
+
+The context-manager form guarantees that any shared-memory segments
+the session materialized (for process-pool runs) are unlinked even when
+a worker raises.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.core.dbscan import DEFAULT_BATCH_SIZE
+from repro.core.neighcache import NeighborhoodCache
+from repro.core.reuse import CLUS_DENSITY, POLICIES, ReusePolicy
+from repro.core.scheduling import SCHEDULERS, Scheduler
+from repro.core.variant_dbscan import DEFAULT_LOW_RES_R
+from repro.core.variants import VariantSet
+from repro.engine.context import RunContext
+from repro.engine.factory import IndexFactory, IndexPair
+from repro.engine.store import PointStore
+from repro.obs.span import Tracer, resolve_tracer
+from repro.util.validation import check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.exec.base import BaseExecutor, BatchResult
+    from repro.exec.cost import CostModel
+
+__all__ = ["Session"]
+
+
+def _as_scheduler(value: Union[str, Scheduler, None]) -> Optional[Scheduler]:
+    if value is None or isinstance(value, Scheduler):
+        return value
+    try:
+        return SCHEDULERS[value]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {value!r}; expected one of {sorted(SCHEDULERS)}"
+        ) from None
+
+
+def _as_policy(value: Union[str, ReusePolicy, None]) -> Optional[ReusePolicy]:
+    if value is None or isinstance(value, ReusePolicy):
+        return value
+    try:
+        return POLICIES[value]
+    except KeyError:
+        raise KeyError(
+            f"unknown reuse policy {value!r}; expected one of {sorted(POLICIES)}"
+        ) from None
+
+
+class Session:
+    """Owns one database plus everything derived from it.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` array-like, or an existing
+        :class:`~repro.engine.store.PointStore` to adopt (the session
+        then owns its lifecycle).
+    dataset:
+        Label stamped onto batch records (overridable per run).
+    low_res_r:
+        Default points-per-MBB for ``T_low``.
+    fanout:
+        R-tree fanout for factory-built trees.
+    scheduler / reuse_policy:
+        Default strategy objects (or registry names) for runs.
+    cost_model:
+        Work-unit pricing; defaults to the library's calibrated model.
+    batch_size / cache_bytes:
+        Default epsilon-search engine knobs (see
+        :class:`~repro.exec.base.BaseExecutor`).
+    tracer:
+        Span collector for everything the session does; ``None``
+        resolves to the globally active tracer at each use.
+    """
+
+    def __init__(
+        self,
+        points,
+        *,
+        dataset: str = "",
+        low_res_r: int = DEFAULT_LOW_RES_R,
+        fanout: int = 16,
+        scheduler: Union[str, Scheduler, None] = None,
+        reuse_policy: Union[str, ReusePolicy] = CLUS_DENSITY,
+        cost_model: Optional["CostModel"] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        cache_bytes: int = 0,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if cost_model is None:
+            from repro.exec.cost import DEFAULT_COST_MODEL
+
+            cost_model = DEFAULT_COST_MODEL
+        self.store = PointStore.from_points(points)
+        self.factory = IndexFactory()
+        self.dataset = dataset
+        self.low_res_r = check_positive_int(low_res_r, name="low_res_r")
+        self.fanout = check_positive_int(fanout, name="fanout")
+        self.scheduler = _as_scheduler(scheduler)
+        self.reuse_policy = _as_policy(reuse_policy)
+        self.cost_model = cost_model
+        self.batch_size = int(batch_size)
+        self.cache_bytes = int(cache_bytes)
+        self.tracer = tracer
+        self._closed = False
+
+    # -- derived state --------------------------------------------------
+    @property
+    def points(self):
+        return self.store.points
+
+    @property
+    def n_points(self) -> int:
+        return self.store.n_points
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def indexes(
+        self, low_res_r: Optional[int] = None, *, fanout: Optional[int] = None
+    ) -> IndexPair:
+        """The memoized ``(T_high, T_low)`` pair at the given resolution."""
+        return self.factory.index_pair(
+            self.store,
+            low_res_r if low_res_r is not None else self.low_res_r,
+            fanout=fanout if fanout is not None else self.fanout,
+            tracer=resolve_tracer(self.tracer),
+        )
+
+    def index(self, kind: str, **params):
+        """A memoized single index of ``kind`` (rtree/grid/kdtree/brute)."""
+        return self.factory.get(
+            self.store, kind, tracer=resolve_tracer(self.tracer), **params
+        )
+
+    # -- execution ------------------------------------------------------
+    def _resolve_executor(self, executor, kwargs: dict) -> "BaseExecutor":
+        from repro.exec import EXECUTORS
+        from repro.exec.base import BaseExecutor
+
+        if executor is None:
+            executor = "serial"
+        if isinstance(executor, str):
+            try:
+                cls = EXECUTORS[executor]
+            except KeyError:
+                raise KeyError(
+                    f"unknown executor {executor!r}; expected one of {sorted(EXECUTORS)}"
+                ) from None
+            return cls(**kwargs)
+        if isinstance(executor, type) and issubclass(executor, BaseExecutor):
+            return executor(**kwargs)
+        if not isinstance(executor, BaseExecutor):
+            raise TypeError(
+                f"executor must be a name, BaseExecutor subclass, or instance; "
+                f"got {executor!r}"
+            )
+        return executor
+
+    def context(
+        self,
+        *,
+        executor: Optional["BaseExecutor"] = None,
+        scheduler: Union[str, Scheduler, None] = None,
+        policy: Union[str, ReusePolicy, None] = None,
+        n_threads: Optional[int] = None,
+        low_res_r: Optional[int] = None,
+        batch_size: Optional[int] = None,
+        cache_bytes: Optional[int] = None,
+        cost_model: Optional["CostModel"] = None,
+        dataset: Optional[str] = None,
+    ) -> RunContext:
+        """Assemble the :class:`RunContext` for one run.
+
+        Fallback order per knob: explicit argument, else the executor
+        instance's configuration (when one is given), else the session
+        default.
+        """
+        if self._closed:
+            raise ValueError("Session is closed")
+        ex = executor
+        sched = _as_scheduler(scheduler)
+        pol = _as_policy(policy)
+        if ex is not None:
+            sched = sched if sched is not None else ex.scheduler
+            pol = pol if pol is not None else ex.reuse_policy
+            cost_model = cost_model if cost_model is not None else ex.cost_model
+            n_threads = n_threads if n_threads is not None else ex.n_threads
+            low_res_r = low_res_r if low_res_r is not None else ex.low_res_r
+            batch_size = batch_size if batch_size is not None else ex.batch_size
+            cache_bytes = cache_bytes if cache_bytes is not None else ex.cache_bytes
+        if ex is not None and getattr(ex, "single_threaded", False):
+            n_threads = 1
+        from repro.core.scheduling import SchedGreedy
+
+        sched = sched if sched is not None else (self.scheduler or SchedGreedy())
+        pol = pol if pol is not None else self.reuse_policy
+        cache_bytes = cache_bytes if cache_bytes is not None else self.cache_bytes
+        tracer = resolve_tracer(self.tracer)
+        return RunContext(
+            store=self.store,
+            indexes=self.indexes(low_res_r),
+            scheduler=sched,
+            reuse_policy=pol,
+            cost_model=cost_model if cost_model is not None else self.cost_model,
+            n_threads=check_positive_int(
+                n_threads if n_threads is not None else 1, name="n_threads"
+            ),
+            batch_size=batch_size if batch_size is not None else self.batch_size,
+            cache=(
+                NeighborhoodCache(capacity_bytes=cache_bytes)
+                if cache_bytes and cache_bytes > 0
+                else None
+            ),
+            tracer=tracer,
+            dataset=dataset if dataset is not None else self.dataset,
+        )
+
+    def run(
+        self,
+        variants,
+        *,
+        executor: Union[str, "BaseExecutor", type, None] = None,
+        scheduler: Union[str, Scheduler, None] = None,
+        policy: Union[str, ReusePolicy, None] = None,
+        n_threads: Optional[int] = None,
+        low_res_r: Optional[int] = None,
+        batch_size: Optional[int] = None,
+        cache_bytes: Optional[int] = None,
+        cost_model: Optional["CostModel"] = None,
+        dataset: Optional[str] = None,
+    ) -> "BatchResult":
+        """Execute every variant and return the batch result.
+
+        ``executor`` may be a backend name (``serial`` / ``simulated``
+        / ``threads`` / ``processes``), a :class:`BaseExecutor`
+        subclass, an already-configured instance, or ``None`` for the
+        serial default.  All other knobs override the session defaults
+        for this run only; indexes come from the memoized factory, so
+        repeated runs never rebuild them.
+        """
+        if self._closed:
+            raise ValueError("Session is closed")
+        if not isinstance(variants, VariantSet):
+            variants = VariantSet(variants)
+        ex = self._resolve_executor(executor, {})
+        # Only an explicitly-passed instance contributes its own knobs as
+        # fallbacks; a freshly-constructed backend defers to the session.
+        from_instance = ex is executor
+        if getattr(ex, "single_threaded", False):
+            n_threads = 1
+        ctx = self.context(
+            executor=ex if from_instance else None,
+            scheduler=scheduler,
+            policy=policy,
+            n_threads=n_threads,
+            low_res_r=low_res_r,
+            batch_size=batch_size,
+            cache_bytes=cache_bytes,
+            cost_model=cost_model,
+            dataset=dataset,
+        )
+        return ex.run_context(ctx, variants)
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Release everything the session owns.
+
+        Unlinks any shared-memory segment the store materialized and
+        drops the index cache.  Idempotent; after closing, ``run`` and
+        ``context`` raise.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.factory.clear()
+        self.store.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"Session(n={self.store.n_points}, dataset={self.dataset!r}, "
+            f"indexes_cached={len(self.factory)}, {state})"
+        )

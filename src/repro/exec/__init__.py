@@ -12,9 +12,12 @@ Pick a backend by what you need:
 * :class:`ProcessPoolExecutorBackend` — real processes over statically
   partitioned reuse chains (genuinely parallel).
 
-:func:`run_variants` is the one-call convenience entry point.
+:func:`run_variants` is the legacy one-call convenience entry point;
+prefer :class:`repro.Session`, which keeps the point store and built
+indexes alive across runs (see ``docs/ARCHITECTURE.md``).
 """
 
+import warnings
 from typing import Optional
 
 import numpy as np
@@ -63,6 +66,12 @@ def run_variants(
 ) -> BatchResult:
     """Cluster every variant of ``variants`` over ``points``.
 
+    .. deprecated::
+        Use :class:`repro.Session` — ``Session(points).run(variants)``
+        — which additionally reuses the point store and built indexes
+        across runs.  This shim routes through a transient session and
+        will be removed in a future release.
+
     Uses a :class:`SerialExecutor` with the paper's recommended
     defaults (SCHEDGREEDY + CLUSDENSITY, ``r = 70``) unless an executor
     is supplied.
@@ -76,6 +85,12 @@ def run_variants(
     >>> sorted(v.eps for v in batch.results)
     [0.5, 0.7]
     """
-    if executor is None:
-        executor = SerialExecutor()
-    return executor.run(points, variants, dataset=dataset)
+    warnings.warn(
+        "run_variants() is deprecated; use repro.Session(points).run(variants)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.engine.session import Session
+
+    with Session(points, dataset=dataset) as session:
+        return session.run(variants, executor=executor)

@@ -3,63 +3,54 @@
 Each backend differs only in *when* variants run and what clock stamps
 them; the per-variant work — pick a reuse source from the completed
 registry, run VariantDBSCAN (or DBSCAN from scratch), build the run
-record — is identical and lives here.
+record — is identical and lives here, driven entirely by the run's
+:class:`~repro.engine.context.RunContext`.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
-from repro.core.dbscan import DEFAULT_BATCH_SIZE
-from repro.core.neighcache import NeighborhoodCache
 from repro.core.result import ClusteringResult
-from repro.core.reuse import ReusePolicy
-from repro.core.scheduling import CompletedRegistry, PlannedVariant, Scheduler
+from repro.core.scheduling import CompletedRegistry, PlannedVariant
 from repro.core.variant_dbscan import variant_dbscan
 from repro.core.variants import VariantSet
-from repro.exec.base import IndexPair
-from repro.exec.cost import CostModel
+from repro.engine.context import RunContext
 from repro.metrics.counters import WorkCounters
 from repro.metrics.records import VariantRunRecord
-from repro.obs.span import Tracer, resolve_tracer
+from repro.obs.span import resolve_tracer
 
 __all__ = ["execute_variant"]
 
 
 def execute_variant(
-    points: np.ndarray,
+    ctx: RunContext,
     planned: PlannedVariant,
     vset: VariantSet,
-    indexes: IndexPair,
-    scheduler: Scheduler,
-    reuse_policy: ReusePolicy,
     registry: CompletedRegistry,
-    cost_model: CostModel,
     *,
-    concurrency: int = 1,
+    concurrency: Optional[int] = None,
     before: Optional[float] = None,
-    batch_size: int = DEFAULT_BATCH_SIZE,
-    cache: Optional[NeighborhoodCache] = None,
-    tracer: Optional[Tracer] = None,
 ) -> tuple[ClusteringResult, VariantRunRecord]:
     """Run one planned variant and return its result and run record.
 
-    ``before`` restricts which completed variants are eligible as reuse
-    sources (simulated time); wall-clock backends pass ``None`` ("use
-    whatever has completed by now").  The record's ``response_time`` is
-    priced by ``cost_model`` at the given ``concurrency``; ``start`` /
-    ``finish`` / ``thread_id`` are the caller's to fill in.
-    ``batch_size`` and ``cache`` are forwarded into VariantDBSCAN's
-    epsilon-search engine (see :class:`~repro.exec.base.BaseExecutor`);
-    ``tracer`` wraps the run in a ``variant`` span and collects the
-    kernel's phase timings.
+    All configuration (points, indexes, scheduler, reuse policy, cost
+    model, batch knobs, tracer) comes from ``ctx``.  ``before``
+    restricts which completed variants are eligible as reuse sources
+    (simulated time); wall-clock backends pass ``None`` ("use whatever
+    has completed by now").  The record's ``response_time`` is priced by
+    the context's cost model at ``concurrency`` (default:
+    ``ctx.n_threads``); ``start`` / ``finish`` / ``thread_id`` are the
+    caller's to fill in.
     """
-    tr = resolve_tracer(tracer)
+    if concurrency is None:
+        concurrency = ctx.n_threads
+    tr = resolve_tracer(ctx.tracer)
+    points = ctx.points
+    indexes = ctx.indexes
     counters = WorkCounters()
     with tr.span("variant", variant=str(planned.variant)) as span:
-        source = scheduler.select_source(planned, vset, registry, before=before)
+        source = ctx.scheduler.select_source(planned, vset, registry, before=before)
         if source is None:
             result = variant_dbscan(
                 points,
@@ -67,8 +58,8 @@ def execute_variant(
                 None,
                 t_low=indexes.t_low,
                 counters=counters,
-                batch_size=batch_size,
-                cache=cache,
+                batch_size=ctx.batch_size,
+                cache=ctx.cache,
                 tracer=tr,
             )
         else:
@@ -79,10 +70,10 @@ def execute_variant(
                 source_result,
                 t_high=indexes.t_high,
                 t_low=indexes.t_low,
-                reuse_policy=reuse_policy,
+                reuse_policy=ctx.reuse_policy,
                 counters=counters,
-                batch_size=batch_size,
-                cache=cache,
+                batch_size=ctx.batch_size,
+                cache=ctx.cache,
                 tracer=tr,
             )
         span.set(
@@ -94,7 +85,7 @@ def execute_variant(
         reused_from=result.reused_from,
         points_reused=result.points_reused,
         reuse_fraction=result.reuse_fraction,
-        response_time=cost_model.duration(counters, concurrency),
+        response_time=ctx.cost_model.duration(counters, concurrency),
         wall_time=result.elapsed,
         n_clusters=result.n_clusters,
         n_noise=result.n_noise,

@@ -8,13 +8,23 @@ produces a :class:`BatchResult` bundling every variant's
 :class:`~repro.metrics.records.BatchRunRecord` that the figures are
 drawn from.
 
+Since the session-engine refactor, backends implement
+``_run(ctx, variants)`` against a single immutable
+:class:`~repro.engine.context.RunContext` carrying the store, indexes,
+strategies, cache and tracer — assembled either by
+:class:`repro.Session` (the preferred entry point) or by the
+compatibility :meth:`BaseExecutor.run` shim, which still accepts a bare
+point array.
+
 Concrete backends:
 
 * :class:`~repro.exec.serial.SerialExecutor` — one thread, queue order.
 * :class:`~repro.exec.threadpool.ThreadPoolExecutorBackend` — real
   Python threads sharing the indexes and registry.
 * :class:`~repro.exec.procpool.ProcessPoolExecutorBackend` — processes,
-  reuse chains partitioned across workers (GIL-free).
+  reuse chains partitioned across workers (GIL-free); workers attach
+  the parent's shared-memory store and index pack instead of pickling
+  points and rebuilding trees.
 * :class:`~repro.exec.simulated.SimulatedExecutor` — deterministic
   work-unit clock; the backend used to reproduce the paper's scaling
   figures.
@@ -35,34 +45,15 @@ from repro.core.reuse import CLUS_DENSITY, ReusePolicy
 from repro.core.scheduling import Scheduler, SchedGreedy
 from repro.core.variant_dbscan import DEFAULT_LOW_RES_R
 from repro.core.variants import Variant, VariantSet
+from repro.engine.context import RunContext
+from repro.engine.factory import IndexFactory, IndexPair
+from repro.engine.store import PointStore
 from repro.exec.cost import DEFAULT_COST_MODEL, CostModel
-from repro.index.rtree import RTree
 from repro.metrics.records import BatchRunRecord
 from repro.obs.span import Tracer, resolve_tracer
-from repro.util.validation import as_points_array, check_positive_int
+from repro.util.validation import check_positive_int
 
-__all__ = ["BatchResult", "BaseExecutor", "IndexPair"]
-
-
-@dataclass
-class IndexPair:
-    """The two shared R-trees of Algorithm 3 (``T_high`` and ``T_low``).
-
-    Building them is part of a batch's setup cost and is done exactly
-    once per database, whatever the number of variants or threads.
-    """
-
-    t_high: RTree
-    t_low: RTree
-
-    @classmethod
-    def build(
-        cls, points: np.ndarray, low_res_r: int = DEFAULT_LOW_RES_R, *, fanout: int = 16
-    ) -> "IndexPair":
-        return cls(
-            t_high=RTree(points, r=1, fanout=fanout),
-            t_low=RTree(points, r=low_res_r, fanout=fanout),
-        )
+__all__ = ["BatchResult", "BaseExecutor", "IndexPair", "RunContext"]
 
 
 @dataclass
@@ -88,7 +79,7 @@ class BatchResult:
 
 
 class BaseExecutor(abc.ABC):
-    """Shared configuration and index plumbing for all backends.
+    """Shared configuration and context plumbing for all backends.
 
     Parameters
     ----------
@@ -123,6 +114,9 @@ class BaseExecutor(abc.ABC):
     """
 
     name: str = "?"
+    #: Backends that always execute with one worker regardless of the
+    #: requested thread count (so sessions can clamp the context).
+    single_threaded: bool = False
 
     def __init__(
         self,
@@ -174,6 +168,27 @@ class BaseExecutor(abc.ABC):
             bytes_stored=s.bytes_stored,
         )
 
+    def make_context(
+        self,
+        store: PointStore,
+        indexes: IndexPair,
+        *,
+        dataset: str = "",
+    ) -> RunContext:
+        """A :class:`RunContext` carrying this executor's configuration."""
+        return RunContext(
+            store=store,
+            indexes=indexes,
+            scheduler=self.scheduler,
+            reuse_policy=self.reuse_policy,
+            cost_model=self.cost_model,
+            n_threads=self.n_threads,
+            batch_size=self.batch_size,
+            cache=self._build_cache(),
+            tracer=self._tracer(),
+            dataset=dataset,
+        )
+
     def run(
         self,
         points: np.ndarray,
@@ -182,27 +197,51 @@ class BaseExecutor(abc.ABC):
         indexes: Optional[IndexPair] = None,
         dataset: str = "",
     ) -> BatchResult:
-        """Execute every variant and return the batch result.
+        """Compatibility entry point over a bare point array.
 
-        ``indexes`` may be passed to share tree construction across
-        multiple batches over the same database (as the benchmarks do).
+        Builds a transient :class:`~repro.engine.store.PointStore` and
+        :class:`RunContext` from this executor's configuration; any
+        shared-memory segment materialized during the run (the process
+        backend's) is unlinked before returning.  ``indexes`` may be
+        passed to share tree construction across multiple batches over
+        the same database.  Prefer :class:`repro.Session`, which keeps
+        the store and built indexes alive across runs.
         """
-        points = as_points_array(points)
+        store = PointStore.from_points(points)
+        transient = store is not points  # adopted arrays get a private store
         if indexes is None:
-            indexes = IndexPair.build(points, self.low_res_r)
-        result = self._run(points, variants, indexes)
-        result.record.scheduler = self.scheduler.name
-        result.record.reuse_policy = self.reuse_policy.name
-        result.record.dataset = dataset
+            indexes = IndexFactory().index_pair(
+                store, self.low_res_r, tracer=self._tracer()
+            )
+        ctx = self.make_context(store, indexes, dataset=dataset)
+        try:
+            return self.run_context(ctx, variants)
+        finally:
+            if transient:
+                store.close()
+
+    def run_context(self, ctx: RunContext, variants: VariantSet) -> BatchResult:
+        """Execute every variant under an assembled context.
+
+        This is the unified entry point used by
+        :meth:`repro.Session.run`; it stamps the batch record with the
+        context's configuration after the backend finishes.
+        """
+        result = self._run(ctx, variants)
+        result.record.scheduler = ctx.scheduler.name
+        result.record.reuse_policy = ctx.reuse_policy.name
+        result.record.dataset = ctx.dataset
         result.record.executor = self.name
-        result.record.n_threads = self.n_threads
+        result.record.n_threads = ctx.n_threads
         return result
 
     @abc.abstractmethod
-    def _run(
-        self, points: np.ndarray, variants: VariantSet, indexes: IndexPair
-    ) -> BatchResult:
-        """Backend-specific execution over validated inputs."""
+    def _run(self, ctx: RunContext, variants: VariantSet) -> BatchResult:
+        """Backend-specific execution over an assembled context.
+
+        Backends read **all** configuration from ``ctx`` — never from
+        ``self`` — so one instance can serve many sessions.
+        """
 
     def __repr__(self) -> str:
         return (

@@ -12,16 +12,26 @@ the Figure 3(a) dependency forest:
 2. each root's subtree becomes a *reuse chain group* — a set of
    variants whose reuse sources all lie inside the group;
 3. groups are greedily bin-packed onto ``T`` workers by size (largest
-   first); oversized groups are split by depth-first order, keeping
-   each prefix self-contained (a depth-first prefix of a subtree is
-   closed under the parent relation);
-4. every worker runs its variants serially with a
-   :class:`~repro.exec.serial.SerialExecutor`, reusing within its own
+   first); oversized groups are split into near-equal contiguous
+   depth-first chunks, keeping each chunk self-contained (a depth-first
+   prefix of a subtree is closed under the parent relation);
+4. every worker runs its variants serially, reusing within its own
    group only.
 
 Cross-group reuse is forfeited — the documented price of process
 isolation — but every group still enjoys full intra-chain reuse, and
 workers scale across cores for real.
+
+Shared-memory economics (session engine): the parent materializes the
+point database into a POSIX shared-memory segment
+(:meth:`PointStore.ensure_shared`) and packs both already-built R-trees
+into a second segment (:func:`share_index_pair`); workers *attach* both
+— zero-copy, no pickled point array on the wire, no per-worker index
+rebuild.  This restores the paper's Algorithm 3 setup cost (one ``D``,
+one ``T_high``/``T_low``, whatever the worker count) for the process
+backend.  The parent unlinks the index pack in a ``finally``; the point
+segment's lifecycle belongs to the store's owner (the session or the
+compatibility ``run()`` shim).
 """
 
 from __future__ import annotations
@@ -29,12 +39,17 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 
-import numpy as np
-
 from repro.core.reuse import POLICIES
 from repro.core.scheduling import PlannedVariant, SchedGreedy, dependency_tree
 from repro.core.variants import Variant, VariantSet, sort_key
-from repro.exec.base import BaseExecutor, BatchResult, IndexPair
+from repro.engine.context import RunContext
+from repro.engine.factory import (
+    IndexPairHandle,
+    attach_index_pair,
+    share_index_pair,
+)
+from repro.engine.store import PointStore, PointStoreHandle
+from repro.exec.base import BaseExecutor, BatchResult
 from repro.exec.cost import CostModel
 from repro.exec.serial import SerialExecutor
 from repro.metrics.records import BatchRunRecord
@@ -68,16 +83,28 @@ def partition_reuse_chains(
         subtrees.append(order)
 
     # Split any subtree bigger than an even share into contiguous
-    # depth-first prefixes; a prefix cut leaves the suffix's first
-    # variant without its in-group parent, so the suffix simply starts
-    # from scratch — correct, just less reuse.
+    # depth-first chunks of near-equal size (a target-size prefix walk
+    # would strand a tiny remainder chunk — e.g. a 13-variant chain on
+    # 4 workers must become 4+3+3+3, not 4+4+4+1, or one worker idles).
+    # A chunk cut leaves the suffix's first variant without its in-group
+    # parent, so the suffix simply starts from scratch — correct, just
+    # less reuse.
     target = max(1, -(-len(variants) // n_workers))  # ceil division
     pieces: list[list[Variant]] = []
     for st in subtrees:
-        for i in range(0, len(st), target):
-            pieces.append(st[i : i + target])
+        if len(st) <= target:
+            pieces.append(st)
+            continue
+        k = -(-len(st) // target)
+        base, extra = divmod(len(st), k)
+        sizes = [base + 1] * extra + [base] * (k - extra)
+        i = 0
+        for size in sizes:
+            pieces.append(st[i : i + size])
+            i += size
 
-    # Greedy largest-first bin packing onto the workers.
+    # Greedy largest-first bin packing onto the workers, balanced by
+    # total variant count (singleton leftovers included).
     pieces.sort(key=len, reverse=True)
     bins: list[list[Variant]] = [[] for _ in range(min(n_workers, len(pieces)))]
     for piece in pieces:
@@ -87,10 +114,10 @@ def partition_reuse_chains(
 
 
 def _worker(
-    points: np.ndarray,
+    store_handle: PointStoreHandle,
+    idx_handle: IndexPairHandle,
     variant_tuples: list[tuple[float, int]],
     reuse_policy_name: str,
-    low_res_r: int,
     cost_model: CostModel,
     t0: float,
     batch_size: int,
@@ -99,10 +126,12 @@ def _worker(
 ):
     """Run one group serially inside a worker process.
 
-    The neighborhood cache cannot cross the process boundary, so each
-    worker builds its own (keyed to its own indexes); intra-group eps
-    sharing is preserved, cross-group sharing is forfeited along with
-    cross-group cluster reuse.
+    The worker attaches the parent's shared point segment and index
+    pack (zero-copy views; spans ``shm_attach``) instead of receiving
+    pickled points and rebuilding both trees.  The neighborhood cache
+    cannot cross the process boundary, so each worker builds its own;
+    intra-group eps sharing is preserved, cross-group sharing is
+    forfeited along with cross-group cluster reuse.
 
     Tracing follows the same pattern: a live tracer cannot be shared
     either, so when ``trace`` is set the worker installs its own
@@ -113,19 +142,32 @@ def _worker(
     """
     tracer = Tracer() if trace else None
     set_tracer(tracer)
-    group = _ChainSerialExecutor(
-        order=[Variant(e, m) for e, m in variant_tuples],
+    start = time.time() - t0
+    perf_start = time.perf_counter()
+    store = PointStore.attach(store_handle, tracer=tracer)
+    idx_shm, indexes = attach_index_pair(idx_handle, store.points, tracer=tracer)
+    order = [Variant(e, m) for e, m in variant_tuples]
+    vset = VariantSet(order)
+    group = SerialExecutor(
+        scheduler=_FixedOrderScheduler(order),
         reuse_policy=POLICIES[reuse_policy_name],
-        low_res_r=low_res_r,
         cost_model=cost_model,
         batch_size=batch_size,
         cache_bytes=cache_bytes,
         tracer=tracer,
     )
-    vset = VariantSet(Variant(e, m) for e, m in variant_tuples)
-    start = time.time() - t0
-    perf_start = time.perf_counter()
-    batch = group.run(points, vset)
+    ctx = group.make_context(store, indexes)
+    try:
+        batch = group.run_context(ctx, vset)
+    finally:
+        # Drop every view into the segments before unmapping; both
+        # closes tolerate lingering exports (OS reclaims at exit).
+        del ctx, indexes
+        try:
+            idx_shm.close()
+        except BufferError:  # pragma: no cover - view still exported
+            pass
+        store.close()
     finish = time.time() - t0
     # Re-stamp the work-unit timestamps onto the worker's wall window.
     span = finish - start
@@ -141,15 +183,6 @@ def _worker(
             s.t0 = s.t0 - perf_start + start
         set_tracer(None)
     return batch, spans
-
-
-class _ChainSerialExecutor(SerialExecutor):
-    """Serial executor that processes variants in a fixed explicit order."""
-
-    def __init__(self, order: list[Variant], **kwargs) -> None:
-        super().__init__(**kwargs)
-        self._order = order
-        self.scheduler = _FixedOrderScheduler(order)
 
 
 class _FixedOrderScheduler(SchedGreedy):
@@ -169,41 +202,56 @@ class ProcessPoolExecutorBackend(BaseExecutor):
 
     name = "processes"
 
-    def _run(
-        self, points: np.ndarray, variants: VariantSet, indexes: IndexPair
-    ) -> BatchResult:
-        del indexes  # each worker builds its own (trees are not picklable-cheap)
-        tracer = self._tracer()
-        groups = partition_reuse_chains(variants, self.n_threads)
+    def _run(self, ctx: RunContext, variants: VariantSet) -> BatchResult:
+        tracer = ctx.tracer
+        groups = partition_reuse_chains(variants, ctx.n_threads)
+        # Materialize the shared database and pack the already-built
+        # trees once; every worker attaches instead of rebuilding.
+        store_handle = ctx.store.ensure_shared(tracer=tracer)
+        idx_shm, idx_handle = share_index_pair(ctx.indexes, tracer=tracer)
+        cache_bytes = ctx.cache.capacity_bytes if ctx.cache is not None else 0
         t0 = time.time()
         results = {}
         records = []
-        with ProcessPoolExecutor(max_workers=len(groups)) as pool:
-            futures = [
-                pool.submit(
-                    _worker,
-                    points,
-                    [v.as_tuple() for v in group],
-                    self.reuse_policy.name,
-                    self.low_res_r,
-                    self.cost_model,
-                    t0,
-                    self.batch_size,
-                    self.cache_bytes,
-                    tracer.enabled,
-                )
-                for group in groups
-            ]
-            for wid, fut in enumerate(futures):
-                batch, spans = fut.result()
-                for rec in batch.record.records:
-                    rec.thread_id = wid
-                    records.append(rec)
-                if spans:
-                    tracer.add_records(spans, thread=f"worker-{wid}")
-                results.update(batch.results)
+        try:
+            with ProcessPoolExecutor(max_workers=len(groups)) as pool:
+                futures = [
+                    pool.submit(
+                        _worker,
+                        store_handle,
+                        idx_handle,
+                        [v.as_tuple() for v in group],
+                        ctx.reuse_policy.name,
+                        ctx.cost_model,
+                        t0,
+                        ctx.batch_size,
+                        cache_bytes,
+                        tracer.enabled,
+                    )
+                    for group in groups
+                ]
+                for wid, fut in enumerate(futures):
+                    batch, spans = fut.result()
+                    for rec in batch.record.records:
+                        rec.thread_id = wid
+                        records.append(rec)
+                    if spans:
+                        tracer.add_records(spans, thread=f"worker-{wid}")
+                    results.update(batch.results)
+        finally:
+            # The pack exists only for this batch; remove it even when a
+            # worker raised.  (The point segment belongs to the store's
+            # owner — the session or the compatibility run() shim.)
+            try:
+                idx_shm.close()
+            except BufferError:  # pragma: no cover - view still exported
+                pass
+            try:
+                idx_shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already removed
+                pass
         makespan = max((r.finish for r in records), default=0.0)
         batch_record = BatchRunRecord(
-            records=records, n_threads=self.n_threads, makespan=makespan
+            records=records, n_threads=ctx.n_threads, makespan=makespan
         )
         return BatchResult(results=results, record=batch_record)

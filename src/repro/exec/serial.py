@@ -8,12 +8,11 @@ parallel-execution effects.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.scheduling import CompletedRegistry
 from repro.core.variants import VariantSet
+from repro.engine.context import RunContext
 from repro.exec._runner import execute_variant
-from repro.exec.base import BaseExecutor, BatchResult, IndexPair
+from repro.exec.base import BaseExecutor, BatchResult
 from repro.metrics.records import BatchRunRecord
 
 __all__ = ["SerialExecutor"]
@@ -27,34 +26,20 @@ class SerialExecutor(BaseExecutor):
     """
 
     name = "serial"
+    single_threaded = True
 
     def __init__(self, **kwargs) -> None:
         kwargs["n_threads"] = 1
         super().__init__(**kwargs)
 
-    def _run(
-        self, points: np.ndarray, variants: VariantSet, indexes: IndexPair
-    ) -> BatchResult:
+    def _run(self, ctx: RunContext, variants: VariantSet) -> BatchResult:
         registry = CompletedRegistry()
-        cache = self._build_cache()
-        tracer = self._tracer()
         results = {}
         records = []
         clock = 0.0
-        for planned in self.scheduler.plan(variants):
+        for planned in ctx.scheduler.plan(variants):
             result, record = execute_variant(
-                points,
-                planned,
-                variants,
-                indexes,
-                self.scheduler,
-                self.reuse_policy,
-                registry,
-                self.cost_model,
-                concurrency=1,
-                batch_size=self.batch_size,
-                cache=cache,
-                tracer=tracer,
+                ctx, planned, variants, registry, concurrency=1
             )
             record.start = clock
             clock += record.response_time
@@ -63,6 +48,6 @@ class SerialExecutor(BaseExecutor):
             registry.add(planned.variant, result, finished_at=clock)
             results[planned.variant] = result
             records.append(record)
-        self._trace_cache_stats(tracer, cache)
+        self._trace_cache_stats(ctx.tracer, ctx.cache)
         batch = BatchRunRecord(records=records, n_threads=1, makespan=clock)
         return BatchResult(results=results, record=batch)

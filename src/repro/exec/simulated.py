@@ -28,12 +28,11 @@ from __future__ import annotations
 
 import heapq
 
-import numpy as np
-
 from repro.core.scheduling import CompletedRegistry
 from repro.core.variants import VariantSet
+from repro.engine.context import RunContext
 from repro.exec._runner import execute_variant
-from repro.exec.base import BaseExecutor, BatchResult, IndexPair
+from repro.exec.base import BaseExecutor, BatchResult
 from repro.metrics.records import BatchRunRecord
 
 __all__ = ["SimulatedExecutor"]
@@ -44,34 +43,18 @@ class SimulatedExecutor(BaseExecutor):
 
     name = "simulated"
 
-    def _run(
-        self, points: np.ndarray, variants: VariantSet, indexes: IndexPair
-    ) -> BatchResult:
+    def _run(self, ctx: RunContext, variants: VariantSet) -> BatchResult:
         registry = CompletedRegistry()
-        cache = self._build_cache()
-        tracer = self._tracer()
         results = {}
         records = []
         # (available_time, thread_id) min-heap of virtual workers.
-        workers = [(0.0, tid) for tid in range(self.n_threads)]
+        workers = [(0.0, tid) for tid in range(ctx.n_threads)]
         heapq.heapify(workers)
         makespan = 0.0
-        for planned in self.scheduler.plan(variants):
+        for planned in ctx.scheduler.plan(variants):
             start, tid = heapq.heappop(workers)
             result, record = execute_variant(
-                points,
-                planned,
-                variants,
-                indexes,
-                self.scheduler,
-                self.reuse_policy,
-                registry,
-                self.cost_model,
-                concurrency=self.n_threads,
-                before=start,
-                batch_size=self.batch_size,
-                cache=cache,
-                tracer=tracer,
+                ctx, planned, variants, registry, before=start
             )
             finish = start + record.response_time
             record.start = start
@@ -82,8 +65,8 @@ class SimulatedExecutor(BaseExecutor):
             results[planned.variant] = result
             records.append(record)
             makespan = max(makespan, finish)
-        self._trace_cache_stats(tracer, cache)
+        self._trace_cache_stats(ctx.tracer, ctx.cache)
         batch = BatchRunRecord(
-            records=records, n_threads=self.n_threads, makespan=makespan
+            records=records, n_threads=ctx.n_threads, makespan=makespan
         )
         return BatchResult(results=results, record=batch)

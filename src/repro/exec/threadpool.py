@@ -22,12 +22,11 @@ from __future__ import annotations
 import threading
 import time
 
-import numpy as np
-
 from repro.core.scheduling import CompletedRegistry, PlannedVariant
 from repro.core.variants import VariantSet
+from repro.engine.context import RunContext
 from repro.exec._runner import execute_variant
-from repro.exec.base import BaseExecutor, BatchResult, IndexPair
+from repro.exec.base import BaseExecutor, BatchResult
 from repro.metrics.records import BatchRunRecord
 
 __all__ = ["ThreadPoolExecutorBackend"]
@@ -38,17 +37,13 @@ class ThreadPoolExecutorBackend(BaseExecutor):
 
     name = "threads"
 
-    def _run(
-        self, points: np.ndarray, variants: VariantSet, indexes: IndexPair
-    ) -> BatchResult:
-        plan = self.scheduler.plan(variants)
+    def _run(self, ctx: RunContext, variants: VariantSet) -> BatchResult:
+        plan = ctx.scheduler.plan(variants)
         registry = CompletedRegistry()
         # One cache shared by all workers; NeighborhoodCache locks
         # internally, so concurrent hit/miss/put traffic is safe.  The
         # tracer is likewise shared: record emission locks, and span
         # records carry the emitting worker thread's name.
-        cache = self._build_cache()
-        tracer = self._tracer()
         queue_lock = threading.Lock()
         results_lock = threading.Lock()
         results = {}
@@ -66,19 +61,11 @@ class ThreadPoolExecutorBackend(BaseExecutor):
                     next_item += 1
                 start = time.perf_counter() - t0
                 result, record = execute_variant(
-                    points,
+                    ctx,
                     planned,
                     variants,
-                    indexes,
-                    self.scheduler,
-                    self.reuse_policy,
                     registry,
-                    self.cost_model,
-                    concurrency=self.n_threads,
                     before=None,  # wall clock: anything completed is eligible
-                    batch_size=self.batch_size,
-                    cache=cache,
-                    tracer=tracer,
                 )
                 finish = time.perf_counter() - t0
                 record.start = start
@@ -92,15 +79,15 @@ class ThreadPoolExecutorBackend(BaseExecutor):
 
         threads = [
             threading.Thread(target=worker, args=(tid,), name=f"variant-worker-{tid}")
-            for tid in range(self.n_threads)
+            for tid in range(ctx.n_threads)
         ]
         for t in threads:
             t.start()
         for t in threads:
             t.join()
-        self._trace_cache_stats(tracer, cache)
+        self._trace_cache_stats(ctx.tracer, ctx.cache)
         makespan = max((r.finish for r in records), default=0.0)
         batch = BatchRunRecord(
-            records=records, n_threads=self.n_threads, makespan=makespan
+            records=records, n_threads=ctx.n_threads, makespan=makespan
         )
         return BatchResult(results=results, record=batch)

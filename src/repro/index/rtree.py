@@ -77,6 +77,12 @@ class RTree(SpatialIndex):
     presort:
         Disable to pack points in input order — only useful to
         demonstrate *why* the bin sort matters (ablation benchmark).
+    order:
+        Precomputed presort permutation (``int64``, length ``n``).
+        A session's two trees presort identically, so sharing the
+        permutation (see :meth:`repro.engine.store.PointStore.
+        binsort_order`) avoids recomputing the lexsort per tree.
+        Ignored when ``presort`` is false.
     """
 
     def __init__(
@@ -87,6 +93,7 @@ class RTree(SpatialIndex):
         fanout: int = 16,
         bin_width: float = 1.0,
         presort: bool = True,
+        order: Optional[np.ndarray] = None,
     ) -> None:
         self.points = as_points_array(points)
         self.r = check_positive_int(r, name="r")
@@ -97,37 +104,99 @@ class RTree(SpatialIndex):
         n = self.points.shape[0]
 
         if presort and n:
-            self._order = binsort_order(self.points, bin_width=self.bin_width)
+            if order is not None:
+                order = np.asarray(order, dtype=np.int64)
+                if order.shape != (n,):
+                    raise ValidationError(
+                        f"order must have shape ({n},); got {order.shape!r}"
+                    )
+                self._order = order
+            else:
+                self._order = binsort_order(self.points, bin_width=self.bin_width)
         else:
             self._order = np.arange(n, dtype=np.int64)
         sorted_pts = self.points[self._order]
 
         # ``levels[0]`` is the topmost stored level (<= fanout nodes);
         # ``levels[-1]`` is the leaf level with ceil(n / r) boxes.
-        self._levels: list[np.ndarray] = []
+        levels: list[np.ndarray] = []
         self.n_leaves = (n + self.r - 1) // self.r if n else 0
         if n:
             leaf_boxes = self._build_leaf_boxes(sorted_pts)
-            self._levels.append(leaf_boxes)
-            while self._levels[0].shape[0] > self.fanout:
-                self._levels.insert(0, _pack_level(self._levels[0], self.fanout))
-        self.height = len(self._levels)
+            levels.append(leaf_boxes)
+            while levels[0].shape[0] > self.fanout:
+                levels.insert(0, _pack_level(levels[0], self.fanout))
+        # Per-level column arrays are the canonical stored form: descent
+        # tests whole columns, and contiguous columns filter faster than
+        # row-sliced boxes.
+        self._cols = [
+            tuple(np.ascontiguousarray(lvl[:, c]) for c in range(4)) for lvl in levels
+        ]
+        self._finalize()
+
+    @classmethod
+    def from_arrays(
+        cls,
+        points: np.ndarray,
+        r: int,
+        *,
+        fanout: int,
+        bin_width: float,
+        arrays: dict[str, np.ndarray],
+    ) -> "RTree":
+        """Rebuild a tree *shell* from already-built flat arrays.
+
+        ``arrays`` is exactly what :attr:`shareable_arrays` returned
+        for the source tree (possibly as shared-memory views in another
+        process).  This is the zero-copy reattachment path of the
+        engine's shared-index transport: no sorting, no packing, no
+        copies — the arrays are adopted as-is (read-only views are
+        fine, queries never write).
+        """
+        tree = cls.__new__(cls)
+        tree.points = as_points_array(points)
+        tree.r = check_positive_int(r, name="r")
+        tree.fanout = check_positive_int(fanout, name="fanout")
+        tree.bin_width = float(bin_width)
+        n = tree.points.shape[0]
+        tree._order = np.asarray(arrays["order"], dtype=np.int64)
+        tree.n_leaves = (n + tree.r - 1) // tree.r if n else 0
+        cols = []
+        for depth in range(len([k for k in arrays if k.endswith("c0")])):
+            cols.append(tuple(arrays[f"level{depth}c{c}"] for c in range(4)))
+        tree._cols = cols
+        tree._finalize()
+        return tree
+
+    def _finalize(self) -> None:
+        """Derive the hoisted query-path state from ``_cols``/``_order``."""
+        self._level_sizes = [c[0].shape[0] for c in self._cols]
+        self.height = len(self._level_sizes)
         # Hoisted strides for the hot query path.
         self._arange_r = np.arange(self.r, dtype=np.int64)
         self._arange_fanout = np.arange(self.fanout, dtype=np.int64)
         # Root-level node ids, built once: every query descent starts
         # from this same array, so reallocating it per query is waste.
         self._root_ids = (
-            np.arange(self._levels[0].shape[0], dtype=np.int64)
-            if self._levels
+            np.arange(self._level_sizes[0], dtype=np.int64)
+            if self._level_sizes
             else np.empty(0, dtype=np.int64)
         )
-        # Per-level column views: descent tests whole columns, and
-        # contiguous columns filter faster than row-sliced boxes.
-        self._cols = [
-            tuple(np.ascontiguousarray(lvl[:, c]) for c in range(4))
-            for lvl in self._levels
-        ]
+
+    @property
+    def shareable_arrays(self) -> dict[str, np.ndarray]:
+        """The flat arrays that fully determine the built tree.
+
+        Keys are stable (``order`` plus ``level<i>c<col>``, root level
+        first); feeding them back through :meth:`from_arrays` with the
+        same scalar params yields an identical tree.  Used by the
+        engine's shared-memory index transport.
+        """
+        out: dict[str, np.ndarray] = {"order": self._order}
+        for i, cols in enumerate(self._cols):
+            for c in range(4):
+                out[f"level{i}c{c}"] = cols[c]
+        return out
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -173,7 +242,7 @@ class RTree(SpatialIndex):
         descent, across all levels) are tallied into
         ``counters.index_nodes_visited``.
         """
-        if not self._levels:
+        if not self._level_sizes:
             return np.empty(0, dtype=np.int64)
         qxmin, qymin, qxmax, qymax = (
             float(mbb[XMIN]),
@@ -183,8 +252,8 @@ class RTree(SpatialIndex):
         )
         visited = 0
         nodes = self._root_ids
-        last = len(self._levels) - 1
-        for depth in range(len(self._levels)):
+        last = self.height - 1
+        for depth in range(self.height):
             visited += nodes.size
             if nodes.size == 0:
                 break
@@ -197,7 +266,7 @@ class RTree(SpatialIndex):
             )
             nodes = nodes[mask]
             if depth < last:
-                n_next = self._levels[depth + 1].shape[0]
+                n_next = self._level_sizes[depth + 1]
                 # Children of node k are the fixed-stride range
                 # [k*fanout, (k+1)*fanout) clipped to the level size.
                 nodes = (nodes[:, None] * self.fanout + self._arange_fanout).reshape(-1)
@@ -247,7 +316,7 @@ class RTree(SpatialIndex):
         mbbs = np.ascontiguousarray(np.asarray(mbbs, dtype=np.float64).reshape(-1, 4))
         m = mbbs.shape[0]
         visits = np.zeros(m, dtype=np.int64) if track_visits else None
-        if m == 0 or not self._levels:
+        if m == 0 or not self._level_sizes:
             return (*empty_csr(m), 0, visits)
         qx0 = mbbs[:, XMIN]
         qy0 = mbbs[:, YMIN]
@@ -257,8 +326,8 @@ class RTree(SpatialIndex):
         qid = np.repeat(np.arange(m, dtype=np.int64), n_root)
         nodes = np.tile(self._root_ids, m)
         visited = 0
-        last = len(self._levels) - 1
-        for depth in range(len(self._levels)):
+        last = self.height - 1
+        for depth in range(self.height):
             visited += nodes.size
             if nodes.size == 0:
                 break
@@ -274,7 +343,7 @@ class RTree(SpatialIndex):
             nodes = nodes[mask]
             qid = qid[mask]
             if depth < last:
-                n_next = self._levels[depth + 1].shape[0]
+                n_next = self._level_sizes[depth + 1]
                 nodes = (nodes[:, None] * self.fanout + self._arange_fanout).reshape(-1)
                 qid = np.repeat(qid, self.fanout)
                 keep = nodes < n_next
@@ -316,7 +385,7 @@ class RTree(SpatialIndex):
     @property
     def level_sizes(self) -> list[int]:
         """Number of nodes per level, root level first."""
-        return [lvl.shape[0] for lvl in self._levels]
+        return list(self._level_sizes)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
