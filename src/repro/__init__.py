@@ -66,6 +66,14 @@ from repro.metrics import (
 )
 from repro.metrics.external import adjusted_rand_index
 from repro.obs import MetricsRegistry, Tracer, use_tracer
+from repro.resilience import (
+    BatchReport,
+    CheckpointStore,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    VariantStatus,
+)
 
 __version__ = "1.0.0"
 
@@ -110,5 +118,11 @@ __all__ = [
     "SimulatedExecutor",
     "ThreadPoolExecutorBackend",
     "ProcessPoolExecutorBackend",
+    "BatchReport",
+    "CheckpointStore",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "VariantStatus",
     "__version__",
 ]

@@ -22,6 +22,9 @@ Commands
     phase-level trace (JSONL and/or Chrome trace format).
 ``report``
     Regenerate the whole evaluation into one Markdown report.
+``doctor``
+    Audit the shared-memory filesystem for leaked ``repro_*`` segments
+    and (with ``--unlink``) remove orphans left by killed processes.
 
 Every command accepts ``--scale`` to control dataset size (see
 DESIGN.md's density-preserving scaling).
@@ -33,8 +36,6 @@ import argparse
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
-
-import numpy as np
 
 from repro.bench import figures as figmod
 from repro.bench.reporting import format_table, fraction_bar
@@ -102,6 +103,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     variants = VariantSet.from_product(_floats(args.eps), _ints(args.minpts))
     from repro.engine import Session
 
+    retry_policy = None
+    if args.retries or args.deadline is not None:
+        from repro.resilience import RetryPolicy
+
+        retry_policy = RetryPolicy(
+            max_retries=args.retries, deadline_s=args.deadline
+        )
     with Session(
         points,
         dataset=name,
@@ -110,9 +118,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         reuse_policy=POLICIES[args.policy],
     ) as session:
         batch = session.run(
-            variants, executor=args.executor, n_threads=args.threads
+            variants,
+            executor=args.executor,
+            n_threads=args.threads,
+            retry_policy=retry_policy,
+            resume=args.resume,
         )
     rec = batch.record
+    status = {}
+    if batch.report is not None:
+        status = {o.variant: o.status.value for o in batch.report.outcomes.values()}
     rows = [
         [
             str(r.variant),
@@ -123,11 +138,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             str(r.reused_from) if r.reused_from else "scratch",
             r.response_time,
         ]
+        + ([status.get(r.variant, "?")] if status else [])
         for r in rec.records
     ]
+    headers = ["variant", "clusters", "noise", "reuse", "", "source", "response"]
+    if status:
+        headers.append("status")
     print(
         format_table(
-            ["variant", "clusters", "noise", "reuse", "", "source", "response"],
+            headers,
             rows,
             title=(
                 f"{name}: |V|={len(variants)}, executor={args.executor}, "
@@ -139,6 +158,52 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         f"\nmakespan {rec.makespan:,.1f} | avg reuse "
         f"{rec.average_reuse_fraction:.1%} | {rec.n_from_scratch} from scratch"
     )
+    if batch.report is not None:
+        print(batch.report.summary())
+        for variant in batch.report.failed:
+            print(f"  FAILED {variant}: {batch.report.outcomes[variant].error}")
+        if not batch.report.complete:
+            return 1
+    return 0
+
+
+def cmd_doctor(args: argparse.Namespace) -> int:
+    from repro.resilience.audit import scan_segments, unlink_segment
+
+    segments = scan_segments()
+    removed = []
+    if args.unlink:
+        for seg in segments:
+            if seg.orphaned and unlink_segment(seg.name):
+                removed.append(seg.name)
+        segments = scan_segments()
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "segments": [s.as_dict() for s in segments],
+                    "orphaned": sum(1 for s in segments if s.orphaned),
+                    "removed": removed,
+                }
+            )
+        )
+        return 0
+    if not segments and not removed:
+        print("no repro_* shared-memory segments found")
+        return 0
+    for seg in segments:
+        state = "ORPHANED" if seg.orphaned else f"live (pid {seg.pid})"
+        print(f"  {seg.name}  {seg.size:>12,} bytes  {state}")
+    orphans = sum(1 for s in segments if s.orphaned)
+    if removed:
+        print(f"removed {len(removed)} orphaned segment(s)")
+    if orphans:
+        print(
+            f"{orphans} orphaned segment(s) remain; "
+            "run `repro doctor --unlink` to remove them"
+        )
     return 0
 
 
@@ -349,6 +414,13 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--policy", choices=sorted(POLICIES), default="CLUSDENSITY")
     s.add_argument("--r", type=int, default=70)
     s.add_argument("--scale", type=float, default=None)
+    s.add_argument("--resume", default=None, metavar="DIR",
+                   help="checkpoint directory: finished variants spill "
+                        "there and a rerun over the same data skips them")
+    s.add_argument("--retries", type=int, default=0,
+                   help="per-variant retry budget (enables resilient mode)")
+    s.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="per-variant deadline in seconds")
     s.set_defaults(func=cmd_sweep)
 
     f = sub.add_parser("figure", help="regenerate a paper table/figure")
@@ -389,6 +461,16 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--chrome", default=None,
                    help="write a chrome://tracing-loadable JSON file")
     t.set_defaults(func=cmd_trace)
+
+    d = sub.add_parser(
+        "doctor",
+        help="audit shared-memory segments; remove orphans with --unlink",
+    )
+    d.add_argument("--unlink", action="store_true",
+                   help="remove segments whose creating process is dead")
+    d.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    d.set_defaults(func=cmd_doctor)
 
     r = sub.add_parser("report", help="regenerate the whole evaluation")
     r.add_argument("--scale", type=float, default=None)

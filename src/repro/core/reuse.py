@@ -21,6 +21,12 @@ remainder pass.  The paper proposes three prioritisation heuristics:
 
 Policies are small strategy objects so benchmarks can sweep them and
 users can plug their own (any callable with the same signature works).
+
+Under the resilience layer (:mod:`repro.resilience`) a policy only
+ever sees results that actually completed and passed the integrity
+audit: failed donors never reach the
+:class:`~repro.core.scheduling.CompletedRegistry`, so seed-order
+ranking needs no failure awareness of its own.
 """
 
 from __future__ import annotations

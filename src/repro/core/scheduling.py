@@ -70,6 +70,14 @@ class CompletedRegistry:
     executor, each entry carries its (simulated) finish time so
     eligibility can be evaluated "as of" a given moment; wall-clock
     executors simply omit timestamps.
+
+    This online design is also what makes failure recovery free of a
+    dedicated re-planning pass: a permanently failed variant is simply
+    never added, so every later :meth:`best_source` call re-plans its
+    dependents onto the best *surviving* completed donor (or none) by
+    construction.  Checkpoint-resumed results are added at
+    ``finished_at = 0.0`` — they are genuine completed results for the
+    same database fingerprint, hence legal donors from the start.
     """
 
     def __init__(self) -> None:

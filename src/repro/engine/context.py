@@ -34,6 +34,9 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.store import PointStore
     from repro.exec.cost import CostModel
     from repro.obs.span import Tracer
+    from repro.resilience.checkpoint import CheckpointStore
+    from repro.resilience.faults import FaultPlan
+    from repro.resilience.policy import RetryPolicy
 
 __all__ = ["RunContext"]
 
@@ -66,6 +69,16 @@ class RunContext:
         tracing is the null tracer).
     dataset:
         Label stamped onto the batch record for reporting.
+    retry_policy:
+        Per-variant deadline/retry configuration; ``None`` keeps the
+        legacy raise-through failure semantics.
+    fault_plan:
+        Deterministic fault-injection schedule for this run (a
+        :class:`FaultPlan`, or the bound form inside process workers);
+        ``None`` injects nothing.
+    checkpoint:
+        Completed-result spill/resume store; ``None`` disables
+        checkpointing.
     """
 
     store: "PointStore"
@@ -78,6 +91,9 @@ class RunContext:
     cache: Optional["NeighborhoodCache"] = None
     tracer: "Tracer" = field(repr=False, default=None)  # type: ignore[assignment]
     dataset: str = ""
+    retry_policy: Optional["RetryPolicy"] = None
+    fault_plan: Optional["FaultPlan"] = None
+    checkpoint: Optional["CheckpointStore"] = None
 
     @property
     def points(self) -> np.ndarray:

@@ -29,6 +29,7 @@ a worker raises.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Union
 
 from repro.core.dbscan import DEFAULT_BATCH_SIZE
@@ -41,11 +42,15 @@ from repro.engine.context import RunContext
 from repro.engine.factory import IndexFactory, IndexPair
 from repro.engine.store import PointStore
 from repro.obs.span import Tracer, resolve_tracer
+from repro.util.errors import SessionClosedError
 from repro.util.validation import check_positive_int
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.exec.base import BaseExecutor, BatchResult
     from repro.exec.cost import CostModel
+    from repro.resilience.checkpoint import CheckpointStore
+    from repro.resilience.faults import FaultPlan
+    from repro.resilience.policy import RetryPolicy
 
 __all__ = ["Session"]
 
@@ -129,6 +134,7 @@ class Session:
         self.cache_bytes = int(cache_bytes)
         self.tracer = tracer
         self._closed = False
+        self._active_runs = 0
 
     # -- derived state --------------------------------------------------
     @property
@@ -196,6 +202,9 @@ class Session:
         cache_bytes: Optional[int] = None,
         cost_model: Optional["CostModel"] = None,
         dataset: Optional[str] = None,
+        retry_policy: Optional["RetryPolicy"] = None,
+        fault_plan: Optional["FaultPlan"] = None,
+        checkpoint: Optional["CheckpointStore"] = None,
     ) -> RunContext:
         """Assemble the :class:`RunContext` for one run.
 
@@ -204,7 +213,7 @@ class Session:
         default.
         """
         if self._closed:
-            raise ValueError("Session is closed")
+            raise SessionClosedError("Session is closed")
         ex = executor
         sched = _as_scheduler(scheduler)
         pol = _as_policy(policy)
@@ -241,6 +250,9 @@ class Session:
             ),
             tracer=tracer,
             dataset=dataset if dataset is not None else self.dataset,
+            retry_policy=retry_policy,
+            fault_plan=fault_plan,
+            checkpoint=checkpoint,
         )
 
     def run(
@@ -256,6 +268,9 @@ class Session:
         cache_bytes: Optional[int] = None,
         cost_model: Optional["CostModel"] = None,
         dataset: Optional[str] = None,
+        retry_policy: Optional["RetryPolicy"] = None,
+        fault_plan: Optional["FaultPlan"] = None,
+        resume: Union[str, Path, "CheckpointStore", None] = None,
     ) -> "BatchResult":
         """Execute every variant and return the batch result.
 
@@ -265,9 +280,19 @@ class Session:
         serial default.  All other knobs override the session defaults
         for this run only; indexes come from the memoized factory, so
         repeated runs never rebuild them.
+
+        Resilience knobs: ``retry_policy`` grants per-variant deadlines
+        and retries, ``fault_plan`` injects deterministic failures (a
+        plan without a policy implies a zero-retry policy so failures
+        are *captured* into ``BatchResult.report`` rather than raised),
+        and ``resume`` names a checkpoint directory — finished variants
+        spill there as they complete and a rerun over byte-identical
+        data skips them.  Any of the three makes the run resilient: a
+        permanently failed variant no longer aborts the batch, and
+        dependents re-plan onto surviving donors.
         """
         if self._closed:
-            raise ValueError("Session is closed")
+            raise SessionClosedError("Session is closed")
         if not isinstance(variants, VariantSet):
             variants = VariantSet(variants)
         ex = self._resolve_executor(executor, {})
@@ -276,6 +301,7 @@ class Session:
         from_instance = ex is executor
         if getattr(ex, "single_threaded", False):
             n_threads = 1
+        checkpoint = self._resolve_checkpoint(resume)
         ctx = self.context(
             executor=ex if from_instance else None,
             scheduler=scheduler,
@@ -286,28 +312,66 @@ class Session:
             cache_bytes=cache_bytes,
             cost_model=cost_model,
             dataset=dataset,
+            retry_policy=retry_policy,
+            fault_plan=fault_plan,
+            checkpoint=checkpoint,
         )
-        return ex.run_context(ctx, variants)
+        self._active_runs += 1
+        try:
+            return ex.run_context(ctx, variants)
+        finally:
+            self._active_runs -= 1
+
+    def _resolve_checkpoint(self, resume) -> Optional["CheckpointStore"]:
+        """A :class:`CheckpointStore` for this database, or ``None``."""
+        if resume is None:
+            return None
+        from repro.resilience.checkpoint import CheckpointStore
+
+        if isinstance(resume, CheckpointStore):
+            return resume
+        return CheckpointStore(resume, self.store.fingerprint, self.n_points)
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
         """Release everything the session owns.
 
-        Unlinks any shared-memory segment the store materialized and
-        drops the index cache.  Idempotent; after closing, ``run`` and
-        ``context`` raise.
+        Unlinks any shared-memory segment the store materialized,
+        drops the index cache, and audits this process's own segment
+        registry so nothing survives even if an executor leaked.
+        Raises :class:`~repro.util.errors.SessionClosedError` on a
+        double close or a close while a run is still executing — both
+        are lifecycle bugs that previously surfaced later as opaque
+        shared-memory ``FileNotFoundError`` in whoever touched the
+        store next.
         """
         if self._closed:
-            return
+            raise SessionClosedError("Session is already closed")
+        if self._active_runs > 0:
+            raise SessionClosedError(
+                f"cannot close Session while {self._active_runs} run(s) are "
+                "still executing"
+            )
         self._closed = True
+        segment = self.store.segment_name
         self.factory.clear()
         self.store.close()
+        if segment is not None:
+            # Owner-side audit scoped to *this* session's segment: even
+            # if the ordinary unlink above was skipped (a BufferError
+            # path, an interrupted close), nothing of ours survives.
+            # Never audit process-wide here — other sessions in this
+            # process legitimately own their own live segments.
+            from repro.engine.shm import reclaim_segments
+
+            reclaim_segments([segment])
 
     def __enter__(self) -> "Session":
         return self
 
     def __exit__(self, *exc) -> None:
-        self.close()
+        if not self._closed:
+            self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "closed" if self._closed else "open"

@@ -31,9 +31,10 @@ from __future__ import annotations
 
 import os
 import secrets
+import threading
 from dataclasses import dataclass, field
 from multiprocessing import resource_tracker, shared_memory
-from typing import Optional
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -42,9 +43,18 @@ __all__ = [
     "attach_arrays",
     "attach_shm",
     "create_shm",
+    "discard_segment",
+    "owned_segments",
     "pack_arrays",
+    "reclaim_segments",
+    "segment_exists",
     "shm_name",
 ]
+
+#: Names of segments created (and therefore owned) by this process and
+#: not yet unlinked — the working set the owner-side leak audit checks.
+_OWNED_LOCK = threading.Lock()
+_OWNED: set[str] = set()
 
 #: Alignment (bytes) of each array inside a pack; keeps float64/int64
 #: views aligned and SIMD-friendly.
@@ -63,16 +73,76 @@ def shm_name(tag: str = "") -> str:
 
 
 def create_shm(size: int, tag: str = "") -> shared_memory.SharedMemory:
-    """Create an owned shared-memory segment of ``size`` bytes."""
+    """Create an owned shared-memory segment of ``size`` bytes.
+
+    The segment's name is registered in the process-local owned set so
+    the leak audit (:func:`reclaim_segments`, ``repro doctor``) can
+    find segments whose normal unlink path was skipped by a crash.
+    """
     # Retry on the (astronomically unlikely) name collision.
     for _ in range(8):
         try:
-            return shared_memory.SharedMemory(
+            shm = shared_memory.SharedMemory(
                 create=True, size=max(1, int(size)), name=shm_name(tag)
             )
         except FileExistsError:  # pragma: no cover - needs a collision
             continue
+        with _OWNED_LOCK:
+            _OWNED.add(shm.name)
+        return shm
     raise RuntimeError("could not allocate a uniquely named shared-memory segment")
+
+
+def discard_segment(name: str) -> None:
+    """Unregister ``name`` from the owned set (call after unlinking)."""
+    with _OWNED_LOCK:
+        _OWNED.discard(name)
+
+
+def owned_segments() -> list[str]:
+    """Snapshot of segment names this process created and still owns."""
+    with _OWNED_LOCK:
+        return sorted(_OWNED)
+
+
+def segment_exists(name: str) -> bool:
+    """Whether a shared-memory segment named ``name`` currently exists."""
+    shm_dir = "/dev/shm"
+    if os.path.isdir(shm_dir):
+        return os.path.exists(os.path.join(shm_dir, name))
+    try:  # pragma: no cover - non-tmpfs platforms
+        probe = attach_shm(name)
+    except FileNotFoundError:  # pragma: no cover
+        return False
+    probe.close()  # pragma: no cover
+    return True  # pragma: no cover
+
+
+def reclaim_segments(names: Optional[Iterable[str]] = None) -> list[str]:
+    """Owner-side leak audit: unlink any still-existing owned segments.
+
+    ``names`` restricts the audit (e.g. to the segments one batch
+    created); the default audits everything this process still owns.
+    Only call on names this process created — unlinking someone else's
+    live segment would tear it out from under them.  Returns the names
+    actually reclaimed (normally empty: a healthy run unlinks every
+    segment through its ordinary lifecycle).
+    """
+    targets = list(names) if names is not None else owned_segments()
+    reclaimed: list[str] = []
+    for name in targets:
+        if not segment_exists(name):
+            discard_segment(name)
+            continue
+        try:
+            stale = attach_shm(name)
+            stale.close()
+            stale.unlink()
+            reclaimed.append(name)
+        except FileNotFoundError:  # pragma: no cover - raced another closer
+            pass
+        discard_segment(name)
+    return reclaimed
 
 
 def attach_shm(name: str) -> shared_memory.SharedMemory:

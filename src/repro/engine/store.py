@@ -32,7 +32,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.engine.shm import attach_shm, create_shm
+from repro.engine.shm import attach_shm, create_shm, discard_segment
 from repro.index.binsort import binsort_order
 from repro.obs.span import Tracer, resolve_tracer
 from repro.util.validation import as_points_array
@@ -151,6 +151,11 @@ class PointStore:
         return self._shm is not None
 
     @property
+    def segment_name(self) -> Optional[str]:
+        """Name of the materialized shared segment, if any."""
+        return self._shm.name if self._shm is not None else None
+
+    @property
     def owns_segment(self) -> bool:
         return self._shm is not None and self._owner
 
@@ -212,6 +217,7 @@ class PointStore:
                 self._shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already removed
                 pass
+            discard_segment(self._shm.name)
         self._shm = None
 
     def __enter__(self) -> "PointStore":

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -53,6 +53,9 @@ from repro.metrics.records import BatchRunRecord
 from repro.obs.span import Tracer, resolve_tracer
 from repro.util.validation import check_positive_int
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.report import BatchReport
+
 __all__ = ["BatchResult", "BaseExecutor", "IndexPair", "RunContext"]
 
 
@@ -63,13 +66,21 @@ class BatchResult:
     Attributes
     ----------
     results:
-        Completed clustering per variant.
+        Completed clustering per variant.  Under a resilient run this
+        may be a strict subset of the variant set — permanently failed
+        variants are absent here and accounted in :attr:`report`.
     record:
         Batch-level run record (per-variant rows, makespan, config).
+    report:
+        Per-variant outcome statuses (ok / retried / replanned /
+        resumed / failed) when the run executed with any resilience
+        configuration (retry policy, fault plan, or checkpoint);
+        ``None`` for plain runs.
     """
 
     results: dict[Variant, ClusteringResult]
     record: BatchRunRecord
+    report: Optional["BatchReport"] = None
 
     def __getitem__(self, variant: Variant) -> ClusteringResult:
         return self.results[variant]

@@ -37,10 +37,17 @@ compatibility ``run()`` shim).
 from __future__ import annotations
 
 import time
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures import ProcessPoolExecutor
+from typing import Optional
 
 from repro.core.reuse import POLICIES
-from repro.core.scheduling import PlannedVariant, SchedGreedy, dependency_tree
+from repro.core.scheduling import (
+    CompletedRegistry,
+    PlannedVariant,
+    SchedGreedy,
+    dependency_tree,
+)
 from repro.core.variants import Variant, VariantSet, sort_key
 from repro.engine.context import RunContext
 from repro.engine.factory import (
@@ -48,12 +55,18 @@ from repro.engine.factory import (
     attach_index_pair,
     share_index_pair,
 )
+from repro.engine.shm import reclaim_segments
 from repro.engine.store import PointStore, PointStoreHandle
 from repro.exec.base import BaseExecutor, BatchResult
 from repro.exec.cost import CostModel
 from repro.exec.serial import SerialExecutor
 from repro.metrics.records import BatchRunRecord
 from repro.obs.span import Tracer, set_tracer
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.faults import BoundFaultPlan, allow_kill_faults
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.report import VariantStatus
+from repro.resilience.runner import ResilientRunner
 
 __all__ = ["ProcessPoolExecutorBackend", "partition_reuse_chains"]
 
@@ -123,6 +136,9 @@ def _worker(
     batch_size: int,
     cache_bytes: int,
     trace: bool,
+    retry_policy: Optional[RetryPolicy] = None,
+    fault_plan: Optional[BoundFaultPlan] = None,
+    checkpoint_root: Optional[str] = None,
 ):
     """Run one group serially inside a worker process.
 
@@ -139,7 +155,16 @@ def _worker(
     every span onto the batch's wall window (the worker's monotonic
     clock has a different origin), and ships the plain records back
     for the parent to merge.
+
+    Resilience plumbing: the parent ships its retry policy, the
+    already-bound fault plan (re-keyed by the group's submission
+    attempt, see :meth:`BoundFaultPlan.shifted`), and the checkpoint
+    root; the group's internal :class:`SerialExecutor` then runs the
+    same recovery loop as every other backend.  ``kill`` faults are
+    armed here — and only here — so they genuinely terminate a worker
+    process without ever being able to take down an in-process caller.
     """
+    allow_kill_faults(True)
     tracer = Tracer() if trace else None
     set_tracer(tracer)
     start = time.time() - t0
@@ -157,6 +182,17 @@ def _worker(
         tracer=tracer,
     )
     ctx = group.make_context(store, indexes)
+    if retry_policy is not None or fault_plan is not None or checkpoint_root:
+        checkpoint = (
+            CheckpointStore(checkpoint_root, store.fingerprint, store.n_points)
+            if checkpoint_root
+            else None
+        )
+        ctx = ctx.with_(
+            retry_policy=retry_policy,
+            fault_plan=fault_plan,
+            checkpoint=checkpoint,
+        )
     try:
         batch = group.run_context(ctx, vset)
     finally:
@@ -204,40 +240,135 @@ class ProcessPoolExecutorBackend(BaseExecutor):
 
     def _run(self, ctx: RunContext, variants: VariantSet) -> BatchResult:
         tracer = ctx.tracer
-        groups = partition_reuse_chains(variants, ctx.n_threads)
+        runner = ResilientRunner(ctx, variants)
+        results = {}
+        records = []
+        # Checkpoint resume happens in the parent so finished variants
+        # never even enter the partitioning (the registry is throwaway —
+        # the parent executes nothing itself).
+        done = runner.resume_into(CompletedRegistry(), results, records)
+        remaining = [v for v in variants if v not in done]
+        if not remaining:
+            batch_record = BatchRunRecord(
+                records=records, n_threads=ctx.n_threads, makespan=0.0
+            )
+            return BatchResult(
+                results=results, record=batch_record, report=runner.report()
+            )
+        groups = partition_reuse_chains(VariantSet(remaining), ctx.n_threads)
         # Materialize the shared database and pack the already-built
         # trees once; every worker attaches instead of rebuilding.
         store_handle = ctx.store.ensure_shared(tracer=tracer)
         idx_shm, idx_handle = share_index_pair(ctx.indexes, tracer=tracer)
         cache_bytes = ctx.cache.capacity_bytes if ctx.cache is not None else 0
+        checkpoint_root = (
+            str(ctx.checkpoint.root) if ctx.checkpoint is not None else None
+        )
+        policy = runner.policy
+        # One worker death poisons the whole pool (concurrent.futures
+        # fails every in-flight future), so breakage cannot be blamed on
+        # a single group; the respawn budget is therefore the per-variant
+        # attempt budget extended by the number of *planned* kills, so
+        # collateral breakage can never exhaust an innocent group.
+        planned_kills = (
+            sum(1 for s in runner.faults.table.values() if s.kind == "kill")
+            if runner.faults
+            else 0
+        )
+        max_submissions = (
+            policy.max_attempts if policy is not None else 1
+        ) + planned_kills
+        # Parent-side hang watchdog: a cooperative hang converts into a
+        # timeout inside the worker, but a truly wedged worker needs the
+        # parent to give up waiting and terminate the pool.
+        if policy is not None and policy.deadline_s is not None:
+            longest = max(len(g) for g in groups)
+            budget = policy.deadline_s * longest * policy.max_attempts + 30.0
+        else:
+            budget = None
         t0 = time.time()
-        results = {}
-        records = []
-        try:
-            with ProcessPoolExecutor(max_workers=len(groups)) as pool:
-                futures = [
-                    pool.submit(
+        pending = list(range(len(groups)))
+        submissions = dict.fromkeys(pending, 0)
+
+        def run_round(round_gids: list[int]) -> list[int]:
+            """Submit each group once; return the groups to resubmit."""
+            pool = ProcessPoolExecutor(max_workers=len(round_gids))
+            broken: list[tuple[int, str]] = []
+            hung = False
+            try:
+                futures = {}
+                for gid in round_gids:
+                    plan = runner.faults
+                    if plan is not None and submissions[gid] > 0:
+                        plan = plan.shifted(submissions[gid])
+                    futures[gid] = pool.submit(
                         _worker,
                         store_handle,
                         idx_handle,
-                        [v.as_tuple() for v in group],
+                        [v.as_tuple() for v in groups[gid]],
                         ctx.reuse_policy.name,
                         ctx.cost_model,
                         t0,
                         ctx.batch_size,
                         cache_bytes,
                         tracer.enabled,
+                        policy,
+                        plan,
+                        checkpoint_root,
                     )
-                    for group in groups
-                ]
-                for wid, fut in enumerate(futures):
-                    batch, spans = fut.result()
+                for gid, fut in futures.items():
+                    try:
+                        batch, spans = fut.result(timeout=budget)
+                    except FuturesTimeoutError:
+                        hung = True
+                        broken.append(
+                            (gid, "worker exceeded the group deadline budget")
+                        )
+                        continue
+                    except Exception as exc:
+                        if not runner.enabled:
+                            raise  # seed semantics: plain runs propagate
+                        broken.append(
+                            (gid, f"worker died: {type(exc).__name__}: {exc}")
+                        )
+                        continue
                     for rec in batch.record.records:
-                        rec.thread_id = wid
+                        rec.thread_id = gid
                         records.append(rec)
                     if spans:
-                        tracer.add_records(spans, thread=f"worker-{wid}")
+                        tracer.add_records(spans, thread=f"worker-{gid}")
                     results.update(batch.results)
+                    if batch.report is not None:
+                        if submissions[gid] > 0:
+                            # The whole group re-ran after a worker
+                            # death; its completions are retries even
+                            # though the fresh worker saw attempt 0.
+                            for o in batch.report.outcomes.values():
+                                if o.status is VariantStatus.RESUMED:
+                                    continue
+                                o.attempts += submissions[gid]
+                                if o.status is VariantStatus.OK:
+                                    o.status = VariantStatus.RETRIED
+                        runner.merge_outcomes(batch.report)
+            finally:
+                if hung:  # wedged workers never join; kill them first
+                    for proc in list(getattr(pool, "_processes", {}).values()):
+                        proc.terminate()
+                pool.shutdown(wait=True, cancel_futures=True)
+            resubmit = []
+            for gid, error in broken:
+                submissions[gid] += 1
+                if submissions[gid] >= max_submissions:
+                    runner.mark_failed_group(
+                        groups[gid], error, attempts=submissions[gid]
+                    )
+                else:
+                    resubmit.append(gid)
+            return resubmit
+
+        try:
+            while pending:
+                pending = run_round(pending)
         finally:
             # The pack exists only for this batch; remove it even when a
             # worker raised.  (The point segment belongs to the store's
@@ -250,8 +381,14 @@ class ProcessPoolExecutorBackend(BaseExecutor):
                 idx_shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already removed
                 pass
+            # Owner-side audit: the unlink above removes the segment,
+            # this drops it from the process's owned-set so later audits
+            # (Session.close, the test leak gate) see a clean registry.
+            reclaim_segments([idx_shm.name])
         makespan = max((r.finish for r in records), default=0.0)
         batch_record = BatchRunRecord(
             records=records, n_threads=ctx.n_threads, makespan=makespan
         )
-        return BatchResult(results=results, record=batch_record)
+        return BatchResult(
+            results=results, record=batch_record, report=runner.report()
+        )

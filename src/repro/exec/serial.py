@@ -11,9 +11,9 @@ from __future__ import annotations
 from repro.core.scheduling import CompletedRegistry
 from repro.core.variants import VariantSet
 from repro.engine.context import RunContext
-from repro.exec._runner import execute_variant
 from repro.exec.base import BaseExecutor, BatchResult
 from repro.metrics.records import BatchRunRecord
+from repro.resilience.runner import ResilientRunner
 
 __all__ = ["SerialExecutor"]
 
@@ -36,11 +36,17 @@ class SerialExecutor(BaseExecutor):
         registry = CompletedRegistry()
         results = {}
         records = []
+        runner = ResilientRunner(ctx, variants)
+        done = runner.resume_into(registry, results, records)
         clock = 0.0
         for planned in ctx.scheduler.plan(variants):
-            result, record = execute_variant(
-                ctx, planned, variants, registry, concurrency=1
+            if planned.variant in done:
+                continue
+            result, record = runner.execute(
+                planned, registry, concurrency=1
             )
+            if result is None:  # permanent failure: skip, batch continues
+                continue
             record.start = clock
             clock += record.response_time
             record.finish = clock
@@ -50,4 +56,4 @@ class SerialExecutor(BaseExecutor):
             records.append(record)
         self._trace_cache_stats(ctx.tracer, ctx.cache)
         batch = BatchRunRecord(records=records, n_threads=1, makespan=clock)
-        return BatchResult(results=results, record=batch)
+        return BatchResult(results=results, record=batch, report=runner.report())

@@ -31,9 +31,9 @@ import heapq
 from repro.core.scheduling import CompletedRegistry
 from repro.core.variants import VariantSet
 from repro.engine.context import RunContext
-from repro.exec._runner import execute_variant
 from repro.exec.base import BaseExecutor, BatchResult
 from repro.metrics.records import BatchRunRecord
+from repro.resilience.runner import ResilientRunner
 
 __all__ = ["SimulatedExecutor"]
 
@@ -47,15 +47,20 @@ class SimulatedExecutor(BaseExecutor):
         registry = CompletedRegistry()
         results = {}
         records = []
+        runner = ResilientRunner(ctx, variants)
+        done = runner.resume_into(registry, results, records)
         # (available_time, thread_id) min-heap of virtual workers.
         workers = [(0.0, tid) for tid in range(ctx.n_threads)]
         heapq.heapify(workers)
         makespan = 0.0
         for planned in ctx.scheduler.plan(variants):
+            if planned.variant in done:
+                continue
             start, tid = heapq.heappop(workers)
-            result, record = execute_variant(
-                ctx, planned, variants, registry, before=start
-            )
+            result, record = runner.execute(planned, registry, before=start)
+            if result is None:  # permanent failure: worker frees at once
+                heapq.heappush(workers, (start, tid))
+                continue
             finish = start + record.response_time
             record.start = start
             record.finish = finish
@@ -69,4 +74,4 @@ class SimulatedExecutor(BaseExecutor):
         batch = BatchRunRecord(
             records=records, n_threads=ctx.n_threads, makespan=makespan
         )
-        return BatchResult(results=results, record=batch)
+        return BatchResult(results=results, record=batch, report=runner.report())

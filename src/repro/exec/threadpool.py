@@ -25,9 +25,9 @@ import time
 from repro.core.scheduling import CompletedRegistry, PlannedVariant
 from repro.core.variants import VariantSet
 from repro.engine.context import RunContext
-from repro.exec._runner import execute_variant
 from repro.exec.base import BaseExecutor, BatchResult
 from repro.metrics.records import BatchRunRecord
+from repro.resilience.runner import ResilientRunner
 
 __all__ = ["ThreadPoolExecutorBackend"]
 
@@ -38,8 +38,8 @@ class ThreadPoolExecutorBackend(BaseExecutor):
     name = "threads"
 
     def _run(self, ctx: RunContext, variants: VariantSet) -> BatchResult:
-        plan = ctx.scheduler.plan(variants)
         registry = CompletedRegistry()
+        runner = ResilientRunner(ctx, variants)
         # One cache shared by all workers; NeighborhoodCache locks
         # internally, so concurrent hit/miss/put traffic is safe.  The
         # tracer is likewise shared: record emission locks, and span
@@ -48,6 +48,8 @@ class ThreadPoolExecutorBackend(BaseExecutor):
         results_lock = threading.Lock()
         results = {}
         records = []
+        done = runner.resume_into(registry, results, records)
+        plan = [p for p in ctx.scheduler.plan(variants) if p.variant not in done]
         next_item = 0
         t0 = time.perf_counter()
 
@@ -60,13 +62,13 @@ class ThreadPoolExecutorBackend(BaseExecutor):
                     planned: PlannedVariant = plan[next_item]
                     next_item += 1
                 start = time.perf_counter() - t0
-                result, record = execute_variant(
-                    ctx,
+                result, record = runner.execute(
                     planned,
-                    variants,
                     registry,
                     before=None,  # wall clock: anything completed is eligible
                 )
+                if result is None:  # permanent failure: skip, batch continues
+                    continue
                 finish = time.perf_counter() - t0
                 record.start = start
                 record.finish = finish
@@ -90,4 +92,4 @@ class ThreadPoolExecutorBackend(BaseExecutor):
         batch = BatchRunRecord(
             records=records, n_threads=ctx.n_threads, makespan=makespan
         )
-        return BatchResult(results=results, record=batch)
+        return BatchResult(results=results, record=batch, report=runner.report())

@@ -102,6 +102,8 @@ class MetricsRegistry:
                 }
             )
             reg.totals.merge(r.counters)
+        if batch.report is not None:
+            reg.meta["outcomes"] = batch.report.counts()
         if tracer is not None:
             reg.add_spans(tracer.records())
         return reg
@@ -168,6 +170,26 @@ class MetricsRegistry:
             phases[name] = phases.get(name, 0.0) + s.dur
         return out
 
+    def resilience_events(self) -> dict[str, int]:
+        """Counts of the recovery loop's instant events, when any fired.
+
+        Keys are the event names emitted by
+        :class:`~repro.resilience.runner.ResilientRunner`
+        (``variant_retry`` / ``variant_timeout`` / ``variant_failed`` /
+        ``variant_resumed``); events that never fired are omitted.
+        """
+        names = (
+            "variant_retry",
+            "variant_timeout",
+            "variant_failed",
+            "variant_resumed",
+        )
+        out: dict[str, int] = {}
+        for s in self.spans:
+            if s.name in names:
+                out[s.name] = out.get(s.name, 0) + 1
+        return out
+
     def variant_walls(self) -> dict[str, float]:
         """``{variant label: wall seconds}`` from the per-variant rows."""
         return {row["variant"]: row["wall_time"] for row in self.variant_rows}
@@ -219,6 +241,18 @@ class MetricsRegistry:
                 "({rate:.1%}), {evictions} evictions, {bytes_stored} bytes".format(
                     rate=self.cache_hit_rate, **self.cache
                 )
+            )
+        events = self.resilience_events()
+        if events:
+            lines.append(
+                "resilience: "
+                + ", ".join(f"{n} x{c}" for n, c in sorted(events.items()))
+            )
+        outcomes = self.meta.get("outcomes")
+        if outcomes:
+            lines.append(
+                "outcomes: "
+                + ", ".join(f"{k}={v}" for k, v in outcomes.items() if v)
             )
         if self.variant_rows:
             lines.append(f"variants: {len(self.variant_rows)}")

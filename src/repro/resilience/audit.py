@@ -1,0 +1,128 @@
+"""Shared-memory segment audit — the machinery behind ``repro doctor``.
+
+Every segment the library creates is named ``repro_<pid>_<hex>[_tag]``
+(see :func:`repro.engine.shm.shm_name`), which makes leaks *auditable*:
+scan the shared-memory filesystem for ``repro_*`` entries, parse the
+creating pid out of each name, and call any segment whose creator is no
+longer alive an **orphan** — the residue of a killed owner whose
+``close()``/``unlink()`` never ran.
+
+Two consumers:
+
+* ``repro doctor`` lists (and with ``--unlink`` removes) orphans left
+  by killed processes — with ``--json`` for scripting and the CI leak
+  gate.
+* The test/CI leak audit asserts zero ``repro_*`` segments survive a
+  test session.
+
+In-process owners use :func:`repro.engine.shm.reclaim_segments`
+instead, which audits only the segments *this* process created and is
+safe to run while other sessions are live.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict, dataclass
+from multiprocessing import shared_memory
+from typing import Optional
+
+__all__ = [
+    "SHM_DIR",
+    "SegmentInfo",
+    "pid_alive",
+    "scan_segments",
+    "unlink_segment",
+]
+
+#: Where POSIX shared memory is mounted on Linux; scanning degrades to
+#: an empty report elsewhere (macOS exposes no listing API).
+SHM_DIR = "/dev/shm"
+
+#: Prefix of every segment the library creates.
+SEGMENT_PREFIX = "repro_"
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """One ``repro_*`` segment found on the shared-memory filesystem.
+
+    ``pid`` is parsed from the segment name (None when the name is not
+    in the library's format); ``orphaned`` means the creating process
+    is known to be dead.
+    """
+
+    name: str
+    size: int
+    pid: Optional[int]
+    alive: bool
+
+    @property
+    def orphaned(self) -> bool:
+        return self.pid is not None and not self.alive
+
+    def as_dict(self) -> dict:
+        d = asdict(self)
+        d["orphaned"] = self.orphaned
+        return d
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether a process with ``pid`` currently exists."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    return True
+
+
+def _parse_pid(name: str) -> Optional[int]:
+    # repro_<pid>_<hex>[_tag]
+    parts = name.split("_")
+    if len(parts) < 3:
+        return None
+    try:
+        return int(parts[1])
+    except ValueError:
+        return None
+
+
+def scan_segments(shm_dir: str = SHM_DIR) -> list[SegmentInfo]:
+    """Every ``repro_*`` segment currently on the filesystem."""
+    if not os.path.isdir(shm_dir):  # pragma: no cover - non-Linux
+        return []
+    out: list[SegmentInfo] = []
+    for entry in sorted(os.listdir(shm_dir)):
+        if not entry.startswith(SEGMENT_PREFIX):
+            continue
+        path = os.path.join(shm_dir, entry)
+        try:
+            size = os.stat(path).st_size
+        except OSError:  # pragma: no cover - raced an unlink
+            continue
+        pid = _parse_pid(entry)
+        out.append(
+            SegmentInfo(
+                name=entry,
+                size=size,
+                pid=pid,
+                alive=pid_alive(pid) if pid is not None else True,
+            )
+        )
+    return out
+
+
+def unlink_segment(name: str) -> bool:
+    """Remove one segment by name; returns False if already gone."""
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - raced another closer
+        return False
+    return True

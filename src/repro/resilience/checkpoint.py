@@ -1,0 +1,165 @@
+"""Checkpoint/resume: spill completed variant results to disk.
+
+A killed sweep (OOM, node preemption, ctrl-C) should not forfeit the
+variants that already finished.  :class:`CheckpointStore` writes each
+completed :class:`~repro.core.result.ClusteringResult` into a directory
+keyed on the :class:`~repro.engine.store.PointStore` **content
+fingerprint**, so a resumed run over byte-identical data loads the
+finished variants (and may legally reuse them as donors — they are
+genuine completed results for that exact database) while a run over
+different data silently misses and recomputes everything.
+
+Crash safety: every entry is written to a temp file and published with
+an atomic ``os.replace``, so a checkpoint directory never contains a
+torn entry.  Loads additionally pass the
+:func:`~repro.resilience.faults.verify_result` integrity audit; a
+damaged entry is discarded and its variant recomputed rather than
+poisoning the batch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.result import ClusteringResult
+from repro.core.variants import Variant
+from repro.resilience.faults import verify_result
+from repro.util.errors import CheckpointError, CorruptResultError
+
+__all__ = ["CheckpointStore"]
+
+#: Format marker inside every entry; bump on layout changes.
+_FORMAT = 1
+
+
+def _entry_name(variant: Variant) -> str:
+    # %.17g round-trips float64 exactly, so the filename is a stable,
+    # collision-free key for the variant.
+    return f"v_{variant.eps:.17g}_{variant.minpts}.npz"
+
+
+class CheckpointStore:
+    """Directory of completed variant results for one database fingerprint.
+
+    Parameters
+    ----------
+    root:
+        Checkpoint root directory (shared across datasets; each
+        fingerprint gets a subdirectory).
+    fingerprint:
+        The owning :class:`PointStore`'s content hash.
+    n_points:
+        Database size, used to audit loaded entries.
+    """
+
+    def __init__(self, root: Union[str, Path], fingerprint: str, n_points: int) -> None:
+        self.root = Path(root)
+        self.fingerprint = str(fingerprint)
+        self.n_points = int(n_points)
+        self.dir = self.root / self.fingerprint
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:  # pragma: no cover - bad permissions/path
+            raise CheckpointError(f"cannot create checkpoint dir {self.dir}: {exc}")
+
+    def path_for(self, variant: Variant) -> Path:
+        return self.dir / _entry_name(variant)
+
+    # -- writing --------------------------------------------------------
+    def save(self, result: ClusteringResult) -> Path:
+        """Atomically persist one completed result (idempotent per variant)."""
+        if result.variant is None:
+            raise CheckpointError("cannot checkpoint a result without a variant")
+        target = self.path_for(result.variant)
+        meta = {
+            "format": _FORMAT,
+            "n_points": result.n_points,
+            "variant": result.variant.as_tuple(),
+            "reused_from": (
+                result.reused_from.as_tuple() if result.reused_from else None
+            ),
+            "points_reused": result.points_reused,
+            "elapsed": result.elapsed,
+        }
+        tmp = target.with_name(f".tmp_{os.getpid()}_{target.name}")
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(
+                    fh,
+                    labels=result.labels,
+                    core_mask=result.core_mask,
+                    meta=np.frombuffer(
+                        json.dumps(meta).encode(), dtype=np.uint8
+                    ),
+                )
+            os.replace(tmp, target)
+        except OSError as exc:
+            tmp.unlink(missing_ok=True)
+            raise CheckpointError(f"cannot write checkpoint entry {target}: {exc}")
+        return target
+
+    # -- reading --------------------------------------------------------
+    def load(self, variant: Variant) -> Optional[ClusteringResult]:
+        """The checkpointed result for ``variant``, or None.
+
+        A missing entry returns None; an unreadable or
+        integrity-failing entry is deleted and treated as missing, so a
+        half-written or damaged checkpoint degrades to recomputation.
+        """
+        path = self.path_for(variant)
+        if not path.is_file():
+            return None
+        try:
+            with np.load(path) as data:
+                meta = json.loads(bytes(data["meta"]).decode())
+                labels = data["labels"]
+                core_mask = data["core_mask"]
+            if meta.get("format") != _FORMAT or meta.get("n_points") != self.n_points:
+                raise CorruptResultError("checkpoint entry format/shape mismatch")
+            reused = meta.get("reused_from")
+            result = ClusteringResult(
+                labels,
+                core_mask,
+                variant=variant,
+                points_reused=int(meta.get("points_reused", 0)),
+                reused_from=Variant(*reused) if reused else None,
+                elapsed=float(meta.get("elapsed", 0.0)),
+            )
+            verify_result(result, self.n_points)
+        except Exception:
+            # Damaged entry (torn write survived a kill -9 mid-replace,
+            # tampering, format drift): recompute instead of trusting it.
+            path.unlink(missing_ok=True)
+            return None
+        return result
+
+    def completed(self) -> list[Variant]:
+        """Variants with a checkpoint entry on disk (unvalidated)."""
+        out = []
+        for path in sorted(self.dir.glob("v_*.npz")):
+            stem = path.stem[2:]  # strip the "v_" prefix
+            eps_text, _, minpts_text = stem.rpartition("_")
+            try:
+                out.append(Variant(float(eps_text), int(minpts_text)))
+            except (ValueError, TypeError):  # pragma: no cover - stray file
+                continue
+        return out
+
+    def clear(self) -> int:
+        """Delete every entry for this fingerprint; return the count."""
+        n = 0
+        for path in self.dir.glob("v_*.npz"):
+            path.unlink(missing_ok=True)
+            n += 1
+        return n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CheckpointStore({self.dir}, n_points={self.n_points}, "
+            f"entries={len(self.completed())})"
+        )

@@ -1,0 +1,84 @@
+"""Per-variant deadlines and capped exponential-backoff retries.
+
+A :class:`RetryPolicy` is the single knob object the resilience layer
+reads: how many times a failed variant may be re-attempted, how long
+each attempt may run, and how long to back off between attempts.  It is
+immutable and picklable so process-pool workers enforce the same policy
+the parent configured.
+
+Deadline semantics are **cooperative best-effort** for in-process
+backends: an attempt's wall time is measured around the variant kernel
+(and injected hangs poll the deadline while sleeping), so a deadline
+violation is detected at the next check point rather than preempting
+arbitrary Python code.  Genuine runaway hangs are the CI watchdog's job
+(``pytest-timeout``) and, for the process backend, the parent-side
+group budget that terminates and respawns a wedged worker (see
+:mod:`repro.exec.procpool`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.util.errors import ValidationError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/deadline configuration for one batch run.
+
+    Attributes
+    ----------
+    max_retries:
+        Re-attempts allowed after the first failure (0 = capture the
+        failure in the :class:`~repro.resilience.report.BatchReport`
+        but never retry).
+    deadline_s:
+        Per-attempt wall-clock budget; ``None`` disables deadlines.
+        An attempt that exceeds it counts as a timeout failure and is
+        retried like a crash.
+    backoff_base_s / backoff_factor / backoff_max_s:
+        Capped exponential backoff between attempts:
+        ``min(base * factor**attempt, max)`` seconds.  The default base
+        of 0 disables sleeping, which is what deterministic test runs
+        want; production sweeps over flaky storage set a real base.
+    """
+
+    max_retries: int = 2
+    deadline_s: Optional[float] = None
+    backoff_base_s: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValidationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValidationError(
+                f"deadline_s must be positive (or None), got {self.deadline_s}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValidationError("backoff durations must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValidationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    @property
+    def max_attempts(self) -> int:
+        """Total executions allowed per variant (first try + retries)."""
+        return self.max_retries + 1
+
+    def backoff_s(self, attempt: int) -> float:
+        """Seconds to wait before re-running after failed ``attempt``."""
+        if self.backoff_base_s <= 0.0:
+            return 0.0
+        return min(
+            self.backoff_base_s * self.backoff_factor ** attempt,
+            self.backoff_max_s,
+        )

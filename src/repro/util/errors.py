@@ -41,3 +41,53 @@ class SchedulingError(ReproError):
 
 class IndexError_(ReproError):
     """A spatial index was queried before being built or with bad geometry."""
+
+
+class SessionClosedError(ReproError, ValueError):
+    """A :class:`~repro.engine.session.Session` was used across its lifecycle boundary.
+
+    Raised when ``run``/``context`` are called on a closed session, when
+    ``close()`` is called twice, or when ``close()`` races an active run
+    — instead of letting the underlying shared-memory teardown surface a
+    raw ``FileNotFoundError`` from a half-released segment.  Inherits
+    :class:`ValueError` so callers catching the historical error type
+    keep working.
+    """
+
+
+class ResilienceError(ReproError):
+    """Base class for failures raised by the resilience subsystem."""
+
+
+class VariantTimeoutError(ResilienceError):
+    """A variant attempt exceeded its :class:`RetryPolicy` deadline."""
+
+
+class VariantFailedError(ResilienceError):
+    """A variant exhausted every retry and failed permanently.
+
+    Only raised when no :class:`BatchReport` capture is active (the
+    legacy raise-through path); resilient runs record the failure in the
+    report instead of aborting the batch.
+    """
+
+
+class InjectedFaultError(ResilienceError):
+    """A deterministic fault fired from an active :class:`FaultPlan`.
+
+    Distinguishable from organic failures so tests can assert that the
+    recovery machinery — not luck — produced the final result.
+    """
+
+
+class CorruptResultError(ResilienceError):
+    """A clustering result failed its integrity audit.
+
+    Raised by :func:`repro.resilience.faults.verify_result` when labels
+    or core flags are inconsistent with the database — either from an
+    injected corruption fault or a damaged checkpoint entry.
+    """
+
+
+class CheckpointError(ResilienceError):
+    """A checkpoint directory could not be read or written."""

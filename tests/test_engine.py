@@ -295,12 +295,15 @@ class TestSession:
         assert rec.n_threads == 1
 
     def test_closed_session_raises(self, points):
+        from repro.util.errors import SessionClosedError
+
         session = Session(points)
         session.close()
         assert session.closed
         with pytest.raises(ValueError, match="closed"):
             session.run(VSET)
-        session.close()  # idempotent
+        with pytest.raises(SessionClosedError, match="already closed"):
+            session.close()  # double close is a lifecycle bug now
 
     def test_procpool_run_cleans_segments(self, points):
         before = _repro_segments()
