@@ -24,10 +24,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bench.reporting import format_table
+from repro.bench.scenarios import s3_variant_set
 from repro.core.scheduling import SchedMinpts
 from repro.data.registry import load_dataset
 from repro.exec.serial import SerialExecutor
-from repro.bench.scenarios import s3_variant_set
 
 from conftest import bench_scale
 

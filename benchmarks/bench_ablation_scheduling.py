@@ -17,8 +17,8 @@ from repro.bench.reporting import format_table
 from repro.core.scheduling import SchedGreedy
 from repro.core.variants import Variant, VariantSet
 from repro.data.registry import load_dataset
-from repro.exec.serial import SerialExecutor
 from repro.exec.base import IndexPair
+from repro.exec.serial import SerialExecutor
 
 from conftest import bench_scale
 

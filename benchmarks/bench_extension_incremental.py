@@ -19,6 +19,7 @@ from repro.core.dbscan import dbscan
 from repro.core.incremental import IncrementalDBSCAN
 from repro.data.registry import load_dataset
 from repro.metrics.quality import quality_score
+from repro.util.rng import resolve_rng
 
 from conftest import bench_scale
 
@@ -28,7 +29,7 @@ EPOCHS = 6
 def _epoch_stream(n_total: int, seed: int):
     ds = load_dataset("SW1", bench_scale())
     pts = ds.points[:n_total]
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     perm = rng.permutation(len(pts))
     return np.array_split(pts[perm], EPOCHS)
 

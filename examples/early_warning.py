@@ -20,6 +20,7 @@ import numpy as np
 
 from repro import SerialExecutor, VariantSet
 from repro.data.tec import TECMapModel, generate_tec_points
+from repro.util.rng import resolve_rng
 
 EPOCHS = 6
 POINTS_PER_EPOCH = 6000
@@ -44,7 +45,7 @@ def epoch_points(epoch: int) -> np.ndarray:
     )
     if n_front == 0:
         return base
-    rng = np.random.default_rng(314 + epoch)
+    rng = resolve_rng(314 + epoch)
     center = np.median(base, axis=0)
     length = 2.0 + 1.2 * epoch  # the front elongates as it propagates
     along = rng.uniform(-length, length, n_front)

@@ -23,10 +23,11 @@ from repro import (
     dbscan,
     quality_score,
 )
+from repro.util.rng import resolve_rng
 
 # ----------------------------------------------------------------- 1.
 # A toy database: three blobs of different density plus uniform noise.
-rng = np.random.default_rng(42)
+rng = resolve_rng(42)
 points = np.vstack(
     [
         rng.normal([0, 0], 0.4, (400, 2)),

@@ -17,8 +17,9 @@ import numpy as np
 
 from repro.core.variants import Variant, VariantSet
 from repro.stream import ClusterTracker, VariantMonitor
+from repro.util.rng import resolve_rng
 
-RNG = np.random.default_rng(99)
+RNG = resolve_rng(99)
 EPOCHS = 7
 TRUE_VELOCITY = np.array([1.8, 0.6])  # degrees / epoch, the ground truth
 

@@ -1,0 +1,55 @@
+"""Project-native static analysis (``repro check``).
+
+Four PRs in, the properties the test suites *assume* — determinism
+through :mod:`repro.util.rng`, the owner-unlinks shared-memory
+lifecycle of :mod:`repro.engine.shm`, the layering that keeps the
+clustering kernels importable without the execution stack, and the
+uniform executor contract — were enforced by convention only.  This
+package enforces them at lint time with an AST-based rule engine:
+
+* :class:`~repro.analysis.visitor.RuleVisitor` — per-file rules as
+  ``ast.NodeVisitor`` subclasses with ``file:line`` findings.
+* :class:`~repro.analysis.visitor.ProjectRule` — whole-project rules
+  that need every module's AST at once (the executor-contract check).
+* ``# repro: allow[rule-id]`` pragmas — suppress one finding on its
+  own line or on the enclosing ``def``/``class`` line.
+* Baseline files — grandfather existing findings so the gate can be
+  turned on strict immediately and the baseline can only shrink.
+
+Entry points: the ``repro check`` CLI subcommand and the importable
+:func:`~repro.analysis.engine.analyze_paths` /
+:func:`~repro.analysis.engine.analyze_source` API used by the test
+suite.  Everything here is stdlib-only so the analyzer can run in any
+environment that can import the package.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import (
+    AnalysisReport,
+    analyze_paths,
+    analyze_source,
+    default_check_root,
+    iter_python_files,
+)
+from repro.analysis.findings import (
+    Finding,
+    format_finding,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.rules import ALL_RULES, RULES_BY_ID
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "AnalysisReport",
+    "Finding",
+    "analyze_paths",
+    "analyze_source",
+    "default_check_root",
+    "format_finding",
+    "iter_python_files",
+    "load_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,197 @@
+"""Analysis driver: collect files, run rules, apply pragmas + baseline.
+
+The same entry points back the CLI (``repro check``) and the test
+suite (:func:`analyze_source` builds a throwaway project from inline
+source strings, which is how each rule's positive/negative/pragma
+cases are unit-tested without touching the real tree).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.analysis.pragmas import parse_pragmas, suppresses
+from repro.analysis.rules import ALL_RULES
+from repro.analysis.visitor import ModuleFile, Project, ProjectRule, RuleVisitor
+
+__all__ = [
+    "AnalysisReport",
+    "analyze_paths",
+    "analyze_source",
+    "default_check_root",
+    "iter_python_files",
+]
+
+RuleClass = type  # a RuleVisitor or ProjectRule subclass
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analysis run.
+
+    ``findings`` are the live violations (not pragma-suppressed, not
+    baselined); ``baselined`` were matched by the baseline;
+    ``suppressed`` counts pragma hits; ``stale_baseline`` lists
+    baseline keys that no longer match anything — under ``--strict``
+    these fail the run so the baseline can only shrink.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    stale_baseline: list[str] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.errors
+
+    def exit_code(self, *, strict: bool = False) -> int:
+        if not self.clean:
+            return 1
+        if strict and self.stale_baseline:
+            return 1
+        return 0
+
+
+def default_check_root() -> Path:
+    """The installed ``repro`` package — what ``repro check`` scans."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            out.update(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            out.add(p)
+    return sorted(p for p in out if "__pycache__" not in p.parts)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name, walking up through ``__init__.py`` packages."""
+    path = path.resolve()
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def _split_rules(
+    rules: Iterable[RuleClass],
+) -> tuple[list[RuleClass], list[RuleClass]]:
+    file_rules: list[RuleClass] = []
+    project_rules: list[RuleClass] = []
+    for rule in rules:
+        if issubclass(rule, ProjectRule):
+            project_rules.append(rule)
+        elif issubclass(rule, RuleVisitor):
+            file_rules.append(rule)
+        else:  # pragma: no cover - programming error
+            raise TypeError(f"not a rule class: {rule!r}")
+    return file_rules, project_rules
+
+
+def _run_rules(
+    project: Project,
+    pragma_maps: Mapping[str, Mapping[int, set[str]]],
+    rules: Iterable[RuleClass],
+    baseline: set[str],
+) -> AnalysisReport:
+    report = AnalysisReport()
+    file_rules, project_rules = _split_rules(rules)
+
+    raw: list[Finding] = []
+    for mf in project.modules.values():
+        for rule_cls in file_rules:
+            raw.extend(rule_cls(mf).run())
+    for rule_cls in project_rules:
+        raw.extend(rule_cls().check(project))
+
+    matched_keys: set[str] = set()
+    for finding in sorted(raw, key=Finding.sort_key):
+        pragmas = pragma_maps.get(finding.path, {})
+        anchors = finding.anchor_lines or (finding.line,)
+        if suppresses(pragmas, anchors, finding.rule):
+            report.suppressed += 1
+            continue
+        if finding.key() in baseline:
+            matched_keys.add(finding.key())
+            report.baselined.append(finding)
+            continue
+        report.findings.append(finding)
+    report.stale_baseline = sorted(baseline - matched_keys)
+    return report
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    *,
+    rules: Iterable[RuleClass] = ALL_RULES,
+    baseline: set[str] | None = None,
+    relative_to: str | Path | None = None,
+) -> AnalysisReport:
+    """Analyze files/directories on disk and return the report.
+
+    ``relative_to`` controls how paths appear in findings (and thus in
+    baselines): keys stay stable across checkouts when findings are
+    relative to the scanned root.
+    """
+    root = Path(relative_to).resolve() if relative_to is not None else None
+    project = Project()
+    pragma_maps: dict[str, dict[int, set[str]]] = {}
+    report_errors: list[str] = []
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text()
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError) as exc:
+            report_errors.append(f"{path}: {exc}")
+            continue
+        shown = str(path)
+        if root is not None:
+            try:
+                shown = path.resolve().relative_to(root).as_posix()
+            except ValueError:
+                shown = str(path)
+        mf = ModuleFile(
+            path=shown, module=module_name_for(path), tree=tree, source=source
+        )
+        project.modules[mf.module] = mf
+        pragma_maps[shown] = parse_pragmas(source)
+    report = _run_rules(project, pragma_maps, rules, baseline or set())
+    report.errors.extend(report_errors)
+    return report
+
+
+def analyze_source(
+    sources: Mapping[str, str],
+    *,
+    rules: Iterable[RuleClass] = ALL_RULES,
+    baseline: set[str] | None = None,
+) -> AnalysisReport:
+    """Analyze inline sources keyed by dotted module name (for tests).
+
+    The synthetic file path for module ``repro.core.x`` is
+    ``repro/core/x.py``.
+    """
+    project = Project()
+    pragma_maps: dict[str, dict[int, set[str]]] = {}
+    for module, source in sources.items():
+        path = module.replace(".", "/") + ".py"
+        tree = ast.parse(source, filename=path)
+        mf = ModuleFile(path=path, module=module, tree=tree, source=source)
+        project.modules[module] = mf
+        pragma_maps[path] = parse_pragmas(source)
+    return _run_rules(project, pragma_maps, rules, baseline or set())

@@ -1,0 +1,83 @@
+"""Findings, their rendering, and the baseline workflow.
+
+A :class:`Finding` anchors one rule violation to a ``file:line``.  Its
+:meth:`~Finding.key` deliberately omits the line number: baselines must
+survive unrelated edits above a grandfathered finding, so entries match
+on ``(path, rule, message)`` instead of exact position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "format_finding",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: Separator for baseline keys; paths and rule ids never contain it.
+_KEY_SEP = " :: "
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation anchored to a source location.
+
+    ``anchor_lines`` lists every line whose pragma may suppress this
+    finding (the violation line itself plus the enclosing ``def`` /
+    ``class`` lines), so a single pragma on a function header can
+    cover a whole reference-fallback body.
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    col: int = 0
+    anchor_lines: tuple[int, ...] = field(default=(), compare=False)
+
+    def key(self) -> str:
+        """Line-independent identity used by baseline files."""
+        return _KEY_SEP.join((self.path, self.rule, self.message))
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+
+def format_finding(finding: Finding) -> str:
+    """Render as ``path:line:col: rule-id message`` (clickable anchors)."""
+    return (
+        f"{finding.path}:{finding.line}:{finding.col}: "
+        f"{finding.rule} {finding.message}"
+    )
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """Read a baseline file: one :meth:`Finding.key` per line.
+
+    Blank lines and ``#`` comments are skipped.  A missing file is an
+    empty baseline — the strict gate's steady state.
+    """
+    p = Path(path)
+    if not p.exists():
+        return set()
+    keys: set[str] = set()
+    for raw in p.read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        keys.add(line)
+    return keys
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Write the current findings as a baseline file (sorted, unique)."""
+    keys = sorted({f.key() for f in findings})
+    header = (
+        "# repro check baseline — grandfathered findings.\n"
+        "# Entries may only be REMOVED (fix the finding, then prune).\n"
+    )
+    Path(path).write_text(header + "".join(k + "\n" for k in keys))

@@ -1,0 +1,58 @@
+"""``# repro: allow[rule-id]`` pragma parsing.
+
+Pragmas are per-line comment directives, parsed with :mod:`tokenize`
+so string literals that merely *look* like pragmas never suppress
+anything.  A pragma suppresses the named rules on its own line; the
+engine additionally honors pragmas on the enclosing ``def``/``class``
+line for rules that anchor findings to their scope (see
+:attr:`repro.analysis.findings.Finding.anchor_lines`).
+
+Grammar::
+
+    # repro: allow[rule-id]
+    # repro: allow[rule-a, rule-b]
+    # repro: allow[*]          (any rule — use sparingly)
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+__all__ = ["WILDCARD", "parse_pragmas", "suppresses"]
+
+#: Pragma entry that suppresses every rule on its line.
+WILDCARD = "*"
+
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+
+
+def parse_pragmas(source: str) -> dict[int, set[str]]:
+    """Map 1-based line number -> set of allowed rule ids on that line."""
+    out: dict[int, set[str]] = {}
+    reader = io.StringIO(source).readline
+    try:
+        tokens = list(tokenize.generate_tokens(reader))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The engine reports unparsable files separately; no pragmas.
+        return out
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA_RE.search(tok.string)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        if rules:
+            out.setdefault(tok.start[0], set()).update(rules)
+    return out
+
+
+def suppresses(pragmas: dict[int, set[str]], lines: tuple[int, ...], rule: str) -> bool:
+    """Whether any of ``lines`` carries a pragma allowing ``rule``."""
+    for line in lines:
+        allowed = pragmas.get(line)
+        if allowed and (rule in allowed or WILDCARD in allowed):
+            return True
+    return False

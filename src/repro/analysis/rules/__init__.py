@@ -1,0 +1,37 @@
+"""The shipped rule set.
+
+Each rule is grounded in an invariant a test suite already depends on;
+see ``docs/STATIC_ANALYSIS.md`` for the rationale per rule.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.contract import ExecutorContractRule
+from repro.analysis.rules.hotpath import HotPathPurityRule
+from repro.analysis.rules.layering import LayeringRule
+from repro.analysis.rules.rng import RngDisciplineRule
+from repro.analysis.rules.shm import ShmLifecycleRule
+from repro.analysis.rules.wallclock import WallclockDisciplineRule
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "ExecutorContractRule",
+    "HotPathPurityRule",
+    "LayeringRule",
+    "RngDisciplineRule",
+    "ShmLifecycleRule",
+    "WallclockDisciplineRule",
+]
+
+#: Every shipped rule class (file rules and project rules alike).
+ALL_RULES = (
+    LayeringRule,
+    RngDisciplineRule,
+    ShmLifecycleRule,
+    WallclockDisciplineRule,
+    ExecutorContractRule,
+    HotPathPurityRule,
+)
+
+RULES_BY_ID = {rule.rule_id: rule for rule in ALL_RULES}

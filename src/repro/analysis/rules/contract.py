@@ -1,0 +1,235 @@
+"""Executor contract: every registered backend honors the same API.
+
+The recovery-transparency grid (tests/test_resilience.py) and the
+canonical-label equivalence suite hold *because* all four backends
+run through the identical ``_run(ctx, variants)`` contract and route
+fault handling through :class:`repro.resilience.runner.ResilientRunner`
+(which is what binds and consumes the :class:`FaultPlan`).  dislib's
+history shows what happens when distributed backends drift: one
+backend grows a keyword the others lack, and every cross-backend
+equivalence claim silently narrows.  This rule pins the contract:
+
+* every ``BaseExecutor`` subclass under ``repro.exec`` defines a
+  string ``name`` and a ``_run`` whose parameters are exactly
+  ``(self, ctx, variants)``;
+* the ``_run`` body references ``ResilientRunner`` (FaultPlan
+  consumption — a backend that skips the runner silently ignores
+  injected faults and retry budgets);
+* any override of an inherited hook (``run``, ``run_context``,
+  ``make_context``) keeps the base signature's parameter names;
+* the ``EXECUTORS`` registry in ``repro/exec/__init__.py`` and the
+  set of concrete backend classes match exactly, both ways.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.visitor import ModuleFile, Project, ProjectRule
+
+__all__ = ["ExecutorContractRule"]
+
+_EXEC_PACKAGE = "repro.exec"
+_BASE_CLASS = "BaseExecutor"
+_REGISTRY_NAME = "EXECUTORS"
+_RUNNER_NAME = "ResilientRunner"
+
+#: Hooks whose signatures must match the base class when overridden.
+_PINNED_HOOKS = ("_run", "run", "run_context", "make_context")
+
+#: Fallback expectation when repro/exec/base.py is not in the run.
+_FALLBACK_SIGNATURES = {"_run": ["self", "ctx", "variants"]}
+
+
+def _param_names(fn: ast.FunctionDef) -> list[str]:
+    return [a.arg for a in (*fn.args.posonlyargs, *fn.args.args)]
+
+
+def _methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in cls.body
+        if isinstance(stmt, ast.FunctionDef)
+    }
+
+
+def _base_names(cls: ast.ClassDef) -> list[str]:
+    names = []
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _class_str_attr(cls: ast.ClassDef, attr: str) -> str | None:
+    for stmt in cls.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == attr:
+                if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                    return value.value
+                return ""
+    return None
+
+
+def _references(fn: ast.FunctionDef, name: str) -> bool:
+    return any(
+        isinstance(node, ast.Name) and node.id == name
+        for node in ast.walk(fn)
+    )
+
+
+class ExecutorContractRule(ProjectRule):
+    rule_id = "executor-contract"
+    description = (
+        "registered backends define _run(self, ctx, variants), consume the "
+        "FaultPlan via ResilientRunner, and match the EXECUTORS registry"
+    )
+
+    def _finding(self, mf: ModuleFile, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            path=mf.path,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule_id,
+            message=message,
+            anchor_lines=(line,),
+        )
+
+    def _base_signatures(self, project: Project) -> dict[str, list[str]]:
+        base_mod = project.get(f"{_EXEC_PACKAGE}.base")
+        if base_mod is None:
+            return dict(_FALLBACK_SIGNATURES)
+        for node in base_mod.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == _BASE_CLASS:
+                return {
+                    name: _param_names(fn)
+                    for name, fn in _methods(node).items()
+                    if name in _PINNED_HOOKS
+                }
+        return dict(_FALLBACK_SIGNATURES)
+
+    def _registry(
+        self, project: Project
+    ) -> tuple[ModuleFile | None, ast.AST | None, set[str]]:
+        """The EXECUTORS dict node and its value class names, if present."""
+        pkg = project.get(_EXEC_PACKAGE)
+        if pkg is None:
+            return None, None, set()
+        for node in ast.walk(pkg.tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            if not any(
+                isinstance(t, ast.Name) and t.id == _REGISTRY_NAME for t in targets
+            ):
+                continue
+            value = node.value
+            names: set[str] = set()
+            if isinstance(value, ast.Dict):
+                for v in value.values:
+                    if isinstance(v, ast.Name):
+                        names.add(v.id)
+            return pkg, node, names
+        return pkg, None, set()
+
+    def check(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        base_sigs = self._base_signatures(project)
+        backends: dict[str, tuple] = {}  # class name -> (ModuleFile, ClassDef)
+
+        for mf in project.in_package(_EXEC_PACKAGE):
+            for node in mf.tree.body:
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                if _BASE_CLASS not in _base_names(node):
+                    continue
+                backends[node.name] = (mf, node)
+
+        for cls_name, (mf, cls) in sorted(backends.items()):
+            methods = _methods(cls)
+            if _class_str_attr(cls, "name") in (None, ""):
+                findings.append(
+                    self._finding(
+                        mf, cls,
+                        f"backend {cls_name} must declare a string 'name' "
+                        "class attribute (the registry key)",
+                    )
+                )
+            run = methods.get("_run")
+            if run is None:
+                findings.append(
+                    self._finding(
+                        mf, cls,
+                        f"backend {cls_name} does not define "
+                        "_run(self, ctx, variants)",
+                    )
+                )
+            else:
+                expected = base_sigs.get("_run", _FALLBACK_SIGNATURES["_run"])
+                got = _param_names(run)
+                if got != expected or run.args.vararg or run.args.kwonlyargs:
+                    findings.append(
+                        self._finding(
+                            mf, run,
+                            f"{cls_name}._run signature is ({', '.join(got)}); "
+                            f"the contract is ({', '.join(expected)})",
+                        )
+                    )
+                if not _references(run, _RUNNER_NAME):
+                    findings.append(
+                        self._finding(
+                            mf, run,
+                            f"{cls_name}._run never references {_RUNNER_NAME}; "
+                            "the backend would ignore FaultPlan / retry "
+                            "budgets",
+                        )
+                    )
+            for hook in ("run", "run_context", "make_context"):
+                override = methods.get(hook)
+                if override is None or hook not in base_sigs:
+                    continue
+                got = _param_names(override)
+                if got != base_sigs[hook]:
+                    findings.append(
+                        self._finding(
+                            mf, override,
+                            f"{cls_name}.{hook} overrides the base hook with "
+                            f"params ({', '.join(got)}); the contract is "
+                            f"({', '.join(base_sigs[hook])})",
+                        )
+                    )
+
+        pkg, registry_node, registered = self._registry(project)
+        if pkg is not None and registry_node is not None:
+            for cls_name in sorted(backends):
+                if cls_name not in registered:
+                    findings.append(
+                        self._finding(
+                            pkg, registry_node,
+                            f"backend {cls_name} is not registered in "
+                            f"{_REGISTRY_NAME}",
+                        )
+                    )
+            for cls_name in sorted(registered):
+                if cls_name not in backends:
+                    findings.append(
+                        self._finding(
+                            pkg, registry_node,
+                            f"{_REGISTRY_NAME} registers {cls_name}, which is "
+                            "not a BaseExecutor subclass in repro.exec",
+                        )
+                    )
+        return findings

@@ -1,0 +1,85 @@
+"""Hot-path purity: the CSR batch kernels stay vectorized.
+
+PR 1's 3x batched-search win came from replacing per-point Python
+iteration with whole-array NumPy ops; one innocent ``for`` re-added
+to a ``query_candidates_batch`` (or a ``.tolist()`` materialization)
+silently walks that back without failing any correctness test — the
+equivalence suites check rows and counters, not complexity.
+
+Flagged inside ``repro/index/`` modules:
+
+* ``for`` loops and comprehensions in any function whose name
+  contains ``batch`` (the CSR kernel entry points and their
+  ``_batch_descend`` helpers);
+* ``.tolist()`` calls anywhere (they materialize a Python list per
+  element).
+
+Per-*level* loops (an R-tree descent iterates ``range(height)``) and
+the documented scalar reference fallbacks are legitimate — they take
+a ``# repro: allow[hot-path-purity]`` pragma on the loop or on the
+enclosing ``def`` line, which doubles as reviewer-visible
+documentation that the loop is not per-point.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.visitor import ModuleFile, RuleVisitor
+
+__all__ = ["HotPathPurityRule"]
+
+_KERNEL_PACKAGE = "repro.index"
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+def _in_batch_scope(name: str) -> bool:
+    return "batch" in name
+
+
+class HotPathPurityRule(RuleVisitor):
+    rule_id = "hot-path-purity"
+    description = (
+        "no Python loops in index/ batch kernels, no .tolist() in index/ "
+        "(pragma per-level/reference loops)"
+    )
+
+    def __init__(self, ctx: ModuleFile) -> None:
+        super().__init__(ctx)
+        self._active = ctx.module == _KERNEL_PACKAGE or ctx.module.startswith(
+            _KERNEL_PACKAGE + "."
+        )
+
+    def _check_loop(self, node: ast.AST, what: str) -> None:
+        if self._active and self.in_function_matching(_in_batch_scope):
+            self.report(
+                node,
+                f"Python {what} inside batch kernel '{self.scope_name}'; "
+                "vectorize across queries or pragma a per-level loop",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_loop(node, "for loop")
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:  # pragma: no cover
+        self._check_loop(node, "for loop")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            self._active
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "tolist"
+        ):
+            self.report(
+                node,
+                ".tolist() materializes a Python list per element in an "
+                "index module; keep data in arrays",
+            )
+        self.generic_visit(node)
+
+    def generic_visit(self, node: ast.AST) -> None:
+        if isinstance(node, _COMPREHENSIONS):
+            self._check_loop(node, "comprehension")
+        super().generic_visit(node)

@@ -1,0 +1,91 @@
+"""Layering: the algorithm layers must not import the execution stack.
+
+The clustering kernels (``core``), spatial indexes (``index``), and
+metrics are the *algorithm* layers — importable in a worker, a
+notebook, or a future accelerator port without dragging in executors,
+the session engine, resilience, observability, or the CLI.  ``util``
+is the floor and imports nothing above itself.  PR 3/4 kept this true
+by convention; this rule keeps it true by construction.
+
+``if TYPE_CHECKING:`` imports are exempt: annotation-only references
+create no runtime coupling.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.visitor import ModuleFile, RuleVisitor
+
+__all__ = ["FORBIDDEN_IMPORTS", "LayeringRule"]
+
+#: Execution-stack packages the algorithm layers must stay below.
+_UPPER = frozenset({"exec", "engine", "resilience", "obs", "cli"})
+
+#: layer -> set of repro subpackages it must not import.
+FORBIDDEN_IMPORTS: dict[str, frozenset[str]] = {
+    "core": _UPPER,
+    "index": _UPPER,
+    "metrics": _UPPER,
+    # util is the bottom layer: any repro import except util itself is
+    # a violation (the sentinel "*" means "everything but util").
+    "util": frozenset({"*"}),
+}
+
+
+def _layer_of(module: str) -> str | None:
+    """The repro subpackage (or top-level module stem) of a module."""
+    parts = module.split(".")
+    if not parts or parts[0] != "repro" or len(parts) < 2:
+        return None
+    return parts[1]
+
+
+def _imported_layer(target: str) -> str | None:
+    return _layer_of(target)
+
+
+class LayeringRule(RuleVisitor):
+    rule_id = "layering"
+    description = (
+        "core/index/metrics must not import exec/engine/resilience/obs/cli; "
+        "util imports nothing above itself"
+    )
+
+    def __init__(self, ctx: ModuleFile) -> None:
+        super().__init__(ctx)
+        self._layer = _layer_of(ctx.module)
+        self._forbidden = FORBIDDEN_IMPORTS.get(self._layer or "", frozenset())
+
+    # -- import checks -------------------------------------------------
+    def _check(self, node: ast.AST, target: str) -> None:
+        if not self._forbidden or self.in_type_checking:
+            return
+        layer = _imported_layer(target)
+        if layer is None:
+            return
+        if "*" in self._forbidden:
+            if layer != "util":
+                self.report(
+                    node,
+                    f"util is the bottom layer but imports repro.{layer} "
+                    f"(via '{target}')",
+                )
+        elif layer in self._forbidden:
+            self.report(
+                node,
+                f"layer '{self._layer}' must not import repro.{layer} "
+                f"(via '{target}')",
+            )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._check(node, alias.name)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level:
+            # Relative imports stay inside the current package, which
+            # is by definition the same layer.
+            return
+        if node.module:
+            self._check(node, node.module)

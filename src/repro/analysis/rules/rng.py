@@ -1,0 +1,91 @@
+"""RNG discipline: all randomness flows through :mod:`repro.util.rng`.
+
+Reuse-equivalence (paper §IV-B/§V-D), the differential oracles, and
+the recovery-transparency suite all compare runs that must see
+bit-identical inputs.  That only holds while every stochastic call
+site resolves its generator through :func:`repro.util.rng.resolve_rng`
+/ :func:`~repro.util.rng.spawn_rngs` — one direct ``np.random.*`` or
+stdlib ``random`` call anywhere reintroduces hidden global state.
+
+Flagged outside ``repro/util/rng.py``:
+
+* ``import random`` / ``from random import ...`` (stdlib RNG);
+* ``from numpy.random import ...``;
+* any ``np.random.<fn>(...)`` / ``numpy.random.<fn>(...)`` call;
+* seedless ``default_rng()`` (flagged *everywhere*, including
+  ``util/rng.py`` — fresh entropy must come from an explicit
+  ``resolve_rng(None)`` at the caller, never be baked into a helper).
+
+Annotations like ``rng: np.random.Generator`` are not calls and pass.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.visitor import ModuleFile, RuleVisitor, dotted_source
+
+__all__ = ["RngDisciplineRule"]
+
+#: The one module allowed to touch numpy.random directly.
+_EXEMPT_MODULE = "repro.util.rng"
+
+
+class RngDisciplineRule(RuleVisitor):
+    rule_id = "rng-discipline"
+    description = (
+        "no numpy.random / stdlib random outside util/rng.py; "
+        "no seedless default_rng() anywhere"
+    )
+
+    def __init__(self, ctx: ModuleFile) -> None:
+        super().__init__(ctx)
+        self._exempt = ctx.module == _EXEMPT_MODULE
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if self._exempt:
+            return
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root == "random":
+                self.report(
+                    node,
+                    "stdlib 'random' import; route randomness through "
+                    "repro.util.rng",
+                )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self._exempt or node.level:
+            return
+        module = node.module or ""
+        root = module.split(".")[0]
+        if root == "random":
+            self.report(
+                node,
+                "stdlib 'random' import; route randomness through repro.util.rng",
+            )
+        elif module in ("numpy.random", "np.random"):
+            self.report(
+                node,
+                "direct numpy.random import; use repro.util.rng.resolve_rng",
+            )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = dotted_source(node.func)
+        parts = dotted.split(".")
+        # Seedless default_rng() is banned everywhere: a helper that
+        # bakes in fresh entropy cannot be made deterministic later.
+        if parts[-1] == "default_rng" and not node.args and not node.keywords:
+            self.report(node, "seedless default_rng(); pass an explicit seed")
+        elif (
+            not self._exempt
+            and len(parts) >= 3
+            and parts[0] in ("np", "numpy")
+            and parts[1] == "random"
+        ):
+            self.report(
+                node,
+                f"direct {dotted}() call; use repro.util.rng.resolve_rng / "
+                "spawn_rngs",
+            )
+        self.generic_visit(node)

@@ -1,0 +1,110 @@
+"""Shared-memory lifecycle: one module owns segment creation/unlink.
+
+:mod:`repro.engine.shm` is the single place where segments are
+created, attached, unlinked, and audited — it carries the
+resource-tracker workaround, the owned-set registry the leak audit
+reads, and the BufferError/FileNotFoundError tolerance every teardown
+needs.  A second call site constructing ``SharedMemory`` directly (or
+unlinking a segment it reached some other way) bypasses all three and
+is exactly how PR 4's crash-recovery tests leak segments.
+
+Flagged outside ``repro/engine/shm.py``:
+
+* importing :mod:`multiprocessing.shared_memory` (the only way to
+  construct or attach a segment without going through the helpers);
+* calling ``SharedMemory(...)`` directly;
+* calling ``.unlink()`` on a receiver whose name mentions a segment
+  (``shm`` / ``segment``) — ``Path.unlink`` et al. pass;
+* a module that calls ``.ensure_shared(...)`` but contains no
+  ``.close()`` call at all: every materialization site must be
+  reachable from a close path in the same module.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.visitor import ModuleFile, RuleVisitor, dotted_source
+
+__all__ = ["ShmLifecycleRule"]
+
+_EXEMPT_MODULE = "repro.engine.shm"
+
+#: Receiver-name fragments that mark an ``.unlink()`` as shared-memory.
+_SHM_HINTS = ("shm", "segment")
+
+
+class ShmLifecycleRule(RuleVisitor):
+    rule_id = "shm-lifecycle"
+    description = (
+        "SharedMemory construction/unlink only in engine/shm.py; "
+        "ensure_shared sites need a close path"
+    )
+
+    def __init__(self, ctx: ModuleFile) -> None:
+        super().__init__(ctx)
+        self._exempt = ctx.module == _EXEMPT_MODULE
+        self._ensure_shared_calls: list[ast.Call] = []
+        self._has_close_call = False
+
+    # -- imports -------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        if self._exempt or self.in_type_checking:
+            return
+        for alias in node.names:
+            if alias.name.startswith("multiprocessing.shared_memory"):
+                self.report(
+                    node,
+                    "multiprocessing.shared_memory import; use the "
+                    "repro.engine.shm helpers",
+                )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self._exempt or node.level or self.in_type_checking:
+            return
+        module = node.module or ""
+        if module == "multiprocessing.shared_memory" or (
+            module == "multiprocessing"
+            and any(alias.name == "shared_memory" for alias in node.names)
+        ):
+            self.report(
+                node,
+                "multiprocessing.shared_memory import; use the "
+                "repro.engine.shm helpers",
+            )
+
+    # -- calls ---------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = dotted_source(node.func)
+        last = dotted.split(".")[-1]
+        if not self._exempt:
+            if last == "SharedMemory":
+                self.report(
+                    node,
+                    "direct SharedMemory() construction; use "
+                    "repro.engine.shm.create_shm / attach_shm",
+                )
+            elif last == "unlink" and isinstance(node.func, ast.Attribute):
+                receiver = dotted_source(node.func.value).lower()
+                if any(hint in receiver for hint in _SHM_HINTS):
+                    self.report(
+                        node,
+                        f"'{dotted}()' unlinks a segment outside "
+                        "engine/shm.py; use destroy_segment / "
+                        "destroy_segment_by_name",
+                    )
+        if last == "ensure_shared":
+            self._ensure_shared_calls.append(node)
+        elif last == "close":
+            self._has_close_call = True
+        self.generic_visit(node)
+
+    def finish(self) -> None:
+        if self._has_close_call:
+            return
+        for call in self._ensure_shared_calls:
+            self.report(
+                call,
+                "ensure_shared() materializes a segment but this module "
+                "has no close() path for it",
+            )

@@ -1,0 +1,175 @@
+"""The rule framework: per-file visitors and whole-project rules.
+
+Two rule kinds cover everything the suite checks:
+
+:class:`RuleVisitor`
+    An :class:`ast.NodeVisitor` instantiated once per file.  The base
+    class maintains the enclosing ``def``/``class`` stack (so findings
+    can anchor to their scope for pragma suppression) and offers
+    :meth:`RuleVisitor.report` for emitting findings.  Subclasses
+    implement ordinary ``visit_*`` methods.
+
+:class:`ProjectRule`
+    A rule that needs every module's AST at once — cross-module
+    consistency like "every registered executor backend implements the
+    contract".  It receives a :class:`Project` mapping dotted module
+    names to parsed files.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+
+__all__ = ["ModuleFile", "Project", "ProjectRule", "RuleVisitor", "dotted_source"]
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+@dataclass(frozen=True)
+class ModuleFile:
+    """One parsed source file plus the metadata rules key on."""
+
+    path: str
+    module: str
+    tree: ast.Module
+    source: str
+
+
+@dataclass
+class Project:
+    """Every parsed module of one analysis run, keyed by dotted name."""
+
+    modules: dict[str, ModuleFile] = field(default_factory=dict)
+
+    def get(self, module: str) -> ModuleFile | None:
+        return self.modules.get(module)
+
+    def in_package(self, package: str) -> list[ModuleFile]:
+        """Modules inside ``package`` (the package module included)."""
+        prefix = package + "."
+        return [
+            mf
+            for name, mf in sorted(self.modules.items())
+            if name == package or name.startswith(prefix)
+        ]
+
+
+class RuleVisitor(ast.NodeVisitor):
+    """Base class for per-file rules.
+
+    Class attributes declared by subclasses:
+
+    ``rule_id``
+        Kebab-case identifier used in output, pragmas, and baselines.
+    ``description``
+        One-line summary for ``repro check --list-rules``.
+    """
+
+    rule_id: str = ""
+    description: str = ""
+
+    def __init__(self, ctx: ModuleFile) -> None:
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+        self._scope_lines: list[int] = []
+        self._scope_names: list[str] = []
+        self._type_checking_depth = 0
+
+    # -- scope tracking ------------------------------------------------
+    @staticmethod
+    def _is_type_checking(test: ast.expr) -> bool:
+        if isinstance(test, ast.Name):
+            return test.id == "TYPE_CHECKING"
+        if isinstance(test, ast.Attribute):
+            return test.attr == "TYPE_CHECKING"
+        return False
+
+    def visit(self, node: ast.AST) -> None:
+        if isinstance(node, _SCOPE_NODES):
+            self._scope_lines.append(node.lineno)
+            self._scope_names.append(node.name)
+            try:
+                super().visit(node)
+            finally:
+                self._scope_lines.pop()
+                self._scope_names.pop()
+        elif isinstance(node, ast.If) and self._is_type_checking(node.test):
+            # Annotation-only imports create no runtime coupling; rules
+            # that care check ``in_type_checking``.
+            self._type_checking_depth += 1
+            try:
+                for child in node.body:
+                    self.visit(child)
+            finally:
+                self._type_checking_depth -= 1
+            for child in node.orelse:
+                self.visit(child)
+        else:
+            super().visit(node)
+
+    @property
+    def in_type_checking(self) -> bool:
+        """Whether the current node sits inside ``if TYPE_CHECKING:``."""
+        return self._type_checking_depth > 0
+
+    @property
+    def scope_name(self) -> str:
+        """Name of the innermost enclosing def/class ('' at module level)."""
+        return self._scope_names[-1] if self._scope_names else ""
+
+    def in_function_matching(self, predicate: Callable[[str], bool]) -> bool:
+        """Whether any enclosing scope name satisfies ``predicate``."""
+        return any(predicate(name) for name in self._scope_names)
+
+    # -- reporting -----------------------------------------------------
+    def report(self, node: ast.AST, message: str) -> None:
+        """Emit a finding at ``node``, pragma-anchored to its scopes."""
+        line = getattr(node, "lineno", 1)
+        anchors = (line, *self._scope_lines)
+        self.findings.append(
+            Finding(
+                path=self.ctx.path,
+                line=line,
+                col=getattr(node, "col_offset", 0),
+                rule=self.rule_id,
+                message=message,
+                anchor_lines=anchors,
+            )
+        )
+
+    def run(self) -> list[Finding]:
+        self.visit(self.ctx.tree)
+        self.finish()
+        return self.findings
+
+    def finish(self) -> None:
+        """Hook for end-of-file checks (after the whole tree is visited)."""
+
+
+class ProjectRule:
+    """Base class for rules that need the whole project at once."""
+
+    rule_id: str = ""
+    description: str = ""
+
+    def check(self, project: Project) -> list[Finding]:
+        raise NotImplementedError
+
+
+def dotted_source(node: ast.AST) -> str:
+    """Best-effort dotted rendering of an expression (``a.b.c``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_source(node.value)
+        return f"{base}.{node.attr}" if base else node.attr
+    if isinstance(node, ast.Call):
+        return dotted_source(node.func)
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - exotic nodes
+        return ""

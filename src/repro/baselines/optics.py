@@ -29,7 +29,6 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -82,8 +81,8 @@ def optics(
     delta: float,
     minpts: int,
     *,
-    index: Optional[SpatialIndex] = None,
-    counters: Optional[WorkCounters] = None,
+    index: SpatialIndex | None = None,
+    counters: WorkCounters | None = None,
 ) -> OpticsResult:
     """Compute the OPTICS ordering of ``points``.
 

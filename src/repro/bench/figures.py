@@ -21,7 +21,7 @@ Fig. 9    :func:`fig9_makespan`
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -100,7 +100,7 @@ def _cached_reference(
 # ----------------------------------------------------------------------
 # Table I
 # ----------------------------------------------------------------------
-def table1_rows(scale: Optional[float] = None) -> list[dict]:
+def table1_rows(scale: float | None = None) -> list[dict]:
     """Dataset characteristics at the active scale (paper Table I)."""
     from repro.data.registry import DATASETS
 
@@ -123,7 +123,7 @@ def table1_rows(scale: Optional[float] = None) -> list[dict]:
 # ----------------------------------------------------------------------
 # Figures 1-3 — the paper's illustrative figures
 # ----------------------------------------------------------------------
-def fig1_tec_map(scale: Optional[float] = None, *, width: int = 76, height: int = 22) -> str:
+def fig1_tec_map(scale: float | None = None, *, width: int = 76, height: int = 22) -> str:
     """Figure 1: a TEC map and its thresholded point set (ASCII).
 
     The paper's Figure 1 shows a global TEC map with red high-TEC
@@ -165,8 +165,9 @@ def fig2_boundary_discovery(seed: int = 2) -> dict:
     from repro.core.variant_dbscan import variant_dbscan
     from repro.core.variants import Variant
     from repro.index.mbb import augment_mbb, mbb_of_points
+    from repro.util.rng import resolve_rng
 
-    g = np.random.default_rng(seed)
+    g = resolve_rng(seed)
     points = np.vstack(
         [g.normal(0, 0.5, (120, 2)), g.normal([4.0, 0.0], 0.5, (60, 2)),
          g.uniform(-2, 6, (40, 2))]
@@ -224,7 +225,7 @@ def fig3_dependency_example() -> dict:
 # Figure 4 / Table II — the indexing study (scenario S1)
 # ----------------------------------------------------------------------
 def fig4_indexing(
-    scale: Optional[float] = None,
+    scale: float | None = None,
     *,
     configs: Sequence[S1Config] = S1_CONFIGS,
     r_sweep: Sequence[int] = S1_R_SWEEP,
@@ -284,7 +285,7 @@ def fig4_indexing(
 # ----------------------------------------------------------------------
 def fig5_per_variant(
     policy: ReusePolicy,
-    scale: Optional[float] = None,
+    scale: float | None = None,
     *,
     dataset: str = "SW1",
     low_res_r: int = 70,
@@ -311,7 +312,7 @@ def fig5_per_variant(
 
 
 def fig6_scatter(
-    scale: Optional[float] = None,
+    scale: float | None = None,
     *,
     dataset: str = "SW1",
     policies: Sequence[ReusePolicy] = (CLUS_DEFAULT, CLUS_DENSITY, CLUS_PTS_SQUARED),
@@ -342,7 +343,7 @@ def fig6_scatter(
 # Figure 7 — reuse summary across datasets (scenario S2, T = 1)
 # ----------------------------------------------------------------------
 def fig7_summary(
-    scale: Optional[float] = None,
+    scale: float | None = None,
     *,
     datasets: Sequence[str] = S2_CONFIG.datasets,
     policies: Sequence[ReusePolicy] = (CLUS_DEFAULT, CLUS_DENSITY, CLUS_PTS_SQUARED),
@@ -393,7 +394,7 @@ def fig7_summary(
 # Figure 8 — combined indexing + reuse + scheduling (scenario S3, T = 16)
 # ----------------------------------------------------------------------
 def fig8_combined(
-    scale: Optional[float] = None,
+    scale: float | None = None,
     *,
     configs: Sequence[S3Config] = S3_CONFIGS,
     schedulers: Sequence[Scheduler] = (SchedGreedy(), SchedMinpts()),
@@ -445,7 +446,7 @@ def fig8_combined(
 # Figure 9 — makespan timelines (SW1 / V3 / CLUSDENSITY)
 # ----------------------------------------------------------------------
 def fig9_makespan(
-    scale: Optional[float] = None,
+    scale: float | None = None,
     *,
     dataset: str = "SW1",
     variant_set_name: str = "V3",

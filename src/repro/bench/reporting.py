@@ -7,7 +7,8 @@ pulling in a plotting dependency (the environment is offline).
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 __all__ = ["format_table", "fraction_bar", "format_value"]
 

@@ -12,7 +12,6 @@ the benchmark suite's ``REPRO_BENCH_SCALE_HEAVY`` convention.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Optional
 
 from repro.bench import figures as figmod
 from repro.core.reuse import CLUS_DEFAULT, CLUS_DENSITY, CLUS_PTS_SQUARED
@@ -28,12 +27,12 @@ def _md_table(headers, rows) -> str:
 
 
 def run_full_report(
-    scale: Optional[float] = None,
-    heavy_scale: Optional[float] = None,
+    scale: float | None = None,
+    heavy_scale: float | None = None,
     *,
-    output: Optional[str] = None,
+    output: str | None = None,
     quick: bool = False,
-    trace_jsonl: Optional[str] = None,
+    trace_jsonl: str | None = None,
 ) -> str:
     """Regenerate Table I and Figures 3-9; return (and optionally write)
     the Markdown report.
@@ -95,10 +94,10 @@ def run_full_report(
 
 
 def _run_full_report_body(
-    scale: Optional[float],
-    heavy_scale: Optional[float],
+    scale: float | None,
+    heavy_scale: float | None,
     *,
-    output: Optional[str],
+    output: str | None,
     quick: bool,
 ) -> str:
     heavy_scale = heavy_scale if heavy_scale is not None else scale

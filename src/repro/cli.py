@@ -25,6 +25,11 @@ Commands
 ``doctor``
     Audit the shared-memory filesystem for leaked ``repro_*`` segments
     and (with ``--unlink``) remove orphans left by killed processes.
+``check``
+    Run the project-native static analysis suite (layering, RNG
+    discipline, shm lifecycle, wallclock discipline, executor
+    contract, hot-path purity) over the installed package or given
+    paths.
 
 Every command accepts ``--scale`` to control dataset size (see
 DESIGN.md's density-preserving scaling).
@@ -34,8 +39,8 @@ from __future__ import annotations
 
 import argparse
 import sys
+from collections.abc import Sequence
 from pathlib import Path
-from typing import Optional, Sequence
 
 from repro.bench import figures as figmod
 from repro.bench.reporting import format_table, fraction_bar
@@ -51,7 +56,7 @@ from repro.index.rtree import RTree
 __all__ = ["main", "build_parser"]
 
 
-def _load_points(source: str, scale: Optional[float]):
+def _load_points(source: str, scale: float | None):
     """Resolve a dataset argument: registry name or .npz path."""
     if source in DATASETS:
         ds = load_dataset(source, scale)
@@ -205,6 +210,69 @@ def cmd_doctor(args: argparse.Namespace) -> int:
             "run `repro doctor --unlink` to remove them"
         )
     return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro import analysis
+
+    if args.list_rules:
+        for rule in analysis.ALL_RULES:
+            print(f"  {rule.rule_id:<22} {rule.description}")
+        return 0
+    paths = args.paths or [analysis.default_check_root()]
+    baseline = analysis.load_baseline(args.baseline) if args.baseline else set()
+    # Findings (and baseline keys) are relative to the scanned root when
+    # a single directory is checked, so baselines survive checkouts.
+    relative_to = None
+    if len(paths) == 1 and Path(paths[0]).is_dir():
+        relative_to = Path(paths[0]).parent
+    report = analysis.analyze_paths(paths, baseline=baseline, relative_to=relative_to)
+    if args.write_baseline:
+        analysis.write_baseline(args.write_baseline, report.findings)
+        print(
+            f"baseline with {len(report.findings)} finding(s) written to "
+            f"{args.write_baseline}"
+        )
+        return 0
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "findings": [
+                        {
+                            "path": f.path,
+                            "line": f.line,
+                            "col": f.col,
+                            "rule": f.rule,
+                            "message": f.message,
+                        }
+                        for f in report.findings
+                    ],
+                    "baselined": len(report.baselined),
+                    "suppressed": report.suppressed,
+                    "stale_baseline": report.stale_baseline,
+                    "errors": report.errors,
+                }
+            )
+        )
+        return report.exit_code(strict=args.strict)
+    for finding in report.findings:
+        print(analysis.format_finding(finding))
+    for error in report.errors:
+        print(f"error: {error}")
+    parts = [f"{len(report.findings)} finding(s)"]
+    if report.baselined:
+        parts.append(f"{len(report.baselined)} baselined")
+    if report.suppressed:
+        parts.append(f"{report.suppressed} pragma-suppressed")
+    print(", ".join(parts))
+    if args.strict and report.stale_baseline:
+        print("stale baseline entries (fixed findings — prune them):")
+        for key in report.stale_baseline:
+            print(f"  {key}")
+    return report.exit_code(strict=args.strict)
 
 
 def cmd_optics(args: argparse.Namespace) -> int:
@@ -472,6 +540,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="machine-readable output")
     d.set_defaults(func=cmd_doctor)
 
+    a = sub.add_parser(
+        "check",
+        help="run the project-native static analysis suite",
+    )
+    a.add_argument("paths", nargs="*", default=None,
+                   help="files/directories to analyze (default: the "
+                        "installed repro package)")
+    a.add_argument("--baseline", default=None, metavar="FILE",
+                   help="baseline file of grandfathered findings")
+    a.add_argument("--strict", action="store_true",
+                   help="also fail on stale baseline entries, so the "
+                        "baseline can only shrink")
+    a.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    a.add_argument("--write-baseline", default=None, metavar="FILE",
+                   dest="write_baseline",
+                   help="write current findings as the new baseline")
+    a.add_argument("--list-rules", action="store_true", dest="list_rules",
+                   help="list the shipped rules and exit")
+    a.set_defaults(func=cmd_check)
+
     r = sub.add_parser("report", help="regenerate the whole evaluation")
     r.add_argument("--scale", type=float, default=None)
     r.add_argument("--heavy-scale", type=float, default=None, dest="heavy_scale")
@@ -485,7 +574,7 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     return args.func(args)

@@ -41,7 +41,6 @@ Implementation notes
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -52,8 +51,8 @@ from repro.core.variants import Variant
 from repro.index.base import SpatialIndex
 from repro.index.rtree import RTree
 from repro.metrics.counters import WorkCounters
-from repro.obs.span import PhaseClock, Tracer, resolve_tracer
 from repro.util.timing import Stopwatch
+from repro.util.tracing import PhaseClock, Tracer, resolve_tracer
 from repro.util.validation import as_points_array, check_eps, check_minpts
 
 __all__ = ["dbscan", "dbscan_into", "expand_frontier", "DEFAULT_BATCH_SIZE"]
@@ -70,11 +69,11 @@ def dbscan(
     eps: float,
     minpts: int,
     *,
-    index: Optional[SpatialIndex] = None,
-    counters: Optional[WorkCounters] = None,
+    index: SpatialIndex | None = None,
+    counters: WorkCounters | None = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
-    cache: Optional[NeighborhoodCache] = None,
-    tracer: Optional[Tracer] = None,
+    cache: NeighborhoodCache | None = None,
+    tracer: Tracer | None = None,
 ) -> ClusteringResult:
     """Cluster ``points`` with DBSCAN.
 
@@ -169,8 +168,8 @@ def expand_frontier(
     in_seeds: np.ndarray,
     cid: int,
     batch_size: int,
-    old_labels: Optional[np.ndarray] = None,
-    destroyed: Optional[set[int]] = None,
+    old_labels: np.ndarray | None = None,
+    destroyed: set[int] | None = None,
 ) -> None:
     """Breadth-first batched frontier expansion for cluster ``cid``.
 
@@ -227,8 +226,8 @@ def dbscan_into(
     counters: WorkCounters,
     next_cluster_id: int,
     batch_size: int = DEFAULT_BATCH_SIZE,
-    cache: Optional[NeighborhoodCache] = None,
-    phases: Optional[PhaseClock] = None,
+    cache: NeighborhoodCache | None = None,
+    phases: PhaseClock | None = None,
 ) -> int:
     """Run the Algorithm 1 main loop *into* caller-owned state arrays.
 

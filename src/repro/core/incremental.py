@@ -32,7 +32,6 @@ point order dependence) is property-tested in
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -102,7 +101,7 @@ class IncrementalDBSCAN:
         self._raw_labels = np.empty(0, dtype=np.int64)  # union-find ids
         self.core_mask = np.empty(0, dtype=bool)
         self._uf = _UnionFind()
-        self._index: Optional[RTree] = None
+        self._index: RTree | None = None
         self.counters = WorkCounters()
 
     # ------------------------------------------------------------------

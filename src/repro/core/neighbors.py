@@ -32,7 +32,6 @@ memoized (read-only) neighbor array and charges only the search itself
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -49,7 +48,7 @@ def neighbor_search(
     index: SpatialIndex,
     point_idx: int,
     eps: float,
-    counters: Optional[WorkCounters] = None,
+    counters: WorkCounters | None = None,
 ) -> np.ndarray:
     """Return indices of all points within ``eps`` of point ``point_idx``.
 
@@ -76,9 +75,9 @@ class NeighborSearcher:
         self,
         index: SpatialIndex,
         eps: float,
-        counters: Optional[WorkCounters] = None,
+        counters: WorkCounters | None = None,
         *,
-        cache: Optional[NeighborhoodCache] = None,
+        cache: NeighborhoodCache | None = None,
     ) -> None:
         self.index = index
         self.points = index.points

@@ -56,12 +56,12 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.index._ranges import ranges_to_indices
-from repro.obs.span import get_tracer
+from repro.util.tracing import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.index.base import SpatialIndex
@@ -101,7 +101,7 @@ class _EpsEntry:
 
     __slots__ = ("index", "starts", "lengths", "buf", "used", "nbytes")
 
-    def __init__(self, index: "SpatialIndex") -> None:
+    def __init__(self, index: SpatialIndex) -> None:
         self.index = index  # strong ref pins id(index) for the key's lifetime
         n = int(index.points.shape[0])
         self.starts = np.full(n, -1, dtype=np.int64)
@@ -138,7 +138,7 @@ class NeighborhoodCache:
             raise ValueError(f"capacity_bytes must be > 0, got {capacity_bytes}")
         self.capacity_bytes = int(capacity_bytes)
         self._lock = threading.Lock()
-        self._entries: "OrderedDict[tuple[float, int], _EpsEntry]" = OrderedDict()
+        self._entries: OrderedDict[tuple[float, int], _EpsEntry] = OrderedDict()
         self._bytes = 0
         self._hits = 0
         self._misses = 0
@@ -148,7 +148,7 @@ class NeighborhoodCache:
     # lookup / store
     # ------------------------------------------------------------------
     def get_csr(
-        self, eps: float, index: "SpatialIndex", idxs: np.ndarray
+        self, eps: float, index: SpatialIndex, idxs: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Vectorized block lookup: the hit rows of ``idxs``, CSR-packed.
 
@@ -187,7 +187,7 @@ class NeighborhoodCache:
     def put_csr(
         self,
         eps: float,
-        index: "SpatialIndex",
+        index: SpatialIndex,
         idxs: np.ndarray,
         indptr: np.ndarray,
         flat: np.ndarray,
@@ -249,13 +249,13 @@ class NeighborhoodCache:
             )
 
     def get_many(
-        self, eps: float, index: "SpatialIndex", idxs: np.ndarray
-    ) -> list[Optional[np.ndarray]]:
+        self, eps: float, index: SpatialIndex, idxs: np.ndarray
+    ) -> list[np.ndarray | None]:
         """Row-list convenience wrapper over :meth:`get_csr`."""
         idxs = np.asarray(idxs, dtype=np.int64)
         hit_mask, indptr, flat = self.get_csr(eps, index, idxs)
         flat.setflags(write=False)
-        out: list[Optional[np.ndarray]] = [None] * idxs.size
+        out: list[np.ndarray | None] = [None] * idxs.size
         for k, p in enumerate(np.flatnonzero(hit_mask)):
             out[int(p)] = flat[indptr[k] : indptr[k + 1]]
         return out
@@ -263,7 +263,7 @@ class NeighborhoodCache:
     def put_many(
         self,
         eps: float,
-        index: "SpatialIndex",
+        index: SpatialIndex,
         idxs: np.ndarray,
         neighborhoods: list[np.ndarray],
     ) -> None:
@@ -278,7 +278,7 @@ class NeighborhoodCache:
         )
         self.put_csr(eps, index, np.asarray(idxs, dtype=np.int64), indptr, flat)
 
-    def get(self, eps: float, index: "SpatialIndex", idx: int) -> Optional[np.ndarray]:
+    def get(self, eps: float, index: SpatialIndex, idx: int) -> np.ndarray | None:
         """Single-point lookup; returns a read-only copy or ``None``."""
         hit_mask, _, flat = self.get_csr(
             eps, index, np.array([idx], dtype=np.int64)
@@ -288,7 +288,7 @@ class NeighborhoodCache:
         flat.setflags(write=False)
         return flat
 
-    def put(self, eps: float, index: "SpatialIndex", idx: int, arr: np.ndarray) -> None:
+    def put(self, eps: float, index: SpatialIndex, idx: int, arr: np.ndarray) -> None:
         """Single-point store (skipped if the row is already cached)."""
         key = (float(eps), id(index))
         with self._lock:

@@ -18,7 +18,6 @@ results that actually get reused.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -59,10 +58,10 @@ class ClusteringResult:
         labels: np.ndarray,
         core_mask: np.ndarray,
         *,
-        variant: Optional[Variant] = None,
-        counters: Optional[WorkCounters] = None,
+        variant: Variant | None = None,
+        counters: WorkCounters | None = None,
         points_reused: int = 0,
-        reused_from: Optional[Variant] = None,
+        reused_from: Variant | None = None,
         elapsed: float = 0.0,
     ) -> None:
         labels = np.asarray(labels, dtype=np.int64)
@@ -90,8 +89,8 @@ class ClusteringResult:
         self.reused_from = reused_from
         self.elapsed = float(elapsed)
         self._n_clusters = n_clusters
-        self._members: Optional[list[np.ndarray]] = None
-        self._mbbs: Optional[np.ndarray] = None
+        self._members: list[np.ndarray] | None = None
+        self._mbbs: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # basic shape

@@ -32,7 +32,6 @@ ranking needs no failure awareness of its own.
 from __future__ import annotations
 
 import abc
-from typing import Optional
 
 import numpy as np
 
@@ -196,7 +195,7 @@ POLICIES: dict[str, ReusePolicy] = {
 def get_seed_list(
     result: ClusteringResult,
     points: np.ndarray,
-    policy: Optional[ReusePolicy] = None,
+    policy: ReusePolicy | None = None,
     eps: float = 0.0,
 ) -> np.ndarray:
     """Functional wrapper over :meth:`ReusePolicy.get_seed_list`.

@@ -30,7 +30,6 @@ from __future__ import annotations
 import abc
 import threading
 from dataclasses import dataclass
-from typing import Optional
 
 import networkx as nx
 
@@ -106,7 +105,7 @@ class CompletedRegistry:
             except KeyError:
                 raise SchedulingError(f"variant {variant} has not completed") from None
 
-    def completed_variants(self, before: Optional[float] = None) -> list[Variant]:
+    def completed_variants(self, before: float | None = None) -> list[Variant]:
         """Variants finished at or before ``before`` (all when ``None``).
 
         Inclusive comparison: on the simulated clock a worker that
@@ -124,8 +123,8 @@ class CompletedRegistry:
         self,
         variant: Variant,
         vset: VariantSet,
-        before: Optional[float] = None,
-    ) -> Optional[tuple[Variant, ClusteringResult]]:
+        before: float | None = None,
+    ) -> tuple[Variant, ClusteringResult] | None:
         """The completed variant ``variant`` should reuse, if any.
 
         Greedy criterion of SCHEDGREEDY: among completed variants
@@ -156,8 +155,8 @@ class Scheduler(abc.ABC):
         planned: PlannedVariant,
         vset: VariantSet,
         registry: CompletedRegistry,
-        before: Optional[float] = None,
-    ) -> Optional[tuple[Variant, ClusteringResult]]:
+        before: float | None = None,
+    ) -> tuple[Variant, ClusteringResult] | None:
         """Pick the completed result ``planned`` should reuse (or None)."""
         if planned.force_scratch:
             return None

@@ -29,7 +29,6 @@ because the whole point of reuse is to skip those searches.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -42,9 +41,9 @@ from repro.core.variants import Variant
 from repro.index.mbb import augment_mbb, mbb_of_points
 from repro.index.rtree import RTree
 from repro.metrics.counters import WorkCounters
-from repro.obs.span import Tracer, resolve_tracer
 from repro.util.errors import ReuseCriteriaError, ValidationError
 from repro.util.timing import Stopwatch
+from repro.util.tracing import Tracer, resolve_tracer
 from repro.util.validation import as_points_array
 
 __all__ = ["variant_dbscan", "expand_cluster", "DEFAULT_LOW_RES_R"]
@@ -125,15 +124,15 @@ def expand_cluster(
 def variant_dbscan(
     points: np.ndarray,
     variant: Variant,
-    previous: Optional[ClusteringResult] = None,
+    previous: ClusteringResult | None = None,
     *,
-    t_high: Optional[RTree] = None,
-    t_low: Optional[RTree] = None,
+    t_high: RTree | None = None,
+    t_low: RTree | None = None,
     reuse_policy: ReusePolicy = CLUS_DENSITY,
-    counters: Optional[WorkCounters] = None,
+    counters: WorkCounters | None = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
-    cache: Optional[NeighborhoodCache] = None,
-    tracer: Optional[Tracer] = None,
+    cache: NeighborhoodCache | None = None,
+    tracer: Tracer | None = None,
 ) -> ClusteringResult:
     """Cluster ``points`` under ``variant``, reusing ``previous`` if given.
 

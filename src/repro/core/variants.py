@@ -12,8 +12,8 @@ Section IV-D), and parameter-space distances.
 from __future__ import annotations
 
 import itertools
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
 
 from repro.util.errors import ValidationError
 from repro.util.validation import check_eps, check_minpts
@@ -34,7 +34,7 @@ class Variant:
         object.__setattr__(self, "eps", check_eps(self.eps))
         object.__setattr__(self, "minpts", check_minpts(self.minpts))
 
-    def can_reuse(self, other: "Variant") -> bool:
+    def can_reuse(self, other: Variant) -> bool:
         """Inclusion criteria of Section IV-B.
 
         ``self`` may seed its clusters from ``other``'s results iff
@@ -50,7 +50,7 @@ class Variant:
         return self.eps >= other.eps and self.minpts <= other.minpts
 
     def parameter_distance(
-        self, other: "Variant", eps_span: float = 1.0, minpts_span: float = 1.0
+        self, other: Variant, eps_span: float = 1.0, minpts_span: float = 1.0
     ) -> float:
         """Normalized component-wise parameter difference.
 
@@ -95,7 +95,7 @@ class VariantSet:
     @classmethod
     def from_product(
         cls, eps_values: Sequence[float], minpts_values: Sequence[int]
-    ) -> "VariantSet":
+    ) -> VariantSet:
         """Build ``V = A x B`` from eps values ``A`` and minpts values ``B``.
 
         This is exactly the notation of Section V-B, used by every
@@ -106,7 +106,7 @@ class VariantSet:
         )
 
     @classmethod
-    def from_pairs(cls, pairs: Iterable[tuple[float, int]]) -> "VariantSet":
+    def from_pairs(cls, pairs: Iterable[tuple[float, int]]) -> VariantSet:
         """Build from explicit ``(eps, minpts)`` tuples."""
         return cls(Variant(e, m) for e, m in pairs)
 

@@ -19,7 +19,6 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Optional, Union
 
 import numpy as np
 
@@ -37,7 +36,7 @@ __all__ = [
     "write_cluster_summary_csv",
 ]
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 _FORMAT_VERSION = 1
 
@@ -46,8 +45,8 @@ def save_dataset(
     path: PathLike,
     points: np.ndarray,
     *,
-    truth: Optional[np.ndarray] = None,
-    metadata: Optional[dict] = None,
+    truth: np.ndarray | None = None,
+    metadata: dict | None = None,
 ) -> Path:
     """Write a point database (and optional ground truth) to ``.npz``.
 
@@ -74,7 +73,7 @@ def save_dataset(
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
-def load_dataset_file(path: PathLike) -> tuple[np.ndarray, Optional[np.ndarray], dict]:
+def load_dataset_file(path: PathLike) -> tuple[np.ndarray, np.ndarray | None, dict]:
     """Load a dataset written by :func:`save_dataset`.
 
     Returns ``(points, truth_or_None, metadata)``.

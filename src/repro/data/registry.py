@@ -36,7 +36,6 @@ import math
 import os
 import zlib
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -84,7 +83,7 @@ class DatasetSpec:
     name: str
     kind: str
     full_size: int
-    noise: Optional[float] = None
+    noise: float | None = None
 
     @property
     def seed(self) -> int:
@@ -98,7 +97,7 @@ class LoadedDataset:
 
     spec: DatasetSpec
     points: np.ndarray
-    truth: Optional[np.ndarray]
+    truth: np.ndarray | None
     scale: float
 
     @property
@@ -153,7 +152,7 @@ DATASETS: dict[str, DatasetSpec] = _table1()
 _cache: dict[tuple[str, float], LoadedDataset] = {}
 
 
-def dataset_names(kind: Optional[str] = None) -> list[str]:
+def dataset_names(kind: str | None = None) -> list[str]:
     """Registry names, optionally filtered by class (``cF``/``cV``/``SW``)."""
     return [n for n, s in DATASETS.items() if kind is None or s.kind == kind]
 
@@ -173,7 +172,7 @@ def default_scale() -> float:
 
 
 def load_dataset(
-    name: str, scale: Optional[float] = None, *, cache: bool = True
+    name: str, scale: float | None = None, *, cache: bool = True
 ) -> LoadedDataset:
     """Generate (or fetch from cache) a Table I dataset at the given scale.
 

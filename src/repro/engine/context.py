@@ -22,7 +22,7 @@ the stack without cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -81,25 +81,25 @@ class RunContext:
         checkpointing.
     """
 
-    store: "PointStore"
-    indexes: "IndexPair"
-    scheduler: "Scheduler"
-    reuse_policy: "ReusePolicy"
-    cost_model: "CostModel"
+    store: PointStore
+    indexes: IndexPair
+    scheduler: Scheduler
+    reuse_policy: ReusePolicy
+    cost_model: CostModel
     n_threads: int = 1
     batch_size: int = 0
-    cache: Optional["NeighborhoodCache"] = None
-    tracer: "Tracer" = field(repr=False, default=None)  # type: ignore[assignment]
+    cache: NeighborhoodCache | None = None
+    tracer: Tracer = field(repr=False, default=None)  # type: ignore[assignment]
     dataset: str = ""
-    retry_policy: Optional["RetryPolicy"] = None
-    fault_plan: Optional["FaultPlan"] = None
-    checkpoint: Optional["CheckpointStore"] = None
+    retry_policy: RetryPolicy | None = None
+    fault_plan: FaultPlan | None = None
+    checkpoint: CheckpointStore | None = None
 
     @property
     def points(self) -> np.ndarray:
         """The read-only point array (convenience for ``store.points``)."""
         return self.store.points
 
-    def with_(self, **changes) -> "RunContext":
+    def with_(self, **changes) -> RunContext:
         """A copy with the given fields replaced (contexts are frozen)."""
         return replace(self, **changes)

@@ -20,7 +20,7 @@ Also here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -74,7 +74,7 @@ class IndexPair:
     @classmethod
     def build(
         cls, points: np.ndarray, low_res_r: int = DEFAULT_LOW_RES_R, *, fanout: int = 16
-    ) -> "IndexPair":
+    ) -> IndexPair:
         return cls(
             t_high=RTree(points, r=1, fanout=fanout),
             t_low=RTree(points, r=low_res_r, fanout=fanout),
@@ -93,7 +93,7 @@ class IndexFactory:
     """
 
     def __init__(self) -> None:
-        self._cache: dict[tuple, "SpatialIndex"] = {}
+        self._cache: dict[tuple, SpatialIndex] = {}
 
     def __len__(self) -> int:
         return len(self._cache)
@@ -107,9 +107,9 @@ class IndexFactory:
         store: PointStore,
         kind: str,
         *,
-        tracer: Optional[Tracer] = None,
+        tracer: Tracer | None = None,
         **params,
-    ) -> "SpatialIndex":
+    ) -> SpatialIndex:
         """The memoized index of ``kind`` over ``store`` with ``params``.
 
         ``kind`` is one of :data:`INDEX_KINDS`; ``params`` are the
@@ -145,7 +145,7 @@ class IndexFactory:
         low_res_r: int = DEFAULT_LOW_RES_R,
         *,
         fanout: int = 16,
-        tracer: Optional[Tracer] = None,
+        tracer: Tracer | None = None,
     ) -> IndexPair:
         """Memoized ``(T_high, T_low)`` pair for Algorithm 3."""
         return IndexPair(
@@ -179,8 +179,8 @@ class IndexPairHandle:
 
 
 def share_index_pair(
-    indexes: IndexPair, *, tracer: Optional[Tracer] = None
-) -> tuple["shared_memory.SharedMemory", IndexPairHandle]:
+    indexes: IndexPair, *, tracer: Tracer | None = None
+) -> tuple[shared_memory.SharedMemory, IndexPairHandle]:
     """Pack a built pair's flat arrays into one owned shared segment.
 
     The two trees' bin-sort permutations are usually the same object
@@ -209,8 +209,8 @@ def attach_index_pair(
     handle: IndexPairHandle,
     points: np.ndarray,
     *,
-    tracer: Optional[Tracer] = None,
-) -> tuple["shared_memory.SharedMemory", IndexPair]:
+    tracer: Tracer | None = None,
+) -> tuple[shared_memory.SharedMemory, IndexPair]:
     """Reattach a shared pair as zero-copy tree shells in this process.
 
     ``points`` is the (typically also shared) database the trees were

@@ -30,7 +30,7 @@ a worker raises.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING
 
 from repro.core.dbscan import DEFAULT_BATCH_SIZE
 from repro.core.neighcache import NeighborhoodCache
@@ -46,8 +46,11 @@ from repro.util.errors import SessionClosedError
 from repro.util.validation import check_positive_int
 
 if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
     from repro.exec.base import BaseExecutor, BatchResult
     from repro.exec.cost import CostModel
+    from repro.index.base import SpatialIndex
     from repro.resilience.checkpoint import CheckpointStore
     from repro.resilience.faults import FaultPlan
     from repro.resilience.policy import RetryPolicy
@@ -55,7 +58,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["Session"]
 
 
-def _as_scheduler(value: Union[str, Scheduler, None]) -> Optional[Scheduler]:
+def _as_scheduler(value: str | Scheduler | None) -> Scheduler | None:
     if value is None or isinstance(value, Scheduler):
         return value
     try:
@@ -66,7 +69,7 @@ def _as_scheduler(value: Union[str, Scheduler, None]) -> Optional[Scheduler]:
         ) from None
 
 
-def _as_policy(value: Union[str, ReusePolicy, None]) -> Optional[ReusePolicy]:
+def _as_policy(value: str | ReusePolicy | None) -> ReusePolicy | None:
     if value is None or isinstance(value, ReusePolicy):
         return value
     try:
@@ -106,17 +109,17 @@ class Session:
 
     def __init__(
         self,
-        points,
+        points: np.ndarray | PointStore,
         *,
         dataset: str = "",
         low_res_r: int = DEFAULT_LOW_RES_R,
         fanout: int = 16,
-        scheduler: Union[str, Scheduler, None] = None,
-        reuse_policy: Union[str, ReusePolicy] = CLUS_DENSITY,
-        cost_model: Optional["CostModel"] = None,
+        scheduler: str | Scheduler | None = None,
+        reuse_policy: str | ReusePolicy = CLUS_DENSITY,
+        cost_model: CostModel | None = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
         cache_bytes: int = 0,
-        tracer: Optional[Tracer] = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if cost_model is None:
             from repro.exec.cost import DEFAULT_COST_MODEL
@@ -138,7 +141,7 @@ class Session:
 
     # -- derived state --------------------------------------------------
     @property
-    def points(self):
+    def points(self) -> np.ndarray:
         return self.store.points
 
     @property
@@ -150,7 +153,7 @@ class Session:
         return self._closed
 
     def indexes(
-        self, low_res_r: Optional[int] = None, *, fanout: Optional[int] = None
+        self, low_res_r: int | None = None, *, fanout: int | None = None
     ) -> IndexPair:
         """The memoized ``(T_high, T_low)`` pair at the given resolution."""
         return self.factory.index_pair(
@@ -160,14 +163,18 @@ class Session:
             tracer=resolve_tracer(self.tracer),
         )
 
-    def index(self, kind: str, **params):
+    def index(self, kind: str, **params: object) -> SpatialIndex:
         """A memoized single index of ``kind`` (rtree/grid/kdtree/brute)."""
         return self.factory.get(
             self.store, kind, tracer=resolve_tracer(self.tracer), **params
         )
 
     # -- execution ------------------------------------------------------
-    def _resolve_executor(self, executor, kwargs: dict) -> "BaseExecutor":
+    def _resolve_executor(
+        self,
+        executor: str | BaseExecutor | type | None,
+        kwargs: dict,
+    ) -> BaseExecutor:
         from repro.exec import EXECUTORS
         from repro.exec.base import BaseExecutor
 
@@ -193,18 +200,18 @@ class Session:
     def context(
         self,
         *,
-        executor: Optional["BaseExecutor"] = None,
-        scheduler: Union[str, Scheduler, None] = None,
-        policy: Union[str, ReusePolicy, None] = None,
-        n_threads: Optional[int] = None,
-        low_res_r: Optional[int] = None,
-        batch_size: Optional[int] = None,
-        cache_bytes: Optional[int] = None,
-        cost_model: Optional["CostModel"] = None,
-        dataset: Optional[str] = None,
-        retry_policy: Optional["RetryPolicy"] = None,
-        fault_plan: Optional["FaultPlan"] = None,
-        checkpoint: Optional["CheckpointStore"] = None,
+        executor: BaseExecutor | None = None,
+        scheduler: str | Scheduler | None = None,
+        policy: str | ReusePolicy | None = None,
+        n_threads: int | None = None,
+        low_res_r: int | None = None,
+        batch_size: int | None = None,
+        cache_bytes: int | None = None,
+        cost_model: CostModel | None = None,
+        dataset: str | None = None,
+        retry_policy: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+        checkpoint: CheckpointStore | None = None,
     ) -> RunContext:
         """Assemble the :class:`RunContext` for one run.
 
@@ -257,21 +264,21 @@ class Session:
 
     def run(
         self,
-        variants,
+        variants: VariantSet,
         *,
-        executor: Union[str, "BaseExecutor", type, None] = None,
-        scheduler: Union[str, Scheduler, None] = None,
-        policy: Union[str, ReusePolicy, None] = None,
-        n_threads: Optional[int] = None,
-        low_res_r: Optional[int] = None,
-        batch_size: Optional[int] = None,
-        cache_bytes: Optional[int] = None,
-        cost_model: Optional["CostModel"] = None,
-        dataset: Optional[str] = None,
-        retry_policy: Optional["RetryPolicy"] = None,
-        fault_plan: Optional["FaultPlan"] = None,
-        resume: Union[str, Path, "CheckpointStore", None] = None,
-    ) -> "BatchResult":
+        executor: str | BaseExecutor | type | None = None,
+        scheduler: str | Scheduler | None = None,
+        policy: str | ReusePolicy | None = None,
+        n_threads: int | None = None,
+        low_res_r: int | None = None,
+        batch_size: int | None = None,
+        cache_bytes: int | None = None,
+        cost_model: CostModel | None = None,
+        dataset: str | None = None,
+        retry_policy: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+        resume: str | Path | CheckpointStore | None = None,
+    ) -> BatchResult:
         """Execute every variant and return the batch result.
 
         ``executor`` may be a backend name (``serial`` / ``simulated``
@@ -322,7 +329,9 @@ class Session:
         finally:
             self._active_runs -= 1
 
-    def _resolve_checkpoint(self, resume) -> Optional["CheckpointStore"]:
+    def _resolve_checkpoint(
+        self, resume: str | Path | CheckpointStore | None
+    ) -> CheckpointStore | None:
         """A :class:`CheckpointStore` for this database, or ``None``."""
         if resume is None:
             return None
@@ -366,10 +375,10 @@ class Session:
 
             reclaim_segments([segment])
 
-    def __enter__(self) -> "Session":
+    def __enter__(self) -> Session:
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         if not self._closed:
             self.close()
 

@@ -29,12 +29,13 @@ creator.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import secrets
 import threading
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 from multiprocessing import resource_tracker, shared_memory
-from typing import Iterable, Optional
 
 import numpy as np
 
@@ -43,10 +44,13 @@ __all__ = [
     "attach_arrays",
     "attach_shm",
     "create_shm",
+    "destroy_segment",
+    "destroy_segment_by_name",
     "discard_segment",
     "owned_segments",
     "pack_arrays",
     "reclaim_segments",
+    "release_segment",
     "segment_exists",
     "shm_name",
 ]
@@ -118,7 +122,7 @@ def segment_exists(name: str) -> bool:
     return True  # pragma: no cover
 
 
-def reclaim_segments(names: Optional[Iterable[str]] = None) -> list[str]:
+def reclaim_segments(names: Iterable[str] | None = None) -> list[str]:
     """Owner-side leak audit: unlink any still-existing owned segments.
 
     ``names`` restricts the audit (e.g. to the segments one batch
@@ -131,18 +135,54 @@ def reclaim_segments(names: Optional[Iterable[str]] = None) -> list[str]:
     targets = list(names) if names is not None else owned_segments()
     reclaimed: list[str] = []
     for name in targets:
-        if not segment_exists(name):
-            discard_segment(name)
-            continue
-        try:
-            stale = attach_shm(name)
-            stale.close()
-            stale.unlink()
+        if segment_exists(name) and destroy_segment_by_name(name):
             reclaimed.append(name)
-        except FileNotFoundError:  # pragma: no cover - raced another closer
-            pass
         discard_segment(name)
     return reclaimed
+
+
+def release_segment(shm: shared_memory.SharedMemory) -> None:
+    """Unmap ``shm`` in this process, tolerating exported views.
+
+    A NumPy view built over the buffer keeps the mapping exported;
+    the OS releases it at process exit, and (for owners) a following
+    :func:`destroy_segment` still removes the segment *name*.
+    """
+    with contextlib.suppress(BufferError):
+        shm.close()
+
+
+def destroy_segment(shm: shared_memory.SharedMemory) -> None:
+    """Owner-side teardown: unlink the segment and clear the audit entry.
+
+    Only the creating process may call this (attachers only ever
+    :func:`release_segment`).  Tolerates a segment already removed —
+    a crashed owner cleaned up by the OS, or a test's explicit unlink.
+    """
+    with contextlib.suppress(FileNotFoundError):
+        shm.unlink()
+    discard_segment(shm.name)
+
+
+def destroy_segment_by_name(name: str) -> bool:
+    """Attach-and-destroy a segment by name; False if already gone.
+
+    The escape hatch for the orphan reaper (``repro doctor --unlink``)
+    tearing down segments whose creating process died without running
+    its normal lifecycle.  Never call on a live owner's segment.
+    """
+    try:
+        shm = attach_shm(name)
+    except FileNotFoundError:
+        return False
+    release_segment(shm)
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - raced another closer
+        return False
+    finally:
+        discard_segment(name)
+    return True
 
 
 def attach_shm(name: str) -> shared_memory.SharedMemory:
@@ -158,10 +198,8 @@ def attach_shm(name: str) -> shared_memory.SharedMemory:
     so a worker's *unregister* would delete the creator's registration
     and make the eventual unlink double-unregister).
     """
-    try:
+    with contextlib.suppress(TypeError):
         return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
-    except TypeError:
-        pass
     original_register = resource_tracker.register
     resource_tracker.register = lambda *a, **k: None  # type: ignore[assignment]
     try:
@@ -223,7 +261,7 @@ def pack_arrays(
 
 def attach_arrays(
     handle: ArrayPackHandle,
-    shm: Optional[shared_memory.SharedMemory] = None,
+    shm: shared_memory.SharedMemory | None = None,
 ) -> tuple[shared_memory.SharedMemory, dict[str, np.ndarray]]:
     """Zero-copy read-only views of a pack in this process.
 

@@ -28,14 +28,22 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.engine.shm import attach_shm, create_shm, discard_segment
+from repro.engine.shm import (
+    attach_shm,
+    create_shm,
+    destroy_segment,
+    release_segment,
+)
 from repro.index.binsort import binsort_order
 from repro.obs.span import Tracer, resolve_tracer
 from repro.util.validation import as_points_array
+
+if TYPE_CHECKING:  # pragma: no cover
+    from multiprocessing import shared_memory
 
 __all__ = ["PointStore", "PointStoreHandle", "SPAN_SHM_ATTACH"]
 
@@ -77,8 +85,8 @@ class PointStore:
         self,
         points: np.ndarray,
         *,
-        fingerprint: Optional[str] = None,
-        _shm=None,
+        fingerprint: str | None = None,
+        _shm: shared_memory.SharedMemory | None = None,
         _owner: bool = True,
     ) -> None:
         base = as_points_array(points)
@@ -95,14 +103,14 @@ class PointStore:
 
     # -- construction ---------------------------------------------------
     @classmethod
-    def from_points(cls, points) -> "PointStore":
+    def from_points(cls, points: np.ndarray | PointStore) -> PointStore:
         """Validate ``points`` and wrap them (no shared memory yet)."""
         if isinstance(points, PointStore):
             return points
         return cls(points)
 
     @classmethod
-    def attach(cls, handle: PointStoreHandle, *, tracer: Optional[Tracer] = None) -> "PointStore":
+    def attach(cls, handle: PointStoreHandle, *, tracer: Tracer | None = None) -> PointStore:
         """Map a shared database created elsewhere (zero-copy, read-only).
 
         The returned store does **not** own the segment: closing it
@@ -151,7 +159,7 @@ class PointStore:
         return self._shm is not None
 
     @property
-    def segment_name(self) -> Optional[str]:
+    def segment_name(self) -> str | None:
         """Name of the materialized shared segment, if any."""
         return self._shm.name if self._shm is not None else None
 
@@ -159,7 +167,7 @@ class PointStore:
     def owns_segment(self) -> bool:
         return self._shm is not None and self._owner
 
-    def ensure_shared(self, *, tracer: Optional[Tracer] = None) -> PointStoreHandle:
+    def ensure_shared(self, *, tracer: Tracer | None = None) -> PointStoreHandle:
         """Materialize the shared segment (idempotent) and describe it.
 
         First call copies the database into a fresh owned segment and
@@ -205,25 +213,18 @@ class PointStore:
         # drop them so the mapping can actually be released.
         self._points = np.empty((0, 2))
         self._orders.clear()
-        try:
-            self._shm.close()
-        except BufferError:
-            # A caller-held view (an index built over the shared buffer)
-            # still exports the mapping; the OS releases it at process
-            # exit.  The unlink below still removes the segment name.
-            pass
+        # A caller-held view (an index built over the shared buffer) may
+        # still export the mapping; release tolerates that (the OS
+        # reclaims at exit) and destroy still removes the segment name.
+        release_segment(self._shm)
         if self._owner:
-            try:
-                self._shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - already removed
-                pass
-            discard_segment(self._shm.name)
+            destroy_segment(self._shm)
         self._shm = None
 
-    def __enter__(self) -> "PointStore":
+    def __enter__(self) -> PointStore:
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -18,7 +18,6 @@ indexes alive across runs (see ``docs/ARCHITECTURE.md``).
 """
 
 import warnings
-from typing import Optional
 
 import numpy as np
 
@@ -60,7 +59,7 @@ EXECUTORS: dict[str, type[BaseExecutor]] = {
 def run_variants(
     points: np.ndarray,
     variants: VariantSet,
-    executor: Optional[BaseExecutor] = None,
+    executor: BaseExecutor | None = None,
     *,
     dataset: str = "",
 ) -> BatchResult:

@@ -9,7 +9,6 @@ record — is identical and lives here, driven entirely by the run's
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.core.result import ClusteringResult
 from repro.core.scheduling import CompletedRegistry, PlannedVariant
@@ -29,8 +28,8 @@ def execute_variant(
     vset: VariantSet,
     registry: CompletedRegistry,
     *,
-    concurrency: Optional[int] = None,
-    before: Optional[float] = None,
+    concurrency: int | None = None,
+    before: float | None = None,
 ) -> tuple[ClusteringResult, VariantRunRecord]:
     """Run one planned variant and return its result and run record.
 

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -80,7 +80,7 @@ class BatchResult:
 
     results: dict[Variant, ClusteringResult]
     record: BatchRunRecord
-    report: Optional["BatchReport"] = None
+    report: BatchReport | None = None
 
     def __getitem__(self, variant: Variant) -> ClusteringResult:
         return self.results[variant]
@@ -133,13 +133,13 @@ class BaseExecutor(abc.ABC):
         self,
         n_threads: int = 1,
         *,
-        scheduler: Optional[Scheduler] = None,
+        scheduler: Scheduler | None = None,
         reuse_policy: ReusePolicy = CLUS_DENSITY,
         low_res_r: int = DEFAULT_LOW_RES_R,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         batch_size: int = DEFAULT_BATCH_SIZE,
         cache_bytes: int = 0,
-        tracer: Optional[Tracer] = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.n_threads = check_positive_int(n_threads, name="n_threads")
         self.scheduler = scheduler if scheduler is not None else SchedGreedy()
@@ -154,7 +154,7 @@ class BaseExecutor(abc.ABC):
             raise ValueError(f"cache_bytes must be >= 0, got {cache_bytes}")
         self.tracer = tracer
 
-    def _build_cache(self) -> Optional[NeighborhoodCache]:
+    def _build_cache(self) -> NeighborhoodCache | None:
         """One fresh neighborhood cache per batch, or ``None`` if disabled."""
         if self.cache_bytes <= 0:
             return None
@@ -165,7 +165,7 @@ class BaseExecutor(abc.ABC):
         return resolve_tracer(self.tracer)
 
     @staticmethod
-    def _trace_cache_stats(tracer: Tracer, cache: Optional[NeighborhoodCache]) -> None:
+    def _trace_cache_stats(tracer: Tracer, cache: NeighborhoodCache | None) -> None:
         """Emit the batch's final cache statistics as an instant event."""
         if cache is None or not tracer.enabled:
             return
@@ -205,7 +205,7 @@ class BaseExecutor(abc.ABC):
         points: np.ndarray,
         variants: VariantSet,
         *,
-        indexes: Optional[IndexPair] = None,
+        indexes: IndexPair | None = None,
         dataset: str = "",
     ) -> BatchResult:
         """Compatibility entry point over a bare point array.

@@ -19,8 +19,8 @@ run of memory-bound work, or keep the paper-derived 2.4.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 

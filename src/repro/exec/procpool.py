@@ -39,7 +39,6 @@ from __future__ import annotations
 import time
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures import ProcessPoolExecutor
-from typing import Optional
 
 from repro.core.reuse import POLICIES
 from repro.core.scheduling import (
@@ -55,7 +54,7 @@ from repro.engine.factory import (
     attach_index_pair,
     share_index_pair,
 )
-from repro.engine.shm import reclaim_segments
+from repro.engine.shm import destroy_segment, release_segment
 from repro.engine.store import PointStore, PointStoreHandle
 from repro.exec.base import BaseExecutor, BatchResult
 from repro.exec.cost import CostModel
@@ -136,9 +135,9 @@ def _worker(
     batch_size: int,
     cache_bytes: int,
     trace: bool,
-    retry_policy: Optional[RetryPolicy] = None,
-    fault_plan: Optional[BoundFaultPlan] = None,
-    checkpoint_root: Optional[str] = None,
+    retry_policy: RetryPolicy | None = None,
+    fault_plan: BoundFaultPlan | None = None,
+    checkpoint_root: str | None = None,
 ):
     """Run one group serially inside a worker process.
 
@@ -167,7 +166,10 @@ def _worker(
     allow_kill_faults(True)
     tracer = Tracer() if trace else None
     set_tracer(tracer)
-    start = time.time() - t0
+    # perf_counter is monotonic *and* system-wide, so the parent's t0
+    # is directly comparable here (unlike time.time, which can step
+    # under NTP between the parent's stamp and ours).
+    start = time.perf_counter() - t0
     perf_start = time.perf_counter()
     store = PointStore.attach(store_handle, tracer=tracer)
     idx_shm, indexes = attach_index_pair(idx_handle, store.points, tracer=tracer)
@@ -199,12 +201,9 @@ def _worker(
         # Drop every view into the segments before unmapping; both
         # closes tolerate lingering exports (OS reclaims at exit).
         del ctx, indexes
-        try:
-            idx_shm.close()
-        except BufferError:  # pragma: no cover - view still exported
-            pass
+        release_segment(idx_shm)
         store.close()
-    finish = time.time() - t0
+    finish = time.perf_counter() - t0
     # Re-stamp the work-unit timestamps onto the worker's wall window.
     span = finish - start
     total = batch.record.makespan or 1.0
@@ -286,7 +285,7 @@ class ProcessPoolExecutorBackend(BaseExecutor):
             budget = policy.deadline_s * longest * policy.max_attempts + 30.0
         else:
             budget = None
-        t0 = time.time()
+        t0 = time.perf_counter()
         pending = list(range(len(groups)))
         submissions = dict.fromkeys(pending, 0)
 
@@ -373,18 +372,10 @@ class ProcessPoolExecutorBackend(BaseExecutor):
             # The pack exists only for this batch; remove it even when a
             # worker raised.  (The point segment belongs to the store's
             # owner — the session or the compatibility run() shim.)
-            try:
-                idx_shm.close()
-            except BufferError:  # pragma: no cover - view still exported
-                pass
-            try:
-                idx_shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - already removed
-                pass
-            # Owner-side audit: the unlink above removes the segment,
-            # this drops it from the process's owned-set so later audits
-            # (Session.close, the test leak gate) see a clean registry.
-            reclaim_segments([idx_shm.name])
+            # destroy also drops the segment from the owned-set audit,
+            # so later leak gates (Session.close, CI doctor) stay clean.
+            release_segment(idx_shm)
+            destroy_segment(idx_shm)
         makespan = max((r.finish for r in records), default=0.0)
         batch_record = BatchRunRecord(
             records=records, n_threads=ctx.n_threads, makespan=makespan

@@ -12,7 +12,6 @@ paper studies stays observable.
 from __future__ import annotations
 
 import abc
-from typing import Optional
 
 import numpy as np
 
@@ -49,7 +48,7 @@ class SpatialIndex(abc.ABC):
 
     @abc.abstractmethod
     def query_candidates(
-        self, mbb: np.ndarray, counters: Optional[WorkCounters] = None
+        self, mbb: np.ndarray, counters: WorkCounters | None = None
     ) -> np.ndarray:
         """Return indices of points that *may* intersect the query MBB.
 
@@ -64,8 +63,8 @@ class SpatialIndex(abc.ABC):
         duplicates).
         """
 
-    def query_candidates_batch(
-        self, mbbs: np.ndarray, counters: Optional[WorkCounters] = None
+    def query_candidates_batch(  # repro: allow[hot-path-purity] scalar reference fallback
+        self, mbbs: np.ndarray, counters: WorkCounters | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Candidates for a whole block of query MBBs, CSR-encoded.
 
@@ -102,7 +101,7 @@ class SpatialIndex(abc.ABC):
             np.concatenate(rows) if indptr[-1] else np.empty(0, dtype=np.int64)
         )
 
-    def query_candidates_batch_visits(
+    def query_candidates_batch_visits(  # repro: allow[hot-path-purity] scalar reference fallback
         self, mbbs: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Batch query plus *per-query* node-visit counts; charges nothing.
@@ -134,7 +133,7 @@ class SpatialIndex(abc.ABC):
         )
 
     def query_rect(
-        self, mbb: np.ndarray, counters: Optional[WorkCounters] = None
+        self, mbb: np.ndarray, counters: WorkCounters | None = None
     ) -> np.ndarray:
         """Return indices of points lying exactly inside the closed MBB.
 

@@ -8,7 +8,6 @@ test suite compares real indexes against.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -31,14 +30,14 @@ class BruteForceIndex(SpatialIndex):
         self._all = np.arange(self.points.shape[0], dtype=np.int64)
 
     def query_candidates(
-        self, mbb: np.ndarray, counters: Optional[WorkCounters] = None
+        self, mbb: np.ndarray, counters: WorkCounters | None = None
     ) -> np.ndarray:
         if counters is not None:
             counters.index_nodes_visited += 1
         return self._all
 
     def query_candidates_batch(
-        self, mbbs: np.ndarray, counters: Optional[WorkCounters] = None
+        self, mbbs: np.ndarray, counters: WorkCounters | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Every query's candidate row is the full database."""
         mbbs = np.asarray(mbbs, dtype=np.float64).reshape(-1, 4)

@@ -15,7 +15,6 @@ dict probes.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -72,7 +71,7 @@ class UniformGridIndex(SpatialIndex):
         (astronomical coordinates / tiny cells), ``_enc`` stays ``None``
         and the batch query falls back to the scalar probe loop.
         """
-        self._enc: Optional[np.ndarray] = None
+        self._enc: np.ndarray | None = None
         keys = self._cell_keys
         if keys.shape[0] == 0:
             return
@@ -106,7 +105,7 @@ class UniformGridIndex(SpatialIndex):
         return -1
 
     def query_candidates(
-        self, mbb: np.ndarray, counters: Optional[WorkCounters] = None
+        self, mbb: np.ndarray, counters: WorkCounters | None = None
     ) -> np.ndarray:
         """All points in cells overlapping the query MBB.
 
@@ -139,7 +138,7 @@ class UniformGridIndex(SpatialIndex):
         return self._order[ranges_to_indices(starts, counts)]
 
     def query_candidates_batch(
-        self, mbbs: np.ndarray, counters: Optional[WorkCounters] = None
+        self, mbbs: np.ndarray, counters: WorkCounters | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Batched cell probes: one ``searchsorted`` for every query's cells.
 

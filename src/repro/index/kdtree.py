@@ -16,7 +16,6 @@ uniformly.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -98,7 +97,7 @@ class KDTree(SpatialIndex):
         return len(self._split_axis)
 
     def query_candidates(
-        self, mbb: np.ndarray, counters: Optional[WorkCounters] = None
+        self, mbb: np.ndarray, counters: WorkCounters | None = None
     ) -> np.ndarray:
         """Point indices in leaves whose region overlaps the query MBB."""
         if self._root < 0:
@@ -134,7 +133,7 @@ class KDTree(SpatialIndex):
         return np.concatenate(out)
 
     def query_candidates_batch(
-        self, mbbs: np.ndarray, counters: Optional[WorkCounters] = None
+        self, mbbs: np.ndarray, counters: WorkCounters | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Level-synchronous descent for a block of query MBBs.
 
@@ -161,7 +160,7 @@ class KDTree(SpatialIndex):
 
     def _batch_descend(
         self, mbbs: np.ndarray, *, track_visits: bool
-    ) -> tuple[np.ndarray, np.ndarray, int, Optional[np.ndarray]]:
+    ) -> tuple[np.ndarray, np.ndarray, int, np.ndarray | None]:
         mbbs = np.asarray(mbbs, dtype=np.float64).reshape(-1, 4)
         m = mbbs.shape[0]
         visits = np.zeros(m, dtype=np.int64) if track_visits else None

@@ -24,7 +24,6 @@ Two instances configured as ``T_high = RTree(points, r=1)`` and
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -93,7 +92,7 @@ class RTree(SpatialIndex):
         fanout: int = 16,
         bin_width: float = 1.0,
         presort: bool = True,
-        order: Optional[np.ndarray] = None,
+        order: np.ndarray | None = None,
     ) -> None:
         self.points = as_points_array(points)
         self.r = check_positive_int(r, name="r")
@@ -143,7 +142,7 @@ class RTree(SpatialIndex):
         fanout: int,
         bin_width: float,
         arrays: dict[str, np.ndarray],
-    ) -> "RTree":
+    ) -> RTree:
         """Rebuild a tree *shell* from already-built flat arrays.
 
         ``arrays`` is exactly what :attr:`shareable_arrays` returned
@@ -233,7 +232,7 @@ class RTree(SpatialIndex):
     # queries
     # ------------------------------------------------------------------
     def query_candidates(
-        self, mbb: np.ndarray, counters: Optional[WorkCounters] = None
+        self, mbb: np.ndarray, counters: WorkCounters | None = None
     ) -> np.ndarray:
         """Indices of points inside leaf MBBs overlapping the query MBB.
 
@@ -279,7 +278,7 @@ class RTree(SpatialIndex):
         return self._leaf_point_indices(nodes)
 
     def query_candidates_batch(
-        self, mbbs: np.ndarray, counters: Optional[WorkCounters] = None
+        self, mbbs: np.ndarray, counters: WorkCounters | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized-across-queries descent for a block of query MBBs.
 
@@ -312,7 +311,7 @@ class RTree(SpatialIndex):
 
     def _batch_descend(
         self, mbbs: np.ndarray, *, track_visits: bool
-    ) -> tuple[np.ndarray, np.ndarray, int, Optional[np.ndarray]]:
+    ) -> tuple[np.ndarray, np.ndarray, int, np.ndarray | None]:
         mbbs = np.ascontiguousarray(np.asarray(mbbs, dtype=np.float64).reshape(-1, 4))
         m = mbbs.shape[0]
         visits = np.zeros(m, dtype=np.int64) if track_visits else None
@@ -327,7 +326,9 @@ class RTree(SpatialIndex):
         nodes = np.tile(self._root_ids, m)
         visited = 0
         last = self.height - 1
-        for depth in range(self.height):
+        # Per-*level* loop (O(height), not O(points)): each iteration
+        # filters the whole frontier with one broadcasted interval test.
+        for depth in range(self.height):  # repro: allow[hot-path-purity]
             visited += nodes.size
             if nodes.size == 0:
                 break
@@ -362,7 +363,7 @@ class RTree(SpatialIndex):
         return indptr, indices, int(visited), visits
 
     def query_rect(
-        self, mbb: np.ndarray, counters: Optional[WorkCounters] = None
+        self, mbb: np.ndarray, counters: WorkCounters | None = None
     ) -> np.ndarray:
         """Exact rectangle query.
 

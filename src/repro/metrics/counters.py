@@ -76,17 +76,17 @@ class WorkCounters:
     neigh_cache_misses: int = 0
     neigh_cache_bytes: int = 0
 
-    def merge(self, other: "WorkCounters") -> "WorkCounters":
+    def merge(self, other: WorkCounters) -> WorkCounters:
         """Add ``other``'s tallies into ``self`` and return ``self``."""
         for f in fields(self):
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
         return self
 
-    def snapshot(self) -> "WorkCounters":
+    def snapshot(self) -> WorkCounters:
         """Return an independent copy of the current tallies."""
         return WorkCounters(**{f.name: getattr(self, f.name) for f in fields(self)})
 
-    def diff(self, baseline: "WorkCounters") -> "WorkCounters":
+    def diff(self, baseline: WorkCounters) -> WorkCounters:
         """Return ``self - baseline`` (work done since ``baseline`` was taken)."""
         return WorkCounters(
             **{f.name: getattr(self, f.name) - getattr(baseline, f.name) for f in fields(self)}
@@ -112,5 +112,5 @@ class WorkCounters:
         """
         return self.index_nodes_visited + self.candidates_examined + self.points_reused
 
-    def __add__(self, other: "WorkCounters") -> "WorkCounters":
+    def __add__(self, other: WorkCounters) -> WorkCounters:
         return self.snapshot().merge(other)

@@ -14,7 +14,6 @@ executor — and records carry both where available.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -53,7 +52,7 @@ class VariantRunRecord:
     """
 
     variant: Variant
-    reused_from: Optional[Variant] = None
+    reused_from: Variant | None = None
     points_reused: int = 0
     reuse_fraction: float = 0.0
     response_time: float = 0.0

@@ -30,7 +30,6 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
 
 from repro.metrics.counters import WorkCounters
 from repro.obs.registry import MetricsRegistry
@@ -38,7 +37,7 @@ from repro.obs.span import SpanRecord
 
 __all__ = ["write_jsonl", "read_jsonl", "write_chrome_trace"]
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 
 def write_jsonl(path: PathLike, registry: MetricsRegistry) -> None:

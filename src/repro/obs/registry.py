@@ -17,7 +17,7 @@ per-phase breakdowns.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.metrics.counters import WorkCounters
 from repro.obs.span import PHASE_PREFIX, SpanRecord, Tracer
@@ -54,7 +54,7 @@ class MetricsRegistry:
         self.spans: list[SpanRecord] = []
         self.variant_rows: list[dict] = []
         self.totals = WorkCounters()
-        self.cache: Optional[dict] = None
+        self.cache: dict | None = None
         self.meta: dict = {}
 
     # ------------------------------------------------------------------
@@ -63,9 +63,9 @@ class MetricsRegistry:
     @classmethod
     def from_batch(
         cls,
-        batch: "BatchResult",
-        tracer: Optional[Tracer] = None,
-    ) -> "MetricsRegistry":
+        batch: BatchResult,
+        tracer: Tracer | None = None,
+    ) -> MetricsRegistry:
         """Build a registry from a finished batch and its tracer.
 
         ``tracer`` contributes the span records (pass the tracer the
@@ -144,7 +144,7 @@ class MetricsRegistry:
                 seen.setdefault(s.name[len(PHASE_PREFIX):], None)
         return list(seen)
 
-    def phase_totals(self, variant: Optional[str] = None) -> dict[str, float]:
+    def phase_totals(self, variant: str | None = None) -> dict[str, float]:
         """Total seconds per phase, optionally for one variant label."""
         out: dict[str, float] = {}
         for s in self.spans:
@@ -274,7 +274,7 @@ class MetricsRegistry:
         write_chrome_trace(path, self)
 
     @classmethod
-    def load_jsonl(cls, path) -> "MetricsRegistry":
+    def load_jsonl(cls, path) -> MetricsRegistry:
         """Round-trip loader for :meth:`to_jsonl` output."""
         from repro.obs.export import read_jsonl
 

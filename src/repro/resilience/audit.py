@@ -24,8 +24,8 @@ from __future__ import annotations
 
 import os
 from dataclasses import asdict, dataclass
-from multiprocessing import shared_memory
-from typing import Optional
+
+from repro.engine.shm import destroy_segment_by_name
 
 __all__ = [
     "SHM_DIR",
@@ -54,7 +54,7 @@ class SegmentInfo:
 
     name: str
     size: int
-    pid: Optional[int]
+    pid: int | None
     alive: bool
 
     @property
@@ -78,7 +78,7 @@ def pid_alive(pid: int) -> bool:
     return True
 
 
-def _parse_pid(name: str) -> Optional[int]:
+def _parse_pid(name: str) -> int | None:
     # repro_<pid>_<hex>[_tag]
     parts = name.split("_")
     if len(parts) < 3:
@@ -115,14 +115,11 @@ def scan_segments(shm_dir: str = SHM_DIR) -> list[SegmentInfo]:
 
 
 def unlink_segment(name: str) -> bool:
-    """Remove one segment by name; returns False if already gone."""
-    try:
-        shm = shared_memory.SharedMemory(name=name)
-    except FileNotFoundError:
-        return False
-    shm.close()
-    try:
-        shm.unlink()
-    except FileNotFoundError:  # pragma: no cover - raced another closer
-        return False
-    return True
+    """Remove one segment by name; returns False if already gone.
+
+    Routed through :func:`repro.engine.shm.destroy_segment_by_name` so
+    the attach suppresses resource-tracker adoption and the owned-set
+    audit stays consistent (the shm-lifecycle rule forbids tearing
+    down segments any other way).
+    """
+    return destroy_segment_by_name(name)

@@ -22,7 +22,6 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Optional, Union
 
 import numpy as np
 
@@ -57,7 +56,7 @@ class CheckpointStore:
         Database size, used to audit loaded entries.
     """
 
-    def __init__(self, root: Union[str, Path], fingerprint: str, n_points: int) -> None:
+    def __init__(self, root: str | Path, fingerprint: str, n_points: int) -> None:
         self.root = Path(root)
         self.fingerprint = str(fingerprint)
         self.n_points = int(n_points)
@@ -65,7 +64,7 @@ class CheckpointStore:
         try:
             self.dir.mkdir(parents=True, exist_ok=True)
         except OSError as exc:  # pragma: no cover - bad permissions/path
-            raise CheckpointError(f"cannot create checkpoint dir {self.dir}: {exc}")
+            raise CheckpointError(f"cannot create checkpoint dir {self.dir}: {exc}") from exc
 
     def path_for(self, variant: Variant) -> Path:
         return self.dir / _entry_name(variant)
@@ -100,11 +99,11 @@ class CheckpointStore:
             os.replace(tmp, target)
         except OSError as exc:
             tmp.unlink(missing_ok=True)
-            raise CheckpointError(f"cannot write checkpoint entry {target}: {exc}")
+            raise CheckpointError(f"cannot write checkpoint entry {target}: {exc}") from exc
         return target
 
     # -- reading --------------------------------------------------------
-    def load(self, variant: Variant) -> Optional[ClusteringResult]:
+    def load(self, variant: Variant) -> ClusteringResult | None:
         """The checkpointed result for ``variant``, or None.
 
         A missing entry returns None; an unreadable or

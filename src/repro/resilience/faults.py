@@ -39,8 +39,8 @@ from __future__ import annotations
 
 import os
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Optional, Sequence
 
 import numpy as np
 
@@ -166,7 +166,7 @@ class FaultPlan:
         n_corruptions: int = 0,
         hang_s: float = 0.1,
         seed: SeedLike = None,
-    ) -> "FaultPlan":
+    ) -> FaultPlan:
         """A seeded random plan over ``n_variants`` distinct targets.
 
         Each fault lands on a distinct variant index (sampled without
@@ -198,7 +198,7 @@ class FaultPlan:
                 )
         return cls(specs)
 
-    def bind(self, vset: VariantSet) -> "BoundFaultPlan":
+    def bind(self, vset: VariantSet) -> BoundFaultPlan:
         """Resolve index-keyed specs against a concrete variant set.
 
         Specs whose index falls outside the set are ignored (a plan may
@@ -219,10 +219,10 @@ class BoundFaultPlan:
 
     table: dict
 
-    def find(self, variant: Variant, attempt: int, phase: str) -> Optional[FaultSpec]:
+    def find(self, variant: Variant, attempt: int, phase: str) -> FaultSpec | None:
         return self.table.get((variant.as_tuple(), attempt, phase))
 
-    def shifted(self, offset: int) -> "BoundFaultPlan":
+    def shifted(self, offset: int) -> BoundFaultPlan:
         """The plan as seen by a resubmitted worker group.
 
         A group resubmitted after a worker death starts its local
@@ -251,8 +251,8 @@ class BoundFaultPlan:
         self,
         spec: FaultSpec,
         *,
-        deadline_s: Optional[float] = None,
-        started_at: Optional[float] = None,
+        deadline_s: float | None = None,
+        started_at: float | None = None,
     ) -> None:
         """Execute a ``start``-phase fault (crash / hang / kill).
 

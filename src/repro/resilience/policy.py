@@ -19,7 +19,6 @@ group budget that terminates and respawns a wedged worker (see
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.util.errors import ValidationError
 
@@ -48,7 +47,7 @@ class RetryPolicy:
     """
 
     max_retries: int = 2
-    deadline_s: Optional[float] = None
+    deadline_s: float | None = None
     backoff_base_s: float = 0.0
     backoff_factor: float = 2.0
     backoff_max_s: float = 1.0

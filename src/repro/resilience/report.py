@@ -27,7 +27,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional
 
 from repro.core.variants import Variant
 
@@ -67,8 +66,8 @@ class VariantOutcome:
     variant: Variant
     status: VariantStatus
     attempts: int = 1
-    error: Optional[str] = None
-    replanned_from: Optional[Variant] = None
+    error: str | None = None
+    replanned_from: Variant | None = None
 
 
 @dataclass
@@ -123,7 +122,7 @@ class BatchReport:
         """True when every variant produced a result (none failed)."""
         return not self.failed
 
-    def merge(self, other: "BatchReport") -> None:
+    def merge(self, other: BatchReport) -> None:
         """Fold in another report (process-pool workers report per group)."""
         self.outcomes.update(other.outcomes)
 

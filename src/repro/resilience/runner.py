@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.core.scheduling import CompletedRegistry, PlannedVariant, dependency_tree
 from repro.core.variants import VariantSet
@@ -101,7 +101,7 @@ class ResilientRunner:
     from every worker; outcome accounting locks internally.
     """
 
-    def __init__(self, ctx: "RunContext", vset: VariantSet) -> None:
+    def __init__(self, ctx: RunContext, vset: VariantSet) -> None:
         self.ctx = ctx
         self.vset = vset
         plan = ctx.fault_plan
@@ -111,7 +111,7 @@ class ResilientRunner:
             plan.bind(vset) if plan is not None and hasattr(plan, "bind") else plan
         )
         if ctx.retry_policy is not None:
-            self.policy: Optional[RetryPolicy] = ctx.retry_policy
+            self.policy: RetryPolicy | None = ctx.retry_policy
         elif self.faults:
             # Faults without an explicit policy: capture failures into
             # the report (no retries) instead of aborting the batch.
@@ -175,9 +175,9 @@ class ResilientRunner:
         planned: PlannedVariant,
         registry: CompletedRegistry,
         *,
-        concurrency: Optional[int] = None,
-        before: Optional[float] = None,
-    ) -> tuple[Optional["ClusteringResult"], Optional[VariantRunRecord]]:
+        concurrency: int | None = None,
+        before: float | None = None,
+    ) -> tuple[ClusteringResult | None, VariantRunRecord | None]:
         """Run one variant under the retry/deadline/fault regime.
 
         Returns ``(result, record)`` on success and ``(None, None)``
@@ -193,7 +193,7 @@ class ResilientRunner:
         policy = self.policy if self.policy is not None else RetryPolicy(max_retries=0)
         tracer = resolve_tracer(self.ctx.tracer)
         variant = planned.variant
-        last_error: Optional[BaseException] = None
+        last_error: BaseException | None = None
         for attempt in range(policy.max_attempts):
             if attempt > 0:
                 pause = policy.backoff_s(attempt - 1)
@@ -253,10 +253,10 @@ class ResilientRunner:
         registry: CompletedRegistry,
         attempt: int,
         *,
-        concurrency: Optional[int],
-        before: Optional[float],
+        concurrency: int | None,
+        before: float | None,
         policy: RetryPolicy,
-    ) -> tuple["ClusteringResult", VariantRunRecord]:
+    ) -> tuple[ClusteringResult, VariantRunRecord]:
         """One execution attempt: faults, kernel, audit, deadline check."""
         variant = planned.variant
         t0 = time.perf_counter()
@@ -308,7 +308,7 @@ class ResilientRunner:
                 )
                 tracer.instant(EVENT_FAILED, variant=str(v), error=error)
 
-    def report(self) -> Optional[BatchReport]:
+    def report(self) -> BatchReport | None:
         """The batch's :class:`BatchReport`, or None when disabled."""
         if not self.enabled:
             return None

@@ -23,7 +23,6 @@ epochs and are then closed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -70,7 +69,7 @@ class ClusterTrack:
         """Number of epochs the track was actually observed."""
         return len(self.observations)
 
-    def velocity(self) -> Optional[np.ndarray]:
+    def velocity(self) -> np.ndarray | None:
         """Mean drift per epoch, least-squares over the track's history.
 
         Returns ``None`` for single-observation tracks.  Units are
@@ -86,7 +85,7 @@ class ClusterTrack:
             return None
         return (t[:, None] * (c - c.mean(axis=0))).sum(axis=0) / denom
 
-    def speed(self) -> Optional[float]:
+    def speed(self) -> float | None:
         v = self.velocity()
         return None if v is None else float(np.linalg.norm(v))
 

@@ -9,11 +9,10 @@ runs, so nothing in the library ever calls the global NumPy RNG.
 
 from __future__ import annotations
 
-from typing import Union
 
 import numpy as np
 
-SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+SeedLike = None | int | np.random.Generator | np.random.SeedSequence
 
 
 def resolve_rng(seed: SeedLike = None) -> np.random.Generator:

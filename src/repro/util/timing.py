@@ -33,7 +33,7 @@ class Stopwatch:
     _t0: float = field(default=0.0, repr=False)
     _running: bool = field(default=False, repr=False)
 
-    def start(self) -> "Stopwatch":
+    def start(self) -> Stopwatch:
         if self._running:
             raise RuntimeError("Stopwatch already running")
         self._t0 = time.perf_counter()
@@ -55,7 +55,7 @@ class Stopwatch:
         self.laps = 0
         self._running = False
 
-    def __enter__(self) -> "Stopwatch":
+    def __enter__(self) -> Stopwatch:
         return self.start()
 
     def __exit__(self, *exc) -> None:

@@ -14,7 +14,7 @@ All functions return strings; nothing here prints or requires a TTY.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -28,7 +28,7 @@ _SHADES = " .:-=+*#%@"
 
 def scatter(
     points: np.ndarray,
-    labels: Optional[np.ndarray] = None,
+    labels: np.ndarray | None = None,
     *,
     width: int = 72,
     height: int = 24,

@@ -15,11 +15,11 @@ import pytest
 
 from repro.cli import main
 from repro.core.dbscan import dbscan
+from repro.core.variants import VariantSet
 from repro.exec.procpool import ProcessPoolExecutorBackend
 from repro.exec.serial import SerialExecutor
 from repro.exec.simulated import SimulatedExecutor
 from repro.exec.threadpool import ThreadPoolExecutorBackend
-from repro.core.variants import VariantSet
 from repro.obs import (
     PHASE_PREFIX,
     MetricsRegistry,

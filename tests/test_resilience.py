@@ -25,6 +25,7 @@ Covers the resilience subsystem end to end:
 
 from __future__ import annotations
 
+import contextlib
 import glob
 import json
 import multiprocessing
@@ -587,19 +588,15 @@ def orphan_segment():
     name = f"repro_{_dead_pid()}_feed01"
     seg = shared_memory.SharedMemory(create=True, size=64, name=name)
     seg.close()
-    try:
+    with contextlib.suppress(Exception):
         from multiprocessing import resource_tracker
 
         resource_tracker.unregister(seg._name, "shared_memory")
-    except Exception:
-        pass
     yield name
-    try:
+    with contextlib.suppress(FileNotFoundError):
         stale = shared_memory.SharedMemory(name=name)
         stale.close()
         stale.unlink()
-    except FileNotFoundError:
-        pass
 
 
 class TestAudit:
