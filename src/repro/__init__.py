@@ -37,6 +37,7 @@ from repro.core import (
     Scheduler,
     Variant,
     VariantSet,
+    cellgraph_dbscan,
     dbscan,
     dependency_tree,
     variant_dbscan,
@@ -57,7 +58,7 @@ from repro.exec import (
     ProcessPoolExecutorBackend,
     run_variants,
 )
-from repro.index import BruteForceIndex, RTree, UniformGridIndex
+from repro.index import BruteForceIndex, CellGraphIndex, RTree, UniformGridIndex
 from repro.metrics import (
     BatchRunRecord,
     VariantRunRecord,
@@ -82,6 +83,7 @@ __all__ = [
     "VariantSet",
     "ClusteringResult",
     "dbscan",
+    "cellgraph_dbscan",
     "variant_dbscan",
     "NeighborSearcher",
     "NeighborhoodCache",
@@ -96,6 +98,7 @@ __all__ = [
     "RTree",
     "BruteForceIndex",
     "UniformGridIndex",
+    "CellGraphIndex",
     "WorkCounters",
     "quality_score",
     "VariantRunRecord",

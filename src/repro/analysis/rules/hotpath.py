@@ -14,27 +14,53 @@ Flagged inside ``repro/index/`` modules:
 * ``.tolist()`` calls anywhere (they materialize a Python list per
   element).
 
-Per-*level* loops (an R-tree descent iterates ``range(height)``) and
-the documented scalar reference fallbacks are legitimate — they take
-a ``# repro: allow[hot-path-purity]`` pragma on the loop or on the
-enclosing ``def`` line, which doubles as reviewer-visible
-documentation that the loop is not per-point.
+Level-synchronous loops are recognized as pure: a ``for`` over
+``range(...)`` whose bound names a tree *height*, *depth*, or *level*
+(``range(self.height)``, ``range(tree.depth + 1)``) iterates O(height)
+times — each pass filters a whole frontier with broadcasted array ops —
+so it is exactly the vectorized shape this rule protects, not a
+per-point walk.  Anything else (the documented scalar reference
+fallbacks) takes a ``# repro: allow[hot-path-purity]`` pragma on the
+loop or on the enclosing ``def`` line, which doubles as
+reviewer-visible documentation that the loop is not per-point.
 """
 
 from __future__ import annotations
 
 import ast
 
-from repro.analysis.visitor import ModuleFile, RuleVisitor
+from repro.analysis.visitor import ModuleFile, RuleVisitor, dotted_source
 
 __all__ = ["HotPathPurityRule"]
 
 _KERNEL_PACKAGE = "repro.index"
 _COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+#: Identifier words marking a ``range(...)`` bound as O(height), not O(n).
+_LEVEL_WORDS = ("height", "heights", "depth", "depths", "level", "levels")
 
 
 def _in_batch_scope(name: str) -> bool:
     return "batch" in name
+
+
+def _is_level_synchronous(node: ast.For | ast.AsyncFor) -> bool:
+    """Whether the loop iterates ``range(<tree height/depth/level>)``.
+
+    The bound's rendered source must *name* a level quantity as a whole
+    identifier component (``self.height``, ``n_levels``); a per-point
+    bound like ``range(len(points))`` never matches.
+    """
+    it = node.iter
+    if not (isinstance(it, ast.Call) and dotted_source(it.func) == "range"):
+        return False
+    if not it.args or it.keywords:
+        return False
+    for arg in it.args:
+        text = dotted_source(arg).lower()
+        parts = [p for piece in text.replace(".", " ").split() for p in piece.split("_")]
+        if any(word in parts for word in _LEVEL_WORDS):
+            return True
+    return False
 
 
 class HotPathPurityRule(RuleVisitor):
@@ -59,11 +85,13 @@ class HotPathPurityRule(RuleVisitor):
             )
 
     def visit_For(self, node: ast.For) -> None:
-        self._check_loop(node, "for loop")
+        if not _is_level_synchronous(node):
+            self._check_loop(node, "for loop")
         self.generic_visit(node)
 
     def visit_AsyncFor(self, node: ast.AsyncFor) -> None:  # pragma: no cover
-        self._check_loop(node, "for loop")
+        if not _is_level_synchronous(node):
+            self._check_loop(node, "for loop")
         self.generic_visit(node)
 
     def visit_Call(self, node: ast.Call) -> None:

@@ -11,6 +11,9 @@ Layout:
   returning structured rows; the scripts in ``benchmarks/`` are thin
   wrappers that print them (and register pytest-benchmark timings).
 * :mod:`repro.bench.reporting` — plain-text table rendering.
+* :mod:`repro.bench.snapshot` — machine-readable ``BENCH_*.json``
+  snapshots (schema ``repro-bench-snapshot/v1``) with a validating
+  writer/reader pair for the CI bench-smoke job.
 
 Every harness function takes a ``scale`` so the test suite can exercise
 the full pipeline on tiny datasets.
@@ -37,6 +40,12 @@ from repro.bench.scenarios import (
     s2_variant_set,
     s3_variant_set,
 )
+from repro.bench.snapshot import (
+    make_snapshot,
+    read_snapshot,
+    validate_snapshot,
+    write_snapshot,
+)
 
 __all__ = [
     "table1_rows",
@@ -58,4 +67,8 @@ __all__ = [
     "S3_CONFIGS",
     "s2_variant_set",
     "s3_variant_set",
+    "make_snapshot",
+    "read_snapshot",
+    "validate_snapshot",
+    "write_snapshot",
 ]

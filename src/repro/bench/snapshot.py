@@ -1,0 +1,163 @@
+"""Machine-readable benchmark snapshots (``BENCH_*.json``).
+
+The ablation benches print human tables into ``benchmarks/out/``; CI
+and the repo history additionally want a stable, diffable record of the
+headline numbers.  This module defines that record — the
+``repro-bench-snapshot/v1`` schema — plus a validating writer/reader
+pair, so schema drift fails loudly in the bench-smoke CI job instead of
+silently producing unreadable artifacts.
+
+Snapshot layout::
+
+    {
+      "schema": "repro-bench-snapshot/v1",
+      "bench": "index",                     # which ablation produced it
+      "workload": {"dataset": "SW1", "eps": 0.5, "minpts": 4, ...},
+      "n": 186462,                          # database size (points)
+      "git_rev": "68a4152",                 # commit of the measured tree
+      "rows": [
+        {"kind": "cellgraph", "wall_s": 0.062, "counters": {...}},
+        ...
+      ]
+    }
+
+``rows[*].kind`` names the measured configuration (an index kind for
+the index ablation, an engine configuration for the batch ablation);
+``counters`` is a :meth:`~repro.metrics.counters.WorkCounters.as_dict`
+mapping and may be empty for wall-clock-only rows.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "SCHEMA",
+    "SnapshotSchemaError",
+    "git_rev",
+    "make_snapshot",
+    "read_snapshot",
+    "validate_snapshot",
+    "write_snapshot",
+]
+
+#: Schema identifier stamped into (and required of) every snapshot.
+SCHEMA = "repro-bench-snapshot/v1"
+
+_TOP_KEYS = ("schema", "bench", "workload", "n", "git_rev", "rows")
+_ROW_KEYS = ("kind", "wall_s", "counters")
+
+
+class SnapshotSchemaError(ValueError):
+    """A snapshot does not conform to :data:`SCHEMA`."""
+
+
+def git_rev(repo: str | Path | None = None) -> str:
+    """Short commit hash of ``repo`` (default: cwd), or ``"unknown"``.
+
+    Benchmarks must run from exported tarballs too, so every failure
+    mode (no git binary, not a repository, empty history) degrades to
+    the sentinel instead of raising.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(repo) if repo is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def make_snapshot(
+    bench: str,
+    *,
+    workload: dict[str, Any],
+    n: int,
+    rows: list[dict[str, Any]],
+    rev: str | None = None,
+) -> dict[str, Any]:
+    """Assemble (and validate) a snapshot dict for ``bench``."""
+    snap = {
+        "schema": SCHEMA,
+        "bench": str(bench),
+        "workload": dict(workload),
+        "n": int(n),
+        "git_rev": rev if rev is not None else git_rev(),
+        "rows": [dict(r) for r in rows],
+    }
+    validate_snapshot(snap)
+    return snap
+
+
+def validate_snapshot(snap: Any) -> dict[str, Any]:
+    """Check ``snap`` against the v1 schema; raise on any drift.
+
+    Returns the snapshot unchanged so callers can validate inline:
+    ``rows = validate_snapshot(json.load(f))["rows"]``.
+    """
+    if not isinstance(snap, dict):
+        raise SnapshotSchemaError(f"snapshot must be an object, got {type(snap).__name__}")
+    missing = [k for k in _TOP_KEYS if k not in snap]
+    if missing:
+        raise SnapshotSchemaError(f"snapshot missing keys: {missing}")
+    if snap["schema"] != SCHEMA:
+        raise SnapshotSchemaError(
+            f"schema mismatch: expected {SCHEMA!r}, got {snap['schema']!r}"
+        )
+    if not isinstance(snap["bench"], str) or not snap["bench"]:
+        raise SnapshotSchemaError("'bench' must be a non-empty string")
+    if not isinstance(snap["workload"], dict):
+        raise SnapshotSchemaError("'workload' must be an object")
+    if not isinstance(snap["n"], int) or isinstance(snap["n"], bool) or snap["n"] < 0:
+        raise SnapshotSchemaError(f"'n' must be a non-negative int, got {snap['n']!r}")
+    if not isinstance(snap["git_rev"], str) or not snap["git_rev"]:
+        raise SnapshotSchemaError("'git_rev' must be a non-empty string")
+    if not isinstance(snap["rows"], list) or not snap["rows"]:
+        raise SnapshotSchemaError("'rows' must be a non-empty list")
+    for i, row in enumerate(snap["rows"]):
+        if not isinstance(row, dict):
+            raise SnapshotSchemaError(f"rows[{i}] must be an object")
+        row_missing = [k for k in _ROW_KEYS if k not in row]
+        if row_missing:
+            raise SnapshotSchemaError(f"rows[{i}] missing keys: {row_missing}")
+        if not isinstance(row["kind"], str) or not row["kind"]:
+            raise SnapshotSchemaError(f"rows[{i}].kind must be a non-empty string")
+        wall = row["wall_s"]
+        if not isinstance(wall, (int, float)) or isinstance(wall, bool) or wall < 0:
+            raise SnapshotSchemaError(
+                f"rows[{i}].wall_s must be a non-negative number, got {wall!r}"
+            )
+        counters = row["counters"]
+        if not isinstance(counters, dict) or not all(
+            isinstance(k, str)
+            and isinstance(v, int)
+            and not isinstance(v, bool)
+            for k, v in counters.items()
+        ):
+            raise SnapshotSchemaError(
+                f"rows[{i}].counters must map str -> int, got {counters!r}"
+            )
+    return snap
+
+
+def write_snapshot(path: str | Path, snap: dict[str, Any]) -> Path:
+    """Validate ``snap`` and write it as pretty-printed JSON."""
+    validate_snapshot(snap)
+    path = Path(path)
+    path.write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_snapshot(path: str | Path) -> dict[str, Any]:
+    """Load and validate a snapshot file."""
+    with open(path, encoding="utf-8") as fh:
+        return validate_snapshot(json.load(fh))

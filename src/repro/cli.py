@@ -50,6 +50,8 @@ from repro.core.scheduling import SCHEDULERS
 from repro.core.variants import VariantSet
 from repro.data import io as data_io
 from repro.data.registry import DATASETS, load_dataset
+from repro.engine.context import KERNELS
+from repro.engine.factory import INDEX_KINDS
 from repro.exec import EXECUTORS
 from repro.index.rtree import RTree
 
@@ -86,13 +88,34 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_cluster_index(points, kind: str, args: argparse.Namespace):
+    """Build the ``cluster`` command's index for the chosen kind."""
+    if kind == "rtree":
+        return RTree(points, r=args.r)
+    if kind == "cellgraph":
+        from repro.index.cellgraph import CellGraphIndex
+
+        return CellGraphIndex(points, args.eps)
+    if kind == "grid":
+        from repro.index.grid import UniformGridIndex
+
+        return UniformGridIndex(points, cell_width=args.eps)
+    if kind == "kdtree":
+        from repro.index.kdtree import KDTree
+
+        return KDTree(points)
+    from repro.index.brute import BruteForceIndex
+
+    return BruteForceIndex(points)
+
+
 def cmd_cluster(args: argparse.Namespace) -> int:
     points, name = _load_points(args.dataset, args.scale)
-    index = RTree(points, r=args.r)
+    index = _build_cluster_index(points, args.index, args)
     result = dbscan(points, args.eps, args.minpts, index=index)
     print(
         f"{name}: {result.n_points} points -> {result.n_clusters} clusters, "
-        f"{result.n_noise} noise ({result.elapsed:.2f}s, r={args.r})"
+        f"{result.n_noise} noise ({result.elapsed:.2f}s, index={args.index})"
     )
     if args.save:
         data_io.save_result(args.save, result)
@@ -126,6 +149,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             variants,
             executor=args.executor,
             n_threads=args.threads,
+            kernel=args.kernel,
             retry_policy=retry_policy,
             resume=args.resume,
         )
@@ -467,6 +491,12 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--eps", type=float, required=True)
     c.add_argument("--minpts", type=int, required=True)
     c.add_argument("--r", type=int, default=70, help="points per leaf MBB")
+    c.add_argument(
+        "--index",
+        choices=sorted(INDEX_KINDS),
+        default="rtree",
+        help="spatial index kind (cellgraph selects the grid-cell kernel)",
+    )
     c.add_argument("--scale", type=float, default=None)
     c.add_argument("--save", default=None, help="save labels to .npz")
     c.add_argument("--summary", default=None, help="write per-cluster CSV")
@@ -480,6 +510,12 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--threads", type=int, default=1)
     s.add_argument("--scheduler", choices=sorted(SCHEDULERS), default="SCHEDGREEDY")
     s.add_argument("--policy", choices=sorted(POLICIES), default="CLUSDENSITY")
+    s.add_argument(
+        "--kernel",
+        choices=list(KERNELS),
+        default="bfs",
+        help="from-scratch clustering kernel (bfs or cellgraph)",
+    )
     s.add_argument("--r", type=int, default=70)
     s.add_argument("--scale", type=float, default=None)
     s.add_argument("--resume", default=None, metavar="DIR",

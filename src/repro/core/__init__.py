@@ -14,6 +14,7 @@ Module map (paper section in parentheses):
   SCHEDMINPTS (IV-D).
 """
 
+from repro.core.cellgraph import cellgraph_dbscan
 from repro.core.dbscan import DEFAULT_BATCH_SIZE, dbscan
 from repro.core.neighbors import NeighborSearcher, neighbor_search
 from repro.core.neighcache import NeighborhoodCache
@@ -43,6 +44,7 @@ __all__ = [
     "NeighborhoodCache",
     "neighbor_search",
     "dbscan",
+    "cellgraph_dbscan",
     "DEFAULT_BATCH_SIZE",
     "variant_dbscan",
     "ReusePolicy",

@@ -1,0 +1,353 @@
+"""Cell-graph exact DBSCAN: whole-cell operations instead of per-point BFS.
+
+Every other execution path in the library answers DBSCAN with one
+epsilon-search per point.  This kernel (the grid formulation of Wang,
+Gu & Shun, arXiv:1912.06255) sidesteps that hot path entirely:
+
+1. **Bin** the database into ``eps / sqrt(2)`` cells
+   (:class:`~repro.index.cellgraph.CellGraphIndex`).  A cell's diameter
+   is at most ``eps``, so any cell holding ``minpts`` or more points is
+   **all core without a single distance computation**.
+2. **Resolve** the remaining core flags with one batched epsilon search
+   over the sparse-cell points (every non-core point lives in a sparse
+   cell, so the same CSR rows later answer border assignment for free).
+3. **Connect** core cells: two core cells are linked iff some core
+   point of one lies within ``eps`` of a core point of the other, which
+   confines candidates to the 24-cell closed-ball neighborhood.  A
+   representative quick-accept (the directional extreme core points of
+   each cell) resolves almost every genuinely-linked pair with one
+   distance; only the survivors pay a chunked full core-product test,
+   and only while their cells are still in different components.
+4. **Merge** linked cells through a vectorized union-find — a
+   path-halving ``np.ndarray`` parent forest hooked by edge-list passes
+   (``np.minimum.at``), no per-point Python loops.
+5. **Assign** border points from the step-2 CSR rows: the minimum
+   cluster id among a point's core neighbors.
+
+Exactness: the output is *byte-identical* to the BFS path
+(:func:`repro.core.dbscan.dbscan`), not merely equivalent up to
+relabeling.  The BFS outer scan founds each cluster at its minimum core
+point index (a cluster's core points are never visited by another
+cluster's expansion), so BFS cluster ids ascend with that minimum; and
+a border point keeps the label of the *first* expansion that reaches it,
+i.e. the minimum id among clusters owning a core neighbor.  Numbering
+components by the rank of their minimum core index and taking the
+minimum id over core neighbors therefore reproduces the BFS labels and
+core mask exactly (the closed predicate ``d^2 <= eps^2`` is shared with
+:class:`~repro.core.neighbors.NeighborSearcher`).
+
+Work accounting: dense-cell core marking is free by construction; the
+sparse pass charges through :class:`NeighborSearcher` as usual; cell
+probes charge ``index_nodes_visited`` and every cell-pair distance test
+charges ``candidates_examined`` / ``distance_computations``.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from repro.core.neighbors import NeighborSearcher
+from repro.core.neighcache import NeighborhoodCache
+from repro.core.result import NOISE, ClusteringResult
+from repro.core.variants import Variant
+from repro.index.cellgraph import POSITIVE_OFFSETS, CellGraphIndex
+from repro.metrics.counters import WorkCounters
+from repro.util.timing import Stopwatch
+from repro.util.tracing import Tracer, resolve_tracer
+from repro.util.validation import as_points_array, check_eps, check_minpts
+
+__all__ = ["cellgraph_dbscan", "CELL_PRODUCT_CHUNK"]
+
+#: Element budget per chunk of the full core-product fallback: big
+#: enough to amortize the expansion overhead, small enough that one
+#: chunk's scratch arrays stay far below cache-hostile sizes.
+CELL_PRODUCT_CHUNK = 1 << 22
+
+#: The 8 compass directions whose extreme core points serve as
+#: representative pairs in the quick-accept stage.
+_DIRECTIONS = np.array(
+    [(0, 1), (1, -1), (1, 0), (1, 1), (0, -1), (-1, 1), (-1, 0), (-1, -1)],
+    dtype=np.int64,
+)
+_DIR_INDEX = {(int(dx), int(dy)): k for k, (dx, dy) in enumerate(_DIRECTIONS)}
+#: Opposite direction's row for each row of ``_DIRECTIONS``.
+_OPPOSITE = np.array(
+    [_DIR_INDEX[(-int(dx), -int(dy))] for dx, dy in _DIRECTIONS], dtype=np.int64
+)
+
+
+def _flatten(parent: np.ndarray) -> None:
+    """Full path compression: every entry points at its root."""
+    gp = parent[parent]
+    while not np.array_equal(gp, parent):
+        parent[:] = gp
+        gp = parent[parent]
+
+
+def _union_edges(parent: np.ndarray, a: np.ndarray, b: np.ndarray) -> None:
+    """Merge the components of every edge ``(a[i], b[i])``.
+
+    Edge-list hooking: each pass points every edge's larger root at the
+    smaller one (``np.minimum.at`` resolves conflicting writes to the
+    same root in favor of the smallest), then re-flattens; the number of
+    distinct roots among still-split edges strictly falls each pass, so
+    the loop runs O(log) times, never per point.
+    """
+    while a.size:
+        ra = parent[a]
+        rb = parent[b]
+        diff = ra != rb
+        if not diff.any():
+            return
+        a, b = a[diff], b[diff]
+        ra, rb = ra[diff], rb[diff]
+        hi = np.maximum(ra, rb)
+        lo = np.minimum(ra, rb)
+        np.minimum.at(parent, hi, lo)
+        _flatten(parent)
+
+
+def _segmented_arg_extreme(
+    values: np.ndarray, seg_ptr: np.ndarray, *, maximum: bool
+) -> np.ndarray:
+    """Index (into ``values``) of each segment's max (or min) element.
+
+    Segments are ``values[seg_ptr[i]:seg_ptr[i + 1]]`` and must all be
+    non-empty.  Ties resolve to the first position, deterministically.
+    """
+    reducer = np.maximum if maximum else np.minimum
+    best = reducer.reduceat(values, seg_ptr[:-1])
+    seg_of = np.repeat(
+        np.arange(seg_ptr.size - 1, dtype=np.int64), np.diff(seg_ptr)
+    )
+    at_best = np.flatnonzero(values == best[seg_of])
+    # seg_of[at_best] is sorted; the first hit per segment is the argmax.
+    _, first = np.unique(seg_of[at_best], return_index=True)
+    return at_best[first]
+
+
+def cellgraph_dbscan(
+    points: np.ndarray,
+    eps: float,
+    minpts: int,
+    *,
+    index: CellGraphIndex | None = None,
+    counters: WorkCounters | None = None,
+    cache: NeighborhoodCache | None = None,
+    tracer: Tracer | None = None,
+) -> ClusteringResult:
+    """Cluster ``points`` with the cell-graph exact DBSCAN kernel.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` array-like of coordinates.
+    eps / minpts:
+        DBSCAN parameters (the epsilon-neighborhood includes the point
+        itself, as everywhere in the library).
+    index:
+        A prebuilt :class:`CellGraphIndex` whose ``eps`` matches; one is
+        built here (charged to the ``setup`` phase) when omitted.
+    counters:
+        Work-counter sink; a fresh one is created when omitted.
+    cache:
+        Optional per-eps neighborhood cache consulted by the sparse-cell
+        batch search.
+    tracer:
+        Span/phase collector; ``None`` uses the active tracer.
+
+    Returns
+    -------
+    ClusteringResult
+        Byte-identical labels and core mask to
+        :func:`repro.core.dbscan.dbscan` at the same parameters.
+    """
+    points = as_points_array(points)
+    eps = check_eps(eps)
+    minpts = check_minpts(minpts)
+    if counters is None:
+        counters = WorkCounters()
+    variant = Variant(eps, minpts)
+    n = points.shape[0]
+
+    sw = Stopwatch().start()
+    phases = resolve_tracer(tracer).phase_clock(variant=str(variant))
+    phases.switch("setup")
+    if index is None:
+        index = CellGraphIndex(points, eps)
+    elif index.eps != eps:
+        raise ValueError(
+            f"index was built for eps={index.eps!r}, queried with eps={eps!r}"
+        )
+    labels = np.full(n, NOISE, dtype=np.int64)
+    core_mask = np.zeros(n, dtype=bool)
+    if n == 0:
+        elapsed = sw.stop()
+        phases.finish()
+        return ClusteringResult(
+            labels, core_mask, variant=variant, counters=counters, elapsed=elapsed
+        )
+
+    # -- 1. wholesale core cells ---------------------------------------
+    phases.switch("core_cells")
+    cell_counts = index.cell_counts
+    dense = cell_counts >= minpts
+    core_mask[index.points_in_cells(np.flatnonzero(dense))] = True
+
+    # -- 2. sparse-cell points: one batched epsilon pass ----------------
+    phases.switch("sparse_scan")
+    sparse_pts = index.points_in_cells(np.flatnonzero(~dense))
+    if sparse_pts.size:
+        searcher = NeighborSearcher(index, eps, counters, cache=cache)
+        sparse_ptr, sparse_neigh = searcher.search_batch(sparse_pts)
+        row_core = np.diff(sparse_ptr) >= minpts
+        core_mask[sparse_pts[row_core]] = True
+    else:
+        sparse_ptr = np.zeros(1, dtype=np.int64)
+        sparse_neigh = np.empty(0, dtype=np.int64)
+
+    # -- 3. cell-graph edges between core cells -------------------------
+    phases.switch("cell_edges")
+    order = index.point_order
+    core_sorted = order[core_mask[order]]  # core points grouped by cell slot
+    cells_of_core = index.cell_of_point[core_sorted]  # non-decreasing
+    cc_slots, cc_counts = np.unique(cells_of_core, return_counts=True)
+    ncc = cc_slots.size
+    cc_ptr = np.zeros(ncc + 1, dtype=np.int64)
+    np.cumsum(cc_counts, out=cc_ptr[1:])
+    core_rank = np.full(index.n_cells, -1, dtype=np.int64)
+    core_rank[cc_slots] = np.arange(ncc, dtype=np.int64)
+
+    parent = np.arange(index.n_cells, dtype=np.int64)
+    if ncc:
+        x = np.ascontiguousarray(points[:, 0])
+        y = np.ascontiguousarray(points[:, 1])
+        eps2 = eps * eps
+        # Directional extreme core point per core cell: the stage-1
+        # representative toward each compass direction.
+        reps = np.empty((_DIRECTIONS.shape[0], ncc), dtype=np.int64)
+        cx = x[core_sorted]
+        cy = y[core_sorted]
+        for k, (ux, uy) in enumerate(_DIRECTIONS):
+            pos = _segmented_arg_extreme(
+                float(ux) * cx + float(uy) * cy, cc_ptr, maximum=True
+            )
+            reps[k] = core_sorted[pos]
+
+        pair_a: list[np.ndarray] = []
+        pair_b: list[np.ndarray] = []
+        pair_dir: list[np.ndarray] = []
+        for off in POSITIVE_OFFSETS:
+            nb = index.neighbor_slots(cc_slots, off)
+            counters.index_nodes_visited += ncc
+            valid = nb >= 0
+            valid[valid] &= core_rank[nb[valid]] >= 0
+            if not valid.any():
+                continue
+            pair_a.append(cc_slots[valid])
+            pair_b.append(nb[valid])
+            k = _DIR_INDEX[(int(np.sign(off[0])), int(np.sign(off[1])))]
+            pair_dir.append(np.full(int(valid.sum()), k, dtype=np.int64))
+        if pair_a:
+            a = np.concatenate(pair_a)
+            b = np.concatenate(pair_b)
+            d = np.concatenate(pair_dir)
+            # Stage 1: one representative pair per candidate cell pair.
+            rep_a = reps[d, core_rank[a]]
+            rep_b = reps[_OPPOSITE[d], core_rank[b]]
+            d2 = (x[rep_a] - x[rep_b]) ** 2 + (y[rep_a] - y[rep_b]) ** 2
+            counters.candidates_examined += int(a.size)
+            counters.distance_computations += int(a.size)
+            accept = d2 <= eps2
+            _union_edges(parent, a[accept], b[accept])
+            # Stage 2: chunked full core-product for the survivors,
+            # skipping any pair whose cells have already merged.
+            rem_a, rem_b = a[~accept], b[~accept]
+            while rem_a.size:
+                alive = parent[rem_a] != parent[rem_b]
+                rem_a, rem_b = rem_a[alive], rem_b[alive]
+                if not rem_a.size:
+                    break
+                sa = cc_counts[core_rank[rem_a]]
+                sb = cc_counts[core_rank[rem_b]]
+                prod = sa * sb
+                if int(prod[0]) > CELL_PRODUCT_CHUNK:
+                    # A single pair of huge cells: stream its product in
+                    # blocks and stop at the first hit, so adversarial
+                    # two-cell databases never materialize n^2 scratch.
+                    ia = core_sorted[
+                        cc_ptr[core_rank[rem_a[0]]] : cc_ptr[core_rank[rem_a[0]]]
+                        + int(sa[0])
+                    ]
+                    ib = core_sorted[
+                        cc_ptr[core_rank[rem_b[0]]] : cc_ptr[core_rank[rem_b[0]]]
+                        + int(sb[0])
+                    ]
+                    step = max(1, CELL_PRODUCT_CHUNK // ib.size)
+                    for s in range(0, ia.size, step):
+                        blk = ia[s : s + step]
+                        bd2 = (x[blk, None] - x[ib][None, :]) ** 2 + (
+                            y[blk, None] - y[ib][None, :]
+                        ) ** 2
+                        counters.candidates_examined += int(bd2.size)
+                        counters.distance_computations += int(bd2.size)
+                        if bool((bd2 <= eps2).any()):
+                            _union_edges(parent, rem_a[:1], rem_b[:1])
+                            break
+                    rem_a, rem_b = rem_a[1:], rem_b[1:]
+                    continue
+                ends = np.cumsum(prod)
+                k = max(1, int(np.searchsorted(ends, CELL_PRODUCT_CHUNK, "right")))
+                pid = np.repeat(np.arange(k, dtype=np.int64), prod[:k])
+                t = np.arange(int(ends[k - 1]), dtype=np.int64) - (
+                    ends[:k] - prod[:k]
+                )[pid]
+                pa = core_sorted[cc_ptr[core_rank[rem_a[:k]]][pid] + t // sb[pid]]
+                pb = core_sorted[cc_ptr[core_rank[rem_b[:k]]][pid] + t % sb[pid]]
+                d2 = (x[pa] - x[pb]) ** 2 + (y[pa] - y[pb]) ** 2
+                counters.candidates_examined += int(pid.size)
+                counters.distance_computations += int(pid.size)
+                hit = np.unique(pid[d2 <= eps2])
+                _union_edges(parent, rem_a[hit], rem_b[hit])
+                rem_a, rem_b = rem_a[k:], rem_b[k:]
+
+    # -- 4. components -> BFS-identical cluster ids ---------------------
+    phases.switch("union_find")
+    _flatten(parent)
+    core_pts = np.flatnonzero(core_mask)
+    comp = parent[index.cell_of_point[core_pts]]
+    min_core = np.full(index.n_cells, n, dtype=np.int64)
+    np.minimum.at(min_core, comp, core_pts)
+    roots = np.flatnonzero(min_core < n)
+    # BFS founds clusters in ascending min-core-index order; rank the
+    # components the same way so ids (and thus labels) match exactly.
+    cid_of_root = np.full(index.n_cells, NOISE, dtype=np.int64)
+    cid_of_root[roots[np.argsort(min_core[roots], kind="stable")]] = np.arange(
+        roots.size, dtype=np.int64
+    )
+    labels[core_pts] = cid_of_root[comp]
+
+    # -- 5. border points from the sparse CSR rows ----------------------
+    phases.switch("border")
+    if sparse_pts.size:
+        noncore_row = ~core_mask[sparse_pts]
+        pid = np.repeat(
+            np.arange(sparse_pts.size, dtype=np.int64), np.diff(sparse_ptr)
+        )
+        sel = noncore_row[pid] & core_mask[sparse_neigh]
+        if sel.any():
+            # A border point takes the earliest-founded cluster that
+            # reaches it: the minimum id among its core neighbors.
+            border = np.full(n, roots.size, dtype=np.int64)
+            np.minimum.at(
+                border, sparse_pts[pid[sel]], labels[sparse_neigh[sel]]
+            )
+            hit = border < roots.size
+            labels[hit] = border[hit]
+
+    elapsed = sw.stop()
+    phases.finish()
+    return ClusteringResult(
+        labels, core_mask, variant=variant, counters=counters, elapsed=elapsed
+    )

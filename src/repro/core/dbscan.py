@@ -44,11 +44,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.cellgraph import cellgraph_dbscan
 from repro.core.neighbors import NeighborSearcher, OuterScanPrefetcher
 from repro.core.neighcache import NeighborhoodCache
 from repro.core.result import NOISE, ClusteringResult
 from repro.core.variants import Variant
 from repro.index.base import SpatialIndex
+from repro.index.cellgraph import CellGraphIndex
 from repro.index.rtree import RTree
 from repro.metrics.counters import WorkCounters
 from repro.util.timing import Stopwatch
@@ -115,6 +117,21 @@ def dbscan(
     minpts = check_minpts(minpts)
     if index is None:
         index = RTree(points, r=1)
+    if isinstance(index, CellGraphIndex) and index.eps == eps:
+        # The eps-scaled grid carries the whole-cell machinery: take the
+        # cell-graph kernel (byte-identical labels and core mask, see
+        # repro.core.cellgraph) instead of per-point BFS.  At any other
+        # radius the index still answers exactly as a uniform grid
+        # through the generic path below.
+        return cellgraph_dbscan(
+            points,
+            eps,
+            minpts,
+            index=index,
+            counters=counters,
+            cache=cache,
+            tracer=tracer,
+        )
     if counters is None:
         counters = WorkCounters()
 

@@ -30,7 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.neighcache import NeighborhoodCache
     from repro.core.reuse import ReusePolicy
     from repro.core.scheduling import Scheduler
-    from repro.engine.factory import IndexPair
+    from repro.engine.factory import IndexFactory, IndexPair
     from repro.engine.store import PointStore
     from repro.exec.cost import CostModel
     from repro.obs.span import Tracer
@@ -38,7 +38,14 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.resilience.faults import FaultPlan
     from repro.resilience.policy import RetryPolicy
 
-__all__ = ["RunContext"]
+__all__ = ["KERNELS", "RunContext"]
+
+#: From-scratch clustering kernels an executor can dispatch to:
+#: ``bfs`` is the paper's per-point Algorithm 1 machine, ``cellgraph``
+#: the grid-cell kernel of :mod:`repro.core.cellgraph` (byte-identical
+#: output, no per-point epsilon searches).  Reuse runs (Algorithms 3/4)
+#: are kernel-independent and always take the variant-reuse path.
+KERNELS = ("bfs", "cellgraph")
 
 
 @dataclass(frozen=True)
@@ -79,6 +86,16 @@ class RunContext:
     checkpoint:
         Completed-result spill/resume store; ``None`` disables
         checkpointing.
+    kernel:
+        From-scratch clustering kernel (one of :data:`KERNELS`):
+        ``bfs`` (default) runs per-point Algorithm 1; ``cellgraph``
+        runs the grid-cell kernel of :mod:`repro.core.cellgraph` for
+        every variant that clusters from scratch.  Reuse runs are
+        unaffected.
+    factory:
+        Index factory used to memoize kernel-specific indexes (the
+        cell-graph grid is per-eps) across the run; ``None`` builds
+        them transiently.
     """
 
     store: PointStore
@@ -94,6 +111,8 @@ class RunContext:
     retry_policy: RetryPolicy | None = None
     fault_plan: FaultPlan | None = None
     checkpoint: CheckpointStore | None = None
+    kernel: str = "bfs"
+    factory: IndexFactory | None = field(repr=False, default=None)
 
     @property
     def points(self) -> np.ndarray:

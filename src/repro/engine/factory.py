@@ -28,6 +28,7 @@ from repro.core.variant_dbscan import DEFAULT_LOW_RES_R
 from repro.engine.shm import ArrayPackHandle, attach_arrays, pack_arrays
 from repro.engine.store import SPAN_SHM_ATTACH, PointStore
 from repro.index.brute import BruteForceIndex
+from repro.index.cellgraph import CellGraphIndex
 from repro.index.grid import UniformGridIndex
 from repro.index.kdtree import KDTree
 from repro.index.rtree import RTree
@@ -57,6 +58,7 @@ INDEX_KINDS = {
     "grid": UniformGridIndex,
     "kdtree": KDTree,
     "brute": BruteForceIndex,
+    "cellgraph": CellGraphIndex,
 }
 
 

@@ -38,7 +38,7 @@ from repro.core.reuse import CLUS_DENSITY, POLICIES, ReusePolicy
 from repro.core.scheduling import SCHEDULERS, Scheduler
 from repro.core.variant_dbscan import DEFAULT_LOW_RES_R
 from repro.core.variants import VariantSet
-from repro.engine.context import RunContext
+from repro.engine.context import KERNELS, RunContext
 from repro.engine.factory import IndexFactory, IndexPair
 from repro.engine.store import PointStore
 from repro.obs.span import Tracer, resolve_tracer
@@ -102,6 +102,10 @@ class Session:
     batch_size / cache_bytes:
         Default epsilon-search engine knobs (see
         :class:`~repro.exec.base.BaseExecutor`).
+    kernel:
+        Default from-scratch clustering kernel, one of
+        :data:`~repro.engine.context.KERNELS` (``bfs`` or
+        ``cellgraph``); overridable per run.
     tracer:
         Span collector for everything the session does; ``None``
         resolves to the globally active tracer at each use.
@@ -119,6 +123,7 @@ class Session:
         cost_model: CostModel | None = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
         cache_bytes: int = 0,
+        kernel: str = "bfs",
         tracer: Tracer | None = None,
     ) -> None:
         if cost_model is None:
@@ -135,6 +140,11 @@ class Session:
         self.cost_model = cost_model
         self.batch_size = int(batch_size)
         self.cache_bytes = int(cache_bytes)
+        if kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; expected one of {list(KERNELS)}"
+            )
+        self.kernel = kernel
         self.tracer = tracer
         self._closed = False
         self._active_runs = 0
@@ -209,6 +219,7 @@ class Session:
         cache_bytes: int | None = None,
         cost_model: CostModel | None = None,
         dataset: str | None = None,
+        kernel: str | None = None,
         retry_policy: RetryPolicy | None = None,
         fault_plan: FaultPlan | None = None,
         checkpoint: CheckpointStore | None = None,
@@ -232,6 +243,7 @@ class Session:
             low_res_r = low_res_r if low_res_r is not None else ex.low_res_r
             batch_size = batch_size if batch_size is not None else ex.batch_size
             cache_bytes = cache_bytes if cache_bytes is not None else ex.cache_bytes
+            kernel = kernel if kernel is not None else ex.kernel
         if ex is not None and getattr(ex, "single_threaded", False):
             n_threads = 1
         from repro.core.scheduling import SchedGreedy
@@ -239,6 +251,11 @@ class Session:
         sched = sched if sched is not None else (self.scheduler or SchedGreedy())
         pol = pol if pol is not None else self.reuse_policy
         cache_bytes = cache_bytes if cache_bytes is not None else self.cache_bytes
+        kernel = kernel if kernel is not None else self.kernel
+        if kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; expected one of {list(KERNELS)}"
+            )
         tracer = resolve_tracer(self.tracer)
         return RunContext(
             store=self.store,
@@ -260,6 +277,8 @@ class Session:
             retry_policy=retry_policy,
             fault_plan=fault_plan,
             checkpoint=checkpoint,
+            kernel=kernel,
+            factory=self.factory,
         )
 
     def run(
@@ -275,6 +294,7 @@ class Session:
         cache_bytes: int | None = None,
         cost_model: CostModel | None = None,
         dataset: str | None = None,
+        kernel: str | None = None,
         retry_policy: RetryPolicy | None = None,
         fault_plan: FaultPlan | None = None,
         resume: str | Path | CheckpointStore | None = None,
@@ -319,6 +339,7 @@ class Session:
             cache_bytes=cache_bytes,
             cost_model=cost_model,
             dataset=dataset,
+            kernel=kernel,
             retry_policy=retry_policy,
             fault_plan=fault_plan,
             checkpoint=checkpoint,

@@ -10,11 +10,13 @@ record — is identical and lives here, driven entirely by the run's
 from __future__ import annotations
 
 
+from repro.core.cellgraph import cellgraph_dbscan
 from repro.core.result import ClusteringResult
 from repro.core.scheduling import CompletedRegistry, PlannedVariant
 from repro.core.variant_dbscan import variant_dbscan
 from repro.core.variants import VariantSet
 from repro.engine.context import RunContext
+from repro.index.cellgraph import CellGraphIndex
 from repro.metrics.counters import WorkCounters
 from repro.metrics.records import VariantRunRecord
 from repro.obs.span import resolve_tracer
@@ -51,16 +53,34 @@ def execute_variant(
     with tr.span("variant", variant=str(planned.variant)) as span:
         source = ctx.scheduler.select_source(planned, vset, registry, before=before)
         if source is None:
-            result = variant_dbscan(
-                points,
-                planned.variant,
-                None,
-                t_low=indexes.t_low,
-                counters=counters,
-                batch_size=ctx.batch_size,
-                cache=ctx.cache,
-                tracer=tr,
-            )
+            if ctx.kernel == "cellgraph":
+                v = planned.variant
+                cg = (
+                    ctx.factory.get(ctx.store, "cellgraph", eps=v.eps, tracer=tr)
+                    if ctx.factory is not None
+                    else CellGraphIndex(points, v.eps)
+                )
+                assert isinstance(cg, CellGraphIndex)
+                result = cellgraph_dbscan(
+                    points,
+                    v.eps,
+                    v.minpts,
+                    index=cg,
+                    counters=counters,
+                    cache=ctx.cache,
+                    tracer=tr,
+                )
+            else:
+                result = variant_dbscan(
+                    points,
+                    planned.variant,
+                    None,
+                    t_low=indexes.t_low,
+                    counters=counters,
+                    batch_size=ctx.batch_size,
+                    cache=ctx.cache,
+                    tracer=tr,
+                )
         else:
             _, source_result = source
             result = variant_dbscan(

@@ -45,7 +45,7 @@ from repro.core.reuse import CLUS_DENSITY, ReusePolicy
 from repro.core.scheduling import Scheduler, SchedGreedy
 from repro.core.variant_dbscan import DEFAULT_LOW_RES_R
 from repro.core.variants import Variant, VariantSet
-from repro.engine.context import RunContext
+from repro.engine.context import KERNELS, RunContext
 from repro.engine.factory import IndexFactory, IndexPair
 from repro.engine.store import PointStore
 from repro.exec.cost import DEFAULT_COST_MODEL, CostModel
@@ -122,6 +122,11 @@ class BaseExecutor(abc.ABC):
         ``None`` (the default) resolves to the active tracer at run
         time, which is a disabled null tracer unless one was installed
         with :func:`repro.obs.set_tracer` / ``use_tracer``.
+    kernel:
+        From-scratch clustering kernel, one of
+        :data:`~repro.engine.context.KERNELS` (``bfs`` default;
+        ``cellgraph`` runs scratch variants through the grid-cell
+        kernel — byte-identical results, no per-point searches).
     """
 
     name: str = "?"
@@ -140,6 +145,7 @@ class BaseExecutor(abc.ABC):
         batch_size: int = DEFAULT_BATCH_SIZE,
         cache_bytes: int = 0,
         tracer: Tracer | None = None,
+        kernel: str = "bfs",
     ) -> None:
         self.n_threads = check_positive_int(n_threads, name="n_threads")
         self.scheduler = scheduler if scheduler is not None else SchedGreedy()
@@ -153,6 +159,11 @@ class BaseExecutor(abc.ABC):
         if self.cache_bytes < 0:
             raise ValueError(f"cache_bytes must be >= 0, got {cache_bytes}")
         self.tracer = tracer
+        if kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; expected one of {list(KERNELS)}"
+            )
+        self.kernel = kernel
 
     def _build_cache(self) -> NeighborhoodCache | None:
         """One fresh neighborhood cache per batch, or ``None`` if disabled."""
@@ -198,6 +209,8 @@ class BaseExecutor(abc.ABC):
             cache=self._build_cache(),
             tracer=self._tracer(),
             dataset=dataset,
+            kernel=self.kernel,
+            factory=IndexFactory(),
         )
 
     def run(

@@ -138,6 +138,7 @@ def _worker(
     retry_policy: RetryPolicy | None = None,
     fault_plan: BoundFaultPlan | None = None,
     checkpoint_root: str | None = None,
+    kernel: str = "bfs",
 ):
     """Run one group serially inside a worker process.
 
@@ -182,6 +183,7 @@ def _worker(
         batch_size=batch_size,
         cache_bytes=cache_bytes,
         tracer=tracer,
+        kernel=kernel,
     )
     ctx = group.make_context(store, indexes)
     if retry_policy is not None or fault_plan is not None or checkpoint_root:
@@ -314,6 +316,7 @@ class ProcessPoolExecutorBackend(BaseExecutor):
                         policy,
                         plan,
                         checkpoint_root,
+                        ctx.kernel,
                     )
                 for gid, fut in futures.items():
                     try:

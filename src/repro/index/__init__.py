@@ -22,11 +22,15 @@ Provided indexes, all sharing the :class:`SpatialIndex` query contract:
   used by the ablation benchmarks (not in the paper).
 * :class:`~repro.index.kdtree.KDTree` — median-split k-d tree, a third
   ablation comparator with a ``leaf_size`` dial analogous to ``r``.
+* :class:`~repro.index.cellgraph.CellGraphIndex` — eps-scaled grid
+  (``cell_width = eps / sqrt(2)``) carrying the cell-graph DBSCAN
+  kernel's whole-cell state (see :mod:`repro.core.cellgraph`).
 """
 
 from repro.index.base import SpatialIndex
 from repro.index.binsort import binsort_order
 from repro.index.brute import BruteForceIndex
+from repro.index.cellgraph import CellGraphIndex
 from repro.index.grid import UniformGridIndex
 from repro.index.kdtree import KDTree
 from repro.index.mbb import (
@@ -44,6 +48,7 @@ __all__ = [
     "RTree",
     "BruteForceIndex",
     "UniformGridIndex",
+    "CellGraphIndex",
     "KDTree",
     "binsort_order",
     "mbb_of_points",

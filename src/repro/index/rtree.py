@@ -328,7 +328,7 @@ class RTree(SpatialIndex):
         last = self.height - 1
         # Per-*level* loop (O(height), not O(points)): each iteration
         # filters the whole frontier with one broadcasted interval test.
-        for depth in range(self.height):  # repro: allow[hot-path-purity]
+        for depth in range(self.height):
             visited += nodes.size
             if nodes.size == 0:
                 break

@@ -448,6 +448,56 @@ class TestHotPathPurityRule:
         assert report.findings == []
         assert report.suppressed == 2
 
+    def test_level_synchronous_loop_is_pure_without_pragma(self):
+        source = (
+            "def _batch_descend(self, mbbs):\n"
+            "    for depth in range(self.height):\n"
+            "        pass\n"
+        )
+        report = check({"repro.index.fancy": source}, [HotPathPurityRule])
+        assert report.findings == []
+        assert report.suppressed == 0
+
+    @pytest.mark.parametrize(
+        "bound", ["tree.depth + 1", "n_levels", "self.tree_height"]
+    )
+    def test_level_word_bounds_are_pure(self, bound):
+        source = (
+            "def query_candidates_batch(self, mbbs):\n"
+            f"    for i in range({bound}):\n"
+            "        pass\n"
+        )
+        report = check({"repro.index.fancy": source}, [HotPathPurityRule])
+        assert report.findings == []
+
+    @pytest.mark.parametrize(
+        "bound",
+        [
+            "len(points)",          # per-point bound
+            "self.heightmap",       # 'height' only as a fragment, not a word
+            "n",                    # anonymous bound
+        ],
+    )
+    def test_non_level_range_bounds_stay_flagged(self, bound):
+        source = (
+            "def query_candidates_batch(self, mbbs):\n"
+            f"    for i in range({bound}):\n"
+            "        pass\n"
+        )
+        report = check({"repro.index.fancy": source}, [HotPathPurityRule])
+        assert rule_ids(report) == ["hot-path-purity"]
+
+    def test_non_range_iteration_over_levels_stays_flagged(self):
+        # Only the range(<level bound>) shape is provably O(height);
+        # iterating a container named 'levels' could still be per-point.
+        source = (
+            "def query_candidates_batch(self, mbbs):\n"
+            "    for lvl in self.levels:\n"
+            "        pass\n"
+        )
+        report = check({"repro.index.fancy": source}, [HotPathPurityRule])
+        assert rule_ids(report) == ["hot-path-purity"]
+
 
 # ---------------------------------------------------------------------------
 # pragmas, baseline, engine plumbing

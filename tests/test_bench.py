@@ -164,3 +164,94 @@ class TestFigureDrivers:
             assert rec.slowdown_vs_lower_bound >= -1e-9
         # SCHEDMINPTS forces one scratch run per distinct eps (19 for V3)
         assert out["SCHEDMINPTS"].n_from_scratch >= out["SCHEDGREEDY"].n_from_scratch
+
+
+class TestBenchSnapshot:
+    """The repro-bench-snapshot/v1 writer/validator pair."""
+
+    def _rows(self):
+        return [
+            {"kind": "cellgraph", "wall_s": 0.5, "counters": {"neighbor_searches": 3}},
+            {"kind": "rtree r=70", "wall_s": 2.0, "counters": {}},
+        ]
+
+    def test_roundtrip(self, tmp_path):
+        from repro.bench.snapshot import SCHEMA, make_snapshot, read_snapshot, write_snapshot
+
+        snap = make_snapshot(
+            "index",
+            workload={"dataset": "SW1", "eps": 0.5, "minpts": 4},
+            n=1000,
+            rows=self._rows(),
+            rev="deadbee",
+        )
+        path = write_snapshot(tmp_path / "BENCH_index.json", snap)
+        loaded = read_snapshot(path)
+        assert loaded == snap
+        assert loaded["schema"] == SCHEMA
+        assert loaded["git_rev"] == "deadbee"
+
+    def test_git_rev_stamped_from_repo(self):
+        from repro.bench.snapshot import git_rev, make_snapshot
+
+        snap = make_snapshot(
+            "batch", workload={}, n=1, rows=self._rows()
+        )
+        assert snap["git_rev"] == git_rev()
+        assert snap["git_rev"]  # non-empty even outside a repo ("unknown")
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda s: s.pop("rows"),
+            lambda s: s.update(schema="repro-bench-snapshot/v0"),
+            lambda s: s.update(n=-1),
+            lambda s: s.update(n="1000"),
+            lambda s: s.update(rows=[]),
+            lambda s: s.update(rows=[{"kind": "x"}]),
+            lambda s: s["rows"].append({"kind": "", "wall_s": 1.0, "counters": {}}),
+            lambda s: s["rows"].append({"kind": "x", "wall_s": -1.0, "counters": {}}),
+            lambda s: s["rows"].append(
+                {"kind": "x", "wall_s": 1.0, "counters": {"a": 1.5}}
+            ),
+            lambda s: s.update(git_rev=""),
+        ],
+    )
+    def test_schema_drift_fails(self, mutate):
+        from repro.bench.snapshot import (
+            SnapshotSchemaError,
+            make_snapshot,
+            validate_snapshot,
+        )
+
+        snap = make_snapshot(
+            "index", workload={}, n=10, rows=self._rows(), rev="abc"
+        )
+        mutate(snap)
+        with pytest.raises(SnapshotSchemaError):
+            validate_snapshot(snap)
+
+    def test_write_refuses_invalid(self, tmp_path):
+        from repro.bench.snapshot import SnapshotSchemaError, write_snapshot
+
+        with pytest.raises(SnapshotSchemaError):
+            write_snapshot(tmp_path / "bad.json", {"schema": "nope"})
+        assert not (tmp_path / "bad.json").exists()
+
+    def test_committed_snapshots_validate(self):
+        # The repo-root artifacts committed by the ablation benches must
+        # stay schema-clean — this is the drift gate CI relies on.
+        from pathlib import Path
+
+        from repro.bench.snapshot import read_snapshot
+
+        root = Path(__file__).resolve().parent.parent
+        for name, bench in [("BENCH_index.json", "index"), ("BENCH_batch.json", "batch")]:
+            path = root / name
+            if not path.exists():
+                pytest.skip(f"{name} not generated yet")
+            snap = read_snapshot(path)
+            assert snap["bench"] == bench
+            kinds = [r["kind"] for r in snap["rows"]]
+            if bench == "index":
+                assert "cellgraph" in kinds

@@ -114,6 +114,77 @@ class TestSweep:
         assert rc == 0
         assert "SCHEDMINPTS" in capsys.readouterr().out
 
+    def test_cluster_cellgraph_index(self, capsys):
+        rc = main(
+            [
+                "cluster",
+                "cF_10k_5N",
+                "--scale",
+                "0.06",
+                "--eps",
+                "2.0",
+                "--minpts",
+                "4",
+                "--index",
+                "cellgraph",
+            ]
+        )
+        assert rc == 0
+        assert "index=cellgraph" in capsys.readouterr().out
+
+    def test_cluster_rejects_unknown_index(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cluster", "cF_10k_5N", "--eps", "2.0", "--minpts", "4",
+                 "--index", "octree"]
+            )
+
+    def test_sweep_cellgraph_kernel(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "cF_10k_5N",
+                "--scale",
+                "0.06",
+                "--eps",
+                "2.0,3.0",
+                "--minpts",
+                "4,8",
+                "--kernel",
+                "cellgraph",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "scratch" in out
+
+    def test_sweep_rejects_unknown_kernel(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "cF_10k_5N", "--eps", "2.0", "--minpts", "4",
+                 "--kernel", "quantum"]
+            )
+
+    def test_sweep_cellgraph_matches_bfs(self, tmp_path, capsys):
+        args = [
+            "sweep", "cF_10k_5N", "--scale", "0.06",
+            "--eps", "2.0,3.0", "--minpts", "4,8",
+        ]
+        assert main(args) == 0
+        bfs_out = capsys.readouterr().out
+        assert main([*args, "--kernel", "cellgraph"]) == 0
+        cg_out = capsys.readouterr().out
+        # same variant table: cluster/noise counts agree line for line
+        def pick(text):
+            return [
+                line.split()[:3]
+                for line in text.splitlines()
+                if line.startswith("(")
+            ]
+
+        assert pick(cg_out) == pick(bfs_out)
+
 
 class TestFigure:
     def test_table1(self, capsys):
