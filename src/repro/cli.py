@@ -150,6 +150,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             executor=args.executor,
             n_threads=args.threads,
             kernel=args.kernel,
+            regions=args.regions,
+            part_size=args.part_size,
             retry_policy=retry_policy,
             resume=args.resume,
         )
@@ -437,7 +439,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
         reuse_policy=POLICIES[args.policy],
     ) as session:
         batch = session.run(
-            variants, executor=args.executor, n_threads=args.threads
+            variants,
+            executor=args.executor,
+            n_threads=args.threads,
+            regions=args.regions,
+            part_size=args.part_size,
         )
     registry = MetricsRegistry.from_batch(batch, tracer)
     print(registry.summary())
@@ -517,6 +523,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="from-scratch clustering kernel (bfs or cellgraph)",
     )
     s.add_argument("--r", type=int, default=70)
+    s.add_argument("--regions", type=int, default=None,
+                   help="spatial region count for --executor sharded "
+                        "(default: the worker count)")
+    s.add_argument("--part_size", type=int, default=None, dest="part_size",
+                   help="target points per region for --executor sharded "
+                        "(region count becomes ceil(n / part_size); "
+                        "mutually exclusive with --regions)")
     s.add_argument("--scale", type=float, default=None)
     s.add_argument("--resume", default=None, metavar="DIR",
                    help="checkpoint directory: finished variants spill "
@@ -560,6 +573,10 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--scheduler", choices=sorted(SCHEDULERS), default="SCHEDGREEDY")
     t.add_argument("--policy", choices=sorted(POLICIES), default="CLUSDENSITY")
     t.add_argument("--r", type=int, default=70)
+    t.add_argument("--regions", type=int, default=None,
+                   help="spatial region count for --executor sharded")
+    t.add_argument("--part_size", type=int, default=None, dest="part_size",
+                   help="target points per region for --executor sharded")
     t.add_argument("--scale", type=float, default=None)
     t.add_argument("--jsonl", default=None, help="write the trace as JSONL")
     t.add_argument("--chrome", default=None,

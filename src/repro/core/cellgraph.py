@@ -57,7 +57,12 @@ from repro.util.timing import Stopwatch
 from repro.util.tracing import Tracer, resolve_tracer
 from repro.util.validation import as_points_array, check_eps, check_minpts
 
-__all__ = ["cellgraph_dbscan", "CELL_PRODUCT_CHUNK"]
+__all__ = [
+    "cellgraph_dbscan",
+    "flatten_parents",
+    "union_edges",
+    "CELL_PRODUCT_CHUNK",
+]
 
 #: Element budget per chunk of the full core-product fallback: big
 #: enough to amortize the expansion overhead, small enough that one
@@ -77,7 +82,7 @@ _OPPOSITE = np.array(
 )
 
 
-def _flatten(parent: np.ndarray) -> None:
+def flatten_parents(parent: np.ndarray) -> None:
     """Full path compression: every entry points at its root."""
     gp = parent[parent]
     while not np.array_equal(gp, parent):
@@ -85,7 +90,7 @@ def _flatten(parent: np.ndarray) -> None:
         gp = parent[parent]
 
 
-def _union_edges(parent: np.ndarray, a: np.ndarray, b: np.ndarray) -> None:
+def union_edges(parent: np.ndarray, a: np.ndarray, b: np.ndarray) -> None:
     """Merge the components of every edge ``(a[i], b[i])``.
 
     Edge-list hooking: each pass points every edge's larger root at the
@@ -93,6 +98,9 @@ def _union_edges(parent: np.ndarray, a: np.ndarray, b: np.ndarray) -> None:
     same root in favor of the smallest), then re-flattens; the number of
     distinct roots among still-split edges strictly falls each pass, so
     the loop runs O(log) times, never per point.
+
+    Public because the cross-border merge of :mod:`repro.core.shard`
+    unions shard-local components with exactly this primitive.
     """
     while a.size:
         ra = parent[a]
@@ -105,7 +113,7 @@ def _union_edges(parent: np.ndarray, a: np.ndarray, b: np.ndarray) -> None:
         hi = np.maximum(ra, rb)
         lo = np.minimum(ra, rb)
         np.minimum.at(parent, hi, lo)
-        _flatten(parent)
+        flatten_parents(parent)
 
 
 def _segmented_arg_extreme(
@@ -260,7 +268,7 @@ def cellgraph_dbscan(
             counters.candidates_examined += int(a.size)
             counters.distance_computations += int(a.size)
             accept = d2 <= eps2
-            _union_edges(parent, a[accept], b[accept])
+            union_edges(parent, a[accept], b[accept])
             # Stage 2: chunked full core-product for the survivors,
             # skipping any pair whose cells have already merged.
             rem_a, rem_b = a[~accept], b[~accept]
@@ -293,7 +301,7 @@ def cellgraph_dbscan(
                         counters.candidates_examined += int(bd2.size)
                         counters.distance_computations += int(bd2.size)
                         if bool((bd2 <= eps2).any()):
-                            _union_edges(parent, rem_a[:1], rem_b[:1])
+                            union_edges(parent, rem_a[:1], rem_b[:1])
                             break
                     rem_a, rem_b = rem_a[1:], rem_b[1:]
                     continue
@@ -309,12 +317,12 @@ def cellgraph_dbscan(
                 counters.candidates_examined += int(pid.size)
                 counters.distance_computations += int(pid.size)
                 hit = np.unique(pid[d2 <= eps2])
-                _union_edges(parent, rem_a[hit], rem_b[hit])
+                union_edges(parent, rem_a[hit], rem_b[hit])
                 rem_a, rem_b = rem_a[k:], rem_b[k:]
 
     # -- 4. components -> BFS-identical cluster ids ---------------------
     phases.switch("union_find")
-    _flatten(parent)
+    flatten_parents(parent)
     core_pts = np.flatnonzero(core_mask)
     comp = parent[index.cell_of_point[core_pts]]
     min_core = np.full(index.n_cells, n, dtype=np.int64)

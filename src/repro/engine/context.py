@@ -96,6 +96,15 @@ class RunContext:
         Index factory used to memoize kernel-specific indexes (the
         cell-graph grid is per-eps) across the run; ``None`` builds
         them transiently.
+    regions:
+        Spatial region count for the sharded executor; ``None`` lets
+        ``part_size`` (or the worker count) decide.  Ignored by the
+        variant-parallel backends.
+    part_size:
+        Target points per region for the sharded executor (region
+        count becomes ``ceil(n / part_size)``); ``None`` defers to
+        ``regions`` / the worker count.  Ignored by the
+        variant-parallel backends.
     """
 
     store: PointStore
@@ -113,6 +122,8 @@ class RunContext:
     checkpoint: CheckpointStore | None = None
     kernel: str = "bfs"
     factory: IndexFactory | None = field(repr=False, default=None)
+    regions: int | None = None
+    part_size: int | None = None
 
     @property
     def points(self) -> np.ndarray:

@@ -106,6 +106,11 @@ class Session:
         Default from-scratch clustering kernel, one of
         :data:`~repro.engine.context.KERNELS` (``bfs`` or
         ``cellgraph``); overridable per run.
+    regions / part_size:
+        Default spatial partitioning for the sharded executor
+        (``regions`` fixes the region count, ``part_size`` derives it
+        as ``ceil(n / part_size)``); ignored by the variant-parallel
+        backends.  At most one may be set.
     tracer:
         Span collector for everything the session does; ``None``
         resolves to the globally active tracer at each use.
@@ -124,6 +129,8 @@ class Session:
         batch_size: int = DEFAULT_BATCH_SIZE,
         cache_bytes: int = 0,
         kernel: str = "bfs",
+        regions: int | None = None,
+        part_size: int | None = None,
         tracer: Tracer | None = None,
     ) -> None:
         if cost_model is None:
@@ -145,6 +152,18 @@ class Session:
                 f"unknown kernel {kernel!r}; expected one of {list(KERNELS)}"
             )
         self.kernel = kernel
+        if regions is not None and part_size is not None:
+            raise ValueError("pass at most one of regions / part_size")
+        self.regions = (
+            check_positive_int(regions, name="regions")
+            if regions is not None
+            else None
+        )
+        self.part_size = (
+            check_positive_int(part_size, name="part_size")
+            if part_size is not None
+            else None
+        )
         self.tracer = tracer
         self._closed = False
         self._active_runs = 0
@@ -220,6 +239,8 @@ class Session:
         cost_model: CostModel | None = None,
         dataset: str | None = None,
         kernel: str | None = None,
+        regions: int | None = None,
+        part_size: int | None = None,
         retry_policy: RetryPolicy | None = None,
         fault_plan: FaultPlan | None = None,
         checkpoint: CheckpointStore | None = None,
@@ -244,6 +265,9 @@ class Session:
             batch_size = batch_size if batch_size is not None else ex.batch_size
             cache_bytes = cache_bytes if cache_bytes is not None else ex.cache_bytes
             kernel = kernel if kernel is not None else ex.kernel
+            if regions is None and part_size is None:
+                regions = ex.regions
+                part_size = ex.part_size
         if ex is not None and getattr(ex, "single_threaded", False):
             n_threads = 1
         from repro.core.scheduling import SchedGreedy
@@ -252,6 +276,11 @@ class Session:
         pol = pol if pol is not None else self.reuse_policy
         cache_bytes = cache_bytes if cache_bytes is not None else self.cache_bytes
         kernel = kernel if kernel is not None else self.kernel
+        if regions is not None and part_size is not None:
+            raise ValueError("pass at most one of regions / part_size")
+        if regions is None and part_size is None:
+            regions = self.regions
+            part_size = self.part_size
         if kernel not in KERNELS:
             raise ValueError(
                 f"unknown kernel {kernel!r}; expected one of {list(KERNELS)}"
@@ -279,6 +308,8 @@ class Session:
             checkpoint=checkpoint,
             kernel=kernel,
             factory=self.factory,
+            regions=regions,
+            part_size=part_size,
         )
 
     def run(
@@ -295,6 +326,8 @@ class Session:
         cost_model: CostModel | None = None,
         dataset: str | None = None,
         kernel: str | None = None,
+        regions: int | None = None,
+        part_size: int | None = None,
         retry_policy: RetryPolicy | None = None,
         fault_plan: FaultPlan | None = None,
         resume: str | Path | CheckpointStore | None = None,
@@ -340,6 +373,8 @@ class Session:
             cost_model=cost_model,
             dataset=dataset,
             kernel=kernel,
+            regions=regions,
+            part_size=part_size,
             retry_policy=retry_policy,
             fault_plan=fault_plan,
             checkpoint=checkpoint,

@@ -11,6 +11,9 @@ Pick a backend by what you need:
   (GIL-limited in CPython; kept for honesty and ablation).
 * :class:`ProcessPoolExecutorBackend` — real processes over statically
   partitioned reuse chains (genuinely parallel).
+* :class:`ShardedExecutor` — real processes over *spatial regions with
+  eps halos* inside each variant (dislib-style data parallelism);
+  merged labels are byte-identical to the serial kernels.
 
 :func:`run_variants` is the legacy one-call convenience entry point;
 prefer :class:`repro.Session`, which keeps the point store and built
@@ -27,6 +30,7 @@ from repro.exec.calibration import CalibrationSample, collect_samples, fit_cost_
 from repro.exec.cost import DEFAULT_COST_MODEL, CostModel
 from repro.exec.procpool import ProcessPoolExecutorBackend
 from repro.exec.serial import SerialExecutor
+from repro.exec.sharded import ShardedExecutor
 from repro.exec.simulated import SimulatedExecutor
 from repro.exec.threadpool import ThreadPoolExecutorBackend
 
@@ -43,6 +47,7 @@ __all__ = [
     "SimulatedExecutor",
     "ThreadPoolExecutorBackend",
     "ProcessPoolExecutorBackend",
+    "ShardedExecutor",
     "run_variants",
     "EXECUTORS",
 ]
@@ -53,6 +58,7 @@ EXECUTORS: dict[str, type[BaseExecutor]] = {
     SimulatedExecutor.name: SimulatedExecutor,
     ThreadPoolExecutorBackend.name: ThreadPoolExecutorBackend,
     ProcessPoolExecutorBackend.name: ProcessPoolExecutorBackend,
+    ShardedExecutor.name: ShardedExecutor,
 }
 
 

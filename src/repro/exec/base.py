@@ -127,6 +127,11 @@ class BaseExecutor(abc.ABC):
         :data:`~repro.engine.context.KERNELS` (``bfs`` default;
         ``cellgraph`` runs scratch variants through the grid-cell
         kernel — byte-identical results, no per-point searches).
+    regions / part_size:
+        Spatial partitioning knobs consumed by the sharded executor
+        (``regions`` fixes the region count, ``part_size`` derives it
+        as ``ceil(n / part_size)``); ignored by the variant-parallel
+        backends.  At most one may be set.
     """
 
     name: str = "?"
@@ -146,6 +151,8 @@ class BaseExecutor(abc.ABC):
         cache_bytes: int = 0,
         tracer: Tracer | None = None,
         kernel: str = "bfs",
+        regions: int | None = None,
+        part_size: int | None = None,
     ) -> None:
         self.n_threads = check_positive_int(n_threads, name="n_threads")
         self.scheduler = scheduler if scheduler is not None else SchedGreedy()
@@ -164,6 +171,18 @@ class BaseExecutor(abc.ABC):
                 f"unknown kernel {kernel!r}; expected one of {list(KERNELS)}"
             )
         self.kernel = kernel
+        if regions is not None and part_size is not None:
+            raise ValueError("pass at most one of regions / part_size")
+        self.regions = (
+            check_positive_int(regions, name="regions")
+            if regions is not None
+            else None
+        )
+        self.part_size = (
+            check_positive_int(part_size, name="part_size")
+            if part_size is not None
+            else None
+        )
 
     def _build_cache(self) -> NeighborhoodCache | None:
         """One fresh neighborhood cache per batch, or ``None`` if disabled."""
@@ -211,6 +230,8 @@ class BaseExecutor(abc.ABC):
             dataset=dataset,
             kernel=self.kernel,
             factory=IndexFactory(),
+            regions=self.regions,
+            part_size=self.part_size,
         )
 
     def run(

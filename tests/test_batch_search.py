@@ -28,6 +28,7 @@ from repro.index.grid import UniformGridIndex
 from repro.index.kdtree import KDTree
 from repro.index.rtree import RTree
 from repro.metrics.counters import WorkCounters
+from repro.util.rng import resolve_rng
 
 R_VALUES = [1, 8, 70]
 
@@ -43,7 +44,7 @@ INDEX_BUILDERS = {
 
 def _make_points(kind: str, seed: int) -> np.ndarray:
     """Deterministic point sets across the size/shape regimes."""
-    g = np.random.default_rng(seed)
+    g = resolve_rng(seed)
     if kind == "empty":
         return np.empty((0, 2), dtype=np.float64)
     if kind == "single":
@@ -81,7 +82,7 @@ class TestSearchBatchParity:
         points = _make_points(kind, seed)
         index = INDEX_BUILDERS[index_name](points)
         n = points.shape[0]
-        g = np.random.default_rng(seed + 1)
+        g = resolve_rng(seed + 1)
         # include duplicates and unsorted order on purpose
         idxs = g.integers(0, n, size=min(2 * n, 64)) if n else np.empty(0, int)
         idxs = np.asarray(idxs, dtype=np.int64)

@@ -246,7 +246,11 @@ class TestBenchSnapshot:
         from repro.bench.snapshot import read_snapshot
 
         root = Path(__file__).resolve().parent.parent
-        for name, bench in [("BENCH_index.json", "index"), ("BENCH_batch.json", "batch")]:
+        for name, bench in [
+            ("BENCH_index.json", "index"),
+            ("BENCH_batch.json", "batch"),
+            ("BENCH_shard.json", "shard"),
+        ]:
             path = root / name
             if not path.exists():
                 pytest.skip(f"{name} not generated yet")
@@ -255,3 +259,6 @@ class TestBenchSnapshot:
             kinds = [r["kind"] for r in snap["rows"]]
             if bench == "index":
                 assert "cellgraph" in kinds
+            if bench == "shard":
+                assert any(k.startswith("serial ") for k in kinds)
+                assert any("R=8" in k for k in kinds)

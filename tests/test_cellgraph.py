@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.cellgraph import _flatten, _union_edges, cellgraph_dbscan
+from repro.core.cellgraph import cellgraph_dbscan, flatten_parents, union_edges
 from repro.core.dbscan import dbscan
 from repro.core.result import relabel_dense
 from repro.core.reuse import POLICIES
@@ -135,12 +135,12 @@ class TestCellGraphIndex:
 class TestVectorizedUnionFind:
     def test_flatten_compresses_chains(self):
         parent = np.array([0, 0, 1, 2, 3], dtype=np.int64)
-        _flatten(parent)
+        flatten_parents(parent)
         np.testing.assert_array_equal(parent, np.zeros(5, dtype=np.int64))
 
     def test_union_transitive_chain(self):
         parent = np.arange(6, dtype=np.int64)
-        _union_edges(
+        union_edges(
             parent,
             np.array([5, 4, 3, 2, 1], dtype=np.int64),
             np.array([4, 3, 2, 1, 0], dtype=np.int64),
@@ -149,7 +149,7 @@ class TestVectorizedUnionFind:
 
     def test_union_roots_are_component_minima(self):
         parent = np.arange(8, dtype=np.int64)
-        _union_edges(
+        union_edges(
             parent,
             np.array([7, 3, 5], dtype=np.int64),
             np.array([3, 7, 1], dtype=np.int64),
@@ -164,8 +164,8 @@ class TestVectorizedUnionFind:
         a = g.integers(0, n, 400).astype(np.int64)
         b = g.integers(0, n, 400).astype(np.int64)
         parent = np.arange(n, dtype=np.int64)
-        _union_edges(parent, a, b)
-        _flatten(parent)
+        union_edges(parent, a, b)
+        flatten_parents(parent)
 
         ref = list(range(n))
 

@@ -18,6 +18,7 @@ from repro.data.registry import (
 from repro.data.synthetic import CLUSTERS_PER_POINT, SyntheticSpec, generate_synthetic
 from repro.data.tec import TECMapModel, _restrict_to_best_window, generate_tec_points
 from repro.util.errors import ValidationError
+from repro.util.rng import resolve_rng
 
 
 class TestSyntheticSpec:
@@ -159,7 +160,7 @@ class TestTEC:
 
     def test_evaluate_shapes(self):
         m = TECMapModel(grid_resolution=2.0)
-        lon, lat, tec, cov, tid = m.evaluate(np.random.default_rng(0))
+        lon, lat, tec, cov, tid = m.evaluate(resolve_rng(0))
         assert tec.shape == (len(lat), len(lon)) == cov.shape == tid.shape
 
 

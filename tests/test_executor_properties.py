@@ -16,6 +16,7 @@ from repro.core.variants import Variant, VariantSet
 from repro.exec.base import IndexPair
 from repro.exec.procpool import partition_reuse_chains
 from repro.exec.simulated import SimulatedExecutor
+from repro.util.rng import resolve_rng
 
 eps_vals = st.sampled_from([0.4, 0.6, 0.8, 1.1])
 minpts_vals = st.sampled_from([3, 4, 6, 9])
@@ -31,7 +32,7 @@ grids = st.builds(
 
 @pytest.fixture(scope="module")
 def cloud():
-    g = np.random.default_rng(17)
+    g = resolve_rng(17)
     return np.vstack([g.normal(0, 0.5, (80, 2)), g.uniform(-2, 2, (40, 2))])
 
 
@@ -44,7 +45,7 @@ class TestSimulatedInvariants:
     @settings(max_examples=20, deadline=None)
     @given(grids, st.integers(1, 6), st.booleans())
     def test_accounting_invariants(self, vset, n_threads, use_minpts_sched):
-        g = np.random.default_rng(17)
+        g = resolve_rng(17)
         cloud = np.vstack([g.normal(0, 0.5, (80, 2)), g.uniform(-2, 2, (40, 2))])
         sched = SchedMinpts() if use_minpts_sched else SchedGreedy()
         batch = SimulatedExecutor(n_threads=n_threads, scheduler=sched).run(
@@ -86,7 +87,7 @@ class TestSimulatedInvariants:
     @settings(max_examples=10, deadline=None)
     @given(grids, st.integers(1, 5))
     def test_determinism(self, vset, n_threads):
-        g = np.random.default_rng(17)
+        g = resolve_rng(17)
         cloud = np.vstack([g.normal(0, 0.5, (80, 2)), g.uniform(-2, 2, (40, 2))])
         a = SimulatedExecutor(n_threads=n_threads).run(cloud, vset).record
         b = SimulatedExecutor(n_threads=n_threads).run(cloud, vset).record

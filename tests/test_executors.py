@@ -25,13 +25,14 @@ from repro.exec import (
 from repro.exec.base import IndexPair
 from repro.exec.procpool import partition_reuse_chains
 from repro.metrics.quality import quality_score
+from repro.util.rng import resolve_rng
 
 VSET = VariantSet.from_product([0.5, 0.7], [4, 8, 12])
 
 
 @pytest.fixture(scope="module")
 def blobs():
-    g = np.random.default_rng(3)
+    g = resolve_rng(3)
     a = g.normal(0.0, 0.4, (120, 2))
     b = g.normal(0.0, 0.4, (120, 2)) + [7.0, 7.0]
     c = g.uniform(-3, 10, (30, 2))
@@ -183,7 +184,9 @@ class TestProcessPool:
 
 class TestRegistry:
     def test_executor_registry(self):
-        assert set(EXECUTORS) == {"serial", "simulated", "threads", "processes"}
+        assert set(EXECUTORS) == {
+            "serial", "simulated", "threads", "processes", "sharded"
+        }
 
     def test_record_carries_config(self, blobs):
         batch = SimulatedExecutor(

@@ -13,6 +13,7 @@ from repro.metrics.external import (
     rand_index,
 )
 from repro.util.errors import ValidationError
+from repro.util.rng import resolve_rng
 
 labels = st.lists(st.integers(-1, 4), min_size=2, max_size=50)
 
@@ -50,7 +51,7 @@ class TestRand:
         assert adjusted_rand_index([-1, -1, -1, -1], [0, 0, 0, 0]) <= 0.0
 
     def test_ari_chance_near_zero(self):
-        g = np.random.default_rng(0)
+        g = resolve_rng(0)
         a = g.integers(0, 5, 400)
         b = g.integers(0, 5, 400)
         assert abs(adjusted_rand_index(a, b)) < 0.05
@@ -76,7 +77,7 @@ class TestPurity:
         assert purity([0, 0, 0, 0], [1, 1, 2, 2]) == 0.5
 
     def test_bounds(self):
-        g = np.random.default_rng(1)
+        g = resolve_rng(1)
         a = g.integers(-1, 3, 100)
         b = g.integers(-1, 3, 100)
         assert 0.0 < purity(a, b) <= 1.0

@@ -14,6 +14,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core.dbscan import dbscan
 from repro.core.incremental import IncrementalDBSCAN
 from repro.metrics.quality import quality_score
+from repro.util.rng import resolve_rng
 
 coord = st.floats(0.0, 12.0, allow_nan=False)
 
@@ -69,7 +70,7 @@ class TestIncrementalInsertions:
 
     def test_bridge_merges_clusters(self):
         """Inserting a dense bridge merges two existing clusters."""
-        g = np.random.default_rng(5)
+        g = resolve_rng(5)
         a = g.normal(0.0, 0.3, (40, 2))
         b = g.normal([6.0, 0.0], 0.3, (40, 2))
         inc = IncrementalDBSCAN(0.8, 4)

@@ -21,6 +21,7 @@ from repro.index._ranges import ranges_to_indices
 from repro.index.mbb import mbb_contains_points, point_query_mbb
 from repro.metrics.counters import WorkCounters
 from repro.util.errors import ValidationError
+from repro.util.rng import resolve_rng
 
 coord = st.floats(-500.0, 500.0, allow_nan=False, allow_infinity=False)
 point_lists = st.lists(st.tuples(coord, coord), min_size=0, max_size=120)
@@ -66,7 +67,7 @@ class TestRangesToIndices:
 
 class TestBinsort:
     def test_permutation(self):
-        pts = np.random.default_rng(0).uniform(0, 50, (200, 2))
+        pts = resolve_rng(0).uniform(0, 50, (200, 2))
         order = binsort_order(pts)
         assert sorted(order.tolist()) == list(range(200))
 
@@ -84,7 +85,7 @@ class TestBinsort:
 
     def test_locality_improves_over_input_order(self):
         """Consecutive bin-sorted points are closer on average than raw order."""
-        pts = np.random.default_rng(5).uniform(0, 100, (500, 2))
+        pts = resolve_rng(5).uniform(0, 100, (500, 2))
         srt = pts[binsort_order(pts)]
         raw_gap = np.linalg.norm(np.diff(pts, axis=0), axis=1).mean()
         srt_gap = np.linalg.norm(np.diff(srt, axis=0), axis=1).mean()
@@ -93,20 +94,20 @@ class TestBinsort:
 
 class TestRTreeConstruction:
     def test_r1_has_n_leaves(self):
-        pts = np.random.default_rng(1).uniform(0, 10, (37, 2))
+        pts = resolve_rng(1).uniform(0, 10, (37, 2))
         t = RTree(pts, r=1)
         assert t.n_leaves == 37
 
     def test_leaf_count_ceil(self):
-        pts = np.random.default_rng(1).uniform(0, 10, (100, 2))
+        pts = resolve_rng(1).uniform(0, 10, (100, 2))
         assert RTree(pts, r=7).n_leaves == 15  # ceil(100/7)
 
     def test_larger_r_gives_shallower_tree(self):
-        pts = np.random.default_rng(2).uniform(0, 100, (2000, 2))
+        pts = resolve_rng(2).uniform(0, 100, (2000, 2))
         assert RTree(pts, r=70).height < RTree(pts, r=1).height
 
     def test_level_sizes_monotone(self):
-        pts = np.random.default_rng(3).uniform(0, 100, (1500, 2))
+        pts = resolve_rng(3).uniform(0, 100, (1500, 2))
         t = RTree(pts, r=4, fanout=8)
         sizes = t.level_sizes
         assert sizes == sorted(sizes)
@@ -129,7 +130,7 @@ class TestRTreeConstruction:
 class TestRTreeQueries:
     @pytest.mark.parametrize("r", [1, 3, 16, 70])
     def test_candidates_are_superset_of_rect_contents(self, r):
-        pts = np.random.default_rng(4).uniform(0, 60, (400, 2))
+        pts = resolve_rng(4).uniform(0, 60, (400, 2))
         t = RTree(pts, r=r)
         for qx, qy in [(5, 5), (30, 30), (59, 1)]:
             mbb = point_query_mbb(qx, qy, 3.0)
@@ -138,7 +139,7 @@ class TestRTreeQueries:
 
     @pytest.mark.parametrize("r", [1, 3, 16, 70])
     def test_query_rect_exact(self, r):
-        pts = np.random.default_rng(5).uniform(0, 60, (400, 2))
+        pts = resolve_rng(5).uniform(0, 60, (400, 2))
         t = RTree(pts, r=r)
         for qx, qy in [(5, 5), (30, 30), (59, 1)]:
             mbb = point_query_mbb(qx, qy, 4.0)
@@ -147,26 +148,26 @@ class TestRTreeQueries:
 
     def test_r1_candidates_are_exact(self):
         """With one point per MBB, box overlap == box containment."""
-        pts = np.random.default_rng(6).uniform(0, 20, (150, 2))
+        pts = resolve_rng(6).uniform(0, 20, (150, 2))
         t = RTree(pts, r=1)
         mbb = point_query_mbb(10, 10, 2.5)
         assert set(t.query_candidates(mbb).tolist()) == brute_rect(pts, mbb)
 
     def test_no_duplicate_candidates(self):
-        pts = np.random.default_rng(7).uniform(0, 10, (300, 2))
+        pts = resolve_rng(7).uniform(0, 10, (300, 2))
         t = RTree(pts, r=9)
         cand = t.query_candidates(np.array([0.0, 0.0, 10.0, 10.0]))
         assert len(set(cand.tolist())) == cand.size == 300
 
     def test_counters_record_node_visits(self):
-        pts = np.random.default_rng(8).uniform(0, 50, (500, 2))
+        pts = resolve_rng(8).uniform(0, 50, (500, 2))
         t = RTree(pts, r=5)
         c = WorkCounters()
         t.query_candidates(point_query_mbb(25, 25, 1.0), c)
         assert c.index_nodes_visited > 0
 
     def test_larger_r_visits_fewer_nodes(self):
-        pts = np.random.default_rng(9).uniform(0, 100, (3000, 2))
+        pts = resolve_rng(9).uniform(0, 100, (3000, 2))
         visits = {}
         for r in (1, 70):
             c = WorkCounters()
@@ -175,14 +176,14 @@ class TestRTreeQueries:
         assert visits[70] < visits[1]
 
     def test_larger_r_returns_more_candidates(self):
-        pts = np.random.default_rng(10).uniform(0, 100, (3000, 2))
+        pts = resolve_rng(10).uniform(0, 100, (3000, 2))
         mbb = point_query_mbb(50, 50, 2.0)
         n1 = RTree(pts, r=1).query_candidates(mbb).size
         n70 = RTree(pts, r=70).query_candidates(mbb).size
         assert n70 >= n1
 
     def test_far_away_query_returns_empty(self):
-        pts = np.random.default_rng(11).uniform(0, 10, (100, 2))
+        pts = resolve_rng(11).uniform(0, 10, (100, 2))
         t = RTree(pts, r=4)
         assert t.query_candidates(point_query_mbb(1e5, 1e5, 1.0)).size == 0
 
@@ -193,7 +194,7 @@ class TestRTreeQueries:
         assert sorted(got.tolist()) == list(range(10))
 
     def test_presort_false_still_correct(self):
-        pts = np.random.default_rng(12).uniform(0, 30, (250, 2))
+        pts = resolve_rng(12).uniform(0, 30, (250, 2))
         t = RTree(pts, r=8, presort=False)
         mbb = point_query_mbb(15, 15, 3.0)
         assert set(t.query_rect(mbb).tolist()) == brute_rect(pts, mbb)
@@ -209,13 +210,13 @@ class TestRTreeQueries:
 
 class TestBruteForceIndex:
     def test_all_points_are_candidates(self):
-        pts = np.random.default_rng(13).uniform(0, 10, (50, 2))
+        pts = resolve_rng(13).uniform(0, 10, (50, 2))
         idx = BruteForceIndex(pts)
         cand = idx.query_candidates(point_query_mbb(5, 5, 0.1))
         assert cand.size == 50
 
     def test_rect_filters_exactly(self):
-        pts = np.random.default_rng(14).uniform(0, 10, (200, 2))
+        pts = resolve_rng(14).uniform(0, 10, (200, 2))
         idx = BruteForceIndex(pts)
         mbb = point_query_mbb(5, 5, 2.0)
         assert set(idx.query_rect(mbb).tolist()) == brute_rect(pts, mbb)
@@ -229,7 +230,7 @@ class TestBruteForceIndex:
 
 class TestUniformGrid:
     def test_rect_matches_brute_force_fixed(self):
-        pts = np.random.default_rng(15).uniform(0, 40, (500, 2))
+        pts = resolve_rng(15).uniform(0, 40, (500, 2))
         g = UniformGridIndex(pts, cell_width=2.0)
         for qx, qy, eps in [(5, 5, 1.0), (20, 20, 3.7), (39, 39, 0.5)]:
             mbb = point_query_mbb(qx, qy, eps)
@@ -254,7 +255,7 @@ class TestUniformGrid:
             UniformGridIndex(np.zeros((2, 2)), cell_width=-1.0)
 
     def test_counts_cell_probes(self):
-        pts = np.random.default_rng(16).uniform(0, 10, (100, 2))
+        pts = resolve_rng(16).uniform(0, 10, (100, 2))
         g = UniformGridIndex(pts, cell_width=1.0)
         c = WorkCounters()
         g.query_candidates(point_query_mbb(5.0, 5.0, 1.0), c)

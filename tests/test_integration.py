@@ -25,6 +25,7 @@ from repro.exec import (
 )
 from repro.exec.base import IndexPair
 from repro.metrics.quality import quality_score
+from repro.util.rng import resolve_rng
 
 VSET = VariantSet.from_product([0.3, 0.5], [4, 8])
 
@@ -66,7 +67,7 @@ class TestPipeline:
         # most co-members in truth stay co-members in the clustering
         agree = 0
         total = 0
-        rng = np.random.default_rng(0)
+        rng = resolve_rng(0)
         idx = rng.choice(np.flatnonzero(clustered), size=min(200, clustered.sum()), replace=False)
         for i in idx:
             same_truth = truth == truth[i]

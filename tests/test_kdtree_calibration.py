@@ -14,6 +14,7 @@ from repro.index.mbb import mbb_contains_points, point_query_mbb
 from repro.metrics.counters import WorkCounters
 from repro.metrics.quality import quality_score
 from repro.util.errors import ValidationError
+from repro.util.rng import resolve_rng
 
 coord = st.floats(-100.0, 100.0, allow_nan=False)
 
@@ -27,7 +28,7 @@ def brute_rect(points, mbb):
 class TestKDTree:
     @pytest.mark.parametrize("leaf_size", [1, 4, 16, 64])
     def test_rect_matches_brute_force(self, leaf_size):
-        pts = np.random.default_rng(3).uniform(0, 60, (800, 2))
+        pts = resolve_rng(3).uniform(0, 60, (800, 2))
         t = KDTree(pts, leaf_size=leaf_size)
         for qx, qy, eps in [(5, 5, 2.0), (30, 30, 6.0), (59, 1, 0.5)]:
             mbb = point_query_mbb(qx, qy, eps)
@@ -44,7 +45,7 @@ class TestKDTree:
         assert sorted(got.tolist()) == list(range(9))
 
     def test_counters_and_leaf_size_tradeoff(self):
-        pts = np.random.default_rng(4).uniform(0, 100, (4000, 2))
+        pts = resolve_rng(4).uniform(0, 100, (4000, 2))
         visits = {}
         for ls in (1, 64):
             c = WorkCounters()
@@ -99,7 +100,7 @@ class TestCalibration:
             search_overhead=2.0,
             reuse_copy_cost=0.05,
         )
-        rng = np.random.default_rng(0)
+        rng = resolve_rng(0)
         samples = [
             synthetic_sample(
                 int(rng.integers(1000, 100000)),

@@ -13,6 +13,7 @@ from hypothesis import given, settings, strategies as st
 from repro.baselines import extract_dbscan, optics
 from repro.core.dbscan import dbscan
 from repro.metrics.quality import quality_score
+from repro.util.rng import resolve_rng
 
 coord = st.floats(0.0, 20.0, allow_nan=False)
 
@@ -44,8 +45,8 @@ class TestOrdering:
 
     def test_components_each_start_with_inf(self):
         pts = np.vstack(
-            [np.random.default_rng(0).normal(0, 0.2, (30, 2)),
-             np.random.default_rng(1).normal(50, 0.2, (30, 2))]
+            [resolve_rng(0).normal(0, 0.2, (30, 2)),
+             resolve_rng(1).normal(50, 0.2, (30, 2))]
         )
         res = optics(pts, 2.0, 4)
         assert int(np.isinf(res.reachability).sum()) >= 2

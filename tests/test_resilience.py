@@ -29,7 +29,7 @@ import contextlib
 import glob
 import json
 import multiprocessing
-from multiprocessing import shared_memory
+from multiprocessing import shared_memory  # repro: allow[shm-lifecycle] (forges leaked segments)
 
 import numpy as np
 import pytest
@@ -586,7 +586,7 @@ def _dead_pid() -> int:
 def orphan_segment():
     """A repro_* segment whose 'creator' pid is dead (a fake leak)."""
     name = f"repro_{_dead_pid()}_feed01"
-    seg = shared_memory.SharedMemory(create=True, size=64, name=name)
+    seg = shared_memory.SharedMemory(create=True, size=64, name=name)  # repro: allow[shm-lifecycle]
     seg.close()
     with contextlib.suppress(Exception):
         from multiprocessing import resource_tracker
@@ -594,7 +594,7 @@ def orphan_segment():
         resource_tracker.unregister(seg._name, "shared_memory")
     yield name
     with contextlib.suppress(FileNotFoundError):
-        stale = shared_memory.SharedMemory(name=name)
+        stale = shared_memory.SharedMemory(name=name)  # repro: allow[shm-lifecycle]
         stale.close()
         stale.unlink()
 
@@ -619,7 +619,7 @@ class TestAudit:
             assert segments[shm.name].orphaned is False
         finally:
             shm.close()
-            shm.unlink()
+            shm.unlink()  # repro: allow[shm-lifecycle] (audit test owns the raw segment)
             reclaim_segments([shm.name])
 
     def test_reclaim_segments_audits_owned_leftovers(self):

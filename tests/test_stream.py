@@ -10,12 +10,13 @@ from repro.core.variants import Variant, VariantSet
 from repro.metrics.quality import quality_score
 from repro.stream import ClusterTracker, VariantMonitor
 from repro.util.errors import ValidationError
+from repro.util.rng import resolve_rng
 
 VSET = VariantSet.from_product([0.8, 1.2], [4, 8])
 
 
 def blob(center, n, seed, sigma=0.3):
-    return np.random.default_rng(seed).normal(center, sigma, (n, 2))
+    return resolve_rng(seed).normal(center, sigma, (n, 2))
 
 
 class TestVariantMonitor:
@@ -38,7 +39,7 @@ class TestVariantMonitor:
 
     def test_dominant_share_grows_with_concentration(self):
         mon = VariantMonitor(VSET)
-        s1 = mon.observe(np.random.default_rng(5).uniform(0, 30, (100, 2)))
+        s1 = mon.observe(resolve_rng(5).uniform(0, 30, (100, 2)))
         s2 = mon.observe(blob([15, 15], 300, 6))
         assert s2.dominant_share > s1.dominant_share
 
@@ -102,7 +103,7 @@ class TestClusterTracker:
         tracker = ClusterTracker(gate=2.0, min_size=5, max_misses=1)
         pts = blob([0, 0], 60, 50)
         tracker.update(pts, self._cluster(pts))
-        empty = np.random.default_rng(0).uniform(40, 60, (30, 2))
+        empty = resolve_rng(0).uniform(40, 60, (30, 2))
         tracker.update(empty, self._cluster(empty))  # miss 1 (coast)
         assert len(tracker.closed) == 0
         tracker.update(empty, self._cluster(empty))  # miss 2 -> closed

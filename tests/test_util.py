@@ -105,7 +105,7 @@ class TestRng:
         assert np.array_equal(a, b)
 
     def test_resolve_passes_generator_through(self):
-        g = np.random.default_rng(1)
+        g = resolve_rng(1)
         assert resolve_rng(g) is g
 
     def test_resolve_none_gives_generator(self):

@@ -8,11 +8,12 @@ import pytest
 from repro.core.variants import Variant
 from repro.metrics.records import BatchRunRecord, VariantRunRecord
 from repro.viz import heatmap, reachability_plot, scatter, timeline
+from repro.util.rng import resolve_rng
 
 
 class TestScatter:
     def test_dimensions(self):
-        pts = np.random.default_rng(0).uniform(0, 10, (100, 2))
+        pts = resolve_rng(0).uniform(0, 10, (100, 2))
         out = scatter(pts, width=40, height=10)
         lines = out.splitlines()
         assert len(lines) == 10
