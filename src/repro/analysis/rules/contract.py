@@ -1,20 +1,28 @@
 """Executor contract: every registered backend honors the same API.
 
 The recovery-transparency grid (tests/test_resilience.py) and the
-canonical-label equivalence suite hold *because* all four backends
-run through the identical ``_run(ctx, variants)`` contract and route
-fault handling through :class:`repro.resilience.runner.ResilientRunner`
-(which is what binds and consumes the :class:`FaultPlan`).  dislib's
-history shows what happens when distributed backends drift: one
-backend grows a keyword the others lack, and every cross-backend
-equivalence claim silently narrows.  This rule pins the contract:
+canonical-label equivalence suite hold *because* every backend runs
+through the identical ``_run(ctx, variants)`` contract and lowers onto
+the shared task-graph runtime
+(:class:`repro.exec.graph.GraphRuntime`), which is the single place
+that owns worker pools and routes fault handling through
+:class:`repro.resilience.runner.ResilientRunner` (the consumer of the
+:class:`FaultPlan`).  dislib's history shows what happens when
+distributed backends drift: one backend grows a keyword the others
+lack, and every cross-backend equivalence claim silently narrows.
+This rule pins the contract:
 
 * every ``BaseExecutor`` subclass under ``repro.exec`` defines a
   string ``name`` and a ``_run`` whose parameters are exactly
   ``(self, ctx, variants)``;
-* the ``_run`` body references ``ResilientRunner`` (FaultPlan
-  consumption — a backend that skips the runner silently ignores
-  injected faults and retry budgets);
+* the ``_run`` body references ``GraphRuntime`` (a backend is a
+  lowering policy, not a pool implementation — one that bypasses the
+  runtime silently ignores the FaultPlan and retry budgets the
+  runtime's ResilientRunner consumes);
+* no module under ``repro.exec`` other than ``repro.exec.graph``
+  spawns workers (``ProcessPoolExecutor`` / ``ThreadPoolExecutor`` /
+  ``threading.Thread`` / ``multiprocessing.Process``) — private pools
+  are exactly the drift this refactor removed;
 * any override of an inherited hook (``run``, ``run_context``,
   ``make_context``) keeps the base signature's parameter names;
 * the ``EXECUTORS`` registry in ``repro/exec/__init__.py`` and the
@@ -33,7 +41,13 @@ __all__ = ["ExecutorContractRule"]
 _EXEC_PACKAGE = "repro.exec"
 _BASE_CLASS = "BaseExecutor"
 _REGISTRY_NAME = "EXECUTORS"
-_RUNNER_NAME = "ResilientRunner"
+_RUNTIME_NAME = "GraphRuntime"
+#: The one module allowed to spawn workers (it owns the pools).
+_RUNTIME_MODULE = f"{_EXEC_PACKAGE}.graph"
+#: Worker-spawning names banned everywhere else under repro.exec.
+_POOL_NAMES = frozenset({"ProcessPoolExecutor", "ThreadPoolExecutor"})
+#: module name -> attribute that spawns a worker.
+_POOL_ATTRS = {"threading": "Thread", "multiprocessing": "Process"}
 
 #: Hooks whose signatures must match the base class when overridden.
 _PINNED_HOOKS = ("_run", "run", "run_context", "make_context")
@@ -90,11 +104,31 @@ def _references(fn: ast.FunctionDef, name: str) -> bool:
     )
 
 
+def _pool_spawn_sites(tree: ast.AST) -> list[tuple[ast.AST, str]]:
+    """Every ``(node, spawned_name)`` that creates a worker pool/thread."""
+    sites: list[tuple[ast.AST, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name in _POOL_NAMES:
+                    sites.append((node, alias.name))
+        elif isinstance(node, ast.Name) and node.id in _POOL_NAMES:
+            sites.append((node, node.id))
+        elif (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and _POOL_ATTRS.get(node.value.id) == node.attr
+        ):
+            sites.append((node, f"{node.value.id}.{node.attr}"))
+    return sites
+
+
 class ExecutorContractRule(ProjectRule):
     rule_id = "executor-contract"
     description = (
-        "registered backends define _run(self, ctx, variants), consume the "
-        "FaultPlan via ResilientRunner, and match the EXECUTORS registry"
+        "registered backends define _run(self, ctx, variants), lower through "
+        "GraphRuntime (the FaultPlan consumer), never spawn private pools, "
+        "and match the EXECUTORS registry"
     )
 
     def _finding(self, mf: ModuleFile, node: ast.AST, message: str) -> Finding:
@@ -151,6 +185,16 @@ class ExecutorContractRule(ProjectRule):
         backends: dict[str, tuple] = {}  # class name -> (ModuleFile, ClassDef)
 
         for mf in project.in_package(_EXEC_PACKAGE):
+            if mf.module != _RUNTIME_MODULE:
+                for node, spawned in _pool_spawn_sites(mf.tree):
+                    findings.append(
+                        self._finding(
+                            mf, node,
+                            f"{mf.module} spawns workers ({spawned}); only "
+                            f"{_RUNTIME_MODULE} may own pools — backends "
+                            "lower through GraphRuntime",
+                        )
+                    )
             for node in mf.tree.body:
                 if not isinstance(node, ast.ClassDef):
                     continue
@@ -188,13 +232,13 @@ class ExecutorContractRule(ProjectRule):
                             f"the contract is ({', '.join(expected)})",
                         )
                     )
-                if not _references(run, _RUNNER_NAME):
+                if not _references(run, _RUNTIME_NAME):
                     findings.append(
                         self._finding(
                             mf, run,
-                            f"{cls_name}._run never references {_RUNNER_NAME}; "
-                            "the backend would ignore FaultPlan / retry "
-                            "budgets",
+                            f"{cls_name}._run never references {_RUNTIME_NAME}; "
+                            "the backend would bypass the task-graph runtime "
+                            "and ignore FaultPlan / retry budgets",
                         )
                     )
             for hook in ("run", "run_context", "make_context"):

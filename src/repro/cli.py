@@ -152,6 +152,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             kernel=args.kernel,
             regions=args.regions,
             part_size=args.part_size,
+            shard_threshold=args.shard_threshold,
             retry_policy=retry_policy,
             resume=args.resume,
         )
@@ -444,6 +445,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
             n_threads=args.threads,
             regions=args.regions,
             part_size=args.part_size,
+            shard_threshold=args.shard_threshold,
         )
     registry = MetricsRegistry.from_batch(batch, tracer)
     print(registry.summary())
@@ -530,6 +532,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="target points per region for --executor sharded "
                         "(region count becomes ceil(n / part_size); "
                         "mutually exclusive with --regions)")
+    s.add_argument("--shard-threshold", type=int, default=None,
+                   dest="shard_threshold", metavar="N",
+                   help="point count at which --executor hybrid shards a "
+                        "from-scratch variant across regions (0 shards "
+                        "every scratch variant)")
     s.add_argument("--scale", type=float, default=None)
     s.add_argument("--resume", default=None, metavar="DIR",
                    help="checkpoint directory: finished variants spill "
@@ -577,6 +584,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="spatial region count for --executor sharded")
     t.add_argument("--part_size", type=int, default=None, dest="part_size",
                    help="target points per region for --executor sharded")
+    t.add_argument("--shard-threshold", type=int, default=None,
+                   dest="shard_threshold", metavar="N",
+                   help="hybrid fan-out threshold (see sweep)")
     t.add_argument("--scale", type=float, default=None)
     t.add_argument("--jsonl", default=None, help="write the trace as JSONL")
     t.add_argument("--chrome", default=None,

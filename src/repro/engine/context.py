@@ -40,6 +40,17 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["KERNELS", "RunContext"]
 
+
+def _null_tracer() -> Tracer:
+    """Default tracer factory: the process-wide disabled null tracer.
+
+    Imported lazily so ``engine.context`` keeps its minimal runtime
+    import surface (the concrete tracer lives in the util layer).
+    """
+    from repro.util.tracing import NULL_TRACER
+
+    return NULL_TRACER
+
 #: From-scratch clustering kernels an executor can dispatch to:
 #: ``bfs`` is the paper's per-point Algorithm 1 machine, ``cellgraph``
 #: the grid-cell kernel of :mod:`repro.core.cellgraph` (byte-identical
@@ -105,6 +116,14 @@ class RunContext:
         count becomes ``ceil(n / part_size)``); ``None`` defers to
         ``regions`` / the worker count.  Ignored by the
         variant-parallel backends.
+    shard_threshold:
+        Point count at which hybrid lowering fans a *from-scratch*
+        variant out into shard/merge tasks (see
+        :mod:`repro.core.taskgraph`).  ``None`` leaves the choice to
+        the backend (the hybrid executor applies
+        :data:`~repro.core.taskgraph.DEFAULT_SHARD_THRESHOLD`; the
+        simulated executor lowers variant-only); ``0`` shards every
+        scratch variant.
     """
 
     store: PointStore
@@ -115,7 +134,7 @@ class RunContext:
     n_threads: int = 1
     batch_size: int = 0
     cache: NeighborhoodCache | None = None
-    tracer: Tracer = field(repr=False, default=None)  # type: ignore[assignment]
+    tracer: Tracer = field(repr=False, default_factory=_null_tracer)
     dataset: str = ""
     retry_policy: RetryPolicy | None = None
     fault_plan: FaultPlan | None = None
@@ -124,6 +143,7 @@ class RunContext:
     factory: IndexFactory | None = field(repr=False, default=None)
     regions: int | None = None
     part_size: int | None = None
+    shard_threshold: int | None = None
 
     @property
     def points(self) -> np.ndarray:

@@ -111,6 +111,10 @@ class Session:
         (``regions`` fixes the region count, ``part_size`` derives it
         as ``ceil(n / part_size)``); ignored by the variant-parallel
         backends.  At most one may be set.
+    shard_threshold:
+        Default point count at which hybrid lowering fans a
+        from-scratch variant out into shard/merge tasks (``None``
+        defers to the backend; ``0`` shards every scratch variant).
     tracer:
         Span collector for everything the session does; ``None``
         resolves to the globally active tracer at each use.
@@ -131,6 +135,7 @@ class Session:
         kernel: str = "bfs",
         regions: int | None = None,
         part_size: int | None = None,
+        shard_threshold: int | None = None,
         tracer: Tracer | None = None,
     ) -> None:
         if cost_model is None:
@@ -163,6 +168,13 @@ class Session:
             check_positive_int(part_size, name="part_size")
             if part_size is not None
             else None
+        )
+        if shard_threshold is not None and int(shard_threshold) < 0:
+            raise ValueError(
+                f"shard_threshold must be >= 0, got {shard_threshold}"
+            )
+        self.shard_threshold = (
+            int(shard_threshold) if shard_threshold is not None else None
         )
         self.tracer = tracer
         self._closed = False
@@ -241,6 +253,7 @@ class Session:
         kernel: str | None = None,
         regions: int | None = None,
         part_size: int | None = None,
+        shard_threshold: int | None = None,
         retry_policy: RetryPolicy | None = None,
         fault_plan: FaultPlan | None = None,
         checkpoint: CheckpointStore | None = None,
@@ -268,6 +281,8 @@ class Session:
             if regions is None and part_size is None:
                 regions = ex.regions
                 part_size = ex.part_size
+            if shard_threshold is None:
+                shard_threshold = ex.shard_threshold
         if ex is not None and getattr(ex, "single_threaded", False):
             n_threads = 1
         from repro.core.scheduling import SchedGreedy
@@ -281,6 +296,8 @@ class Session:
         if regions is None and part_size is None:
             regions = self.regions
             part_size = self.part_size
+        if shard_threshold is None:
+            shard_threshold = self.shard_threshold
         if kernel not in KERNELS:
             raise ValueError(
                 f"unknown kernel {kernel!r}; expected one of {list(KERNELS)}"
@@ -310,6 +327,7 @@ class Session:
             factory=self.factory,
             regions=regions,
             part_size=part_size,
+            shard_threshold=shard_threshold,
         )
 
     def run(
@@ -328,6 +346,7 @@ class Session:
         kernel: str | None = None,
         regions: int | None = None,
         part_size: int | None = None,
+        shard_threshold: int | None = None,
         retry_policy: RetryPolicy | None = None,
         fault_plan: FaultPlan | None = None,
         resume: str | Path | CheckpointStore | None = None,
@@ -335,7 +354,8 @@ class Session:
         """Execute every variant and return the batch result.
 
         ``executor`` may be a backend name (``serial`` / ``simulated``
-        / ``threads`` / ``processes``), a :class:`BaseExecutor`
+        / ``threads`` / ``processes`` / ``sharded`` / ``hybrid``), a
+        :class:`BaseExecutor`
         subclass, an already-configured instance, or ``None`` for the
         serial default.  All other knobs override the session defaults
         for this run only; indexes come from the memoized factory, so
@@ -375,6 +395,7 @@ class Session:
             kernel=kernel,
             regions=regions,
             part_size=part_size,
+            shard_threshold=shard_threshold,
             retry_policy=retry_policy,
             fault_plan=fault_plan,
             checkpoint=checkpoint,

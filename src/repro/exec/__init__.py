@@ -14,6 +14,13 @@ Pick a backend by what you need:
 * :class:`ShardedExecutor` — real processes over *spatial regions with
   eps halos* inside each variant (dislib-style data parallelism);
   merged labels are byte-identical to the serial kernels.
+* :class:`HybridExecutor` — both axes on one pool: large from-scratch
+  variants shard across regions while other variants' reuse chains run
+  concurrently (task-graph lowering, see :mod:`repro.exec.graph`).
+
+Every backend lowers through the same
+:class:`~repro.exec.graph.GraphRuntime` — a backend is a *lowering
+policy* (which task DAG, which substrate), not a pool implementation.
 
 :func:`run_variants` is the legacy one-call convenience entry point;
 prefer :class:`repro.Session`, which keeps the point store and built
@@ -28,6 +35,8 @@ from repro.core.variants import VariantSet
 from repro.exec.base import BaseExecutor, BatchResult, IndexPair
 from repro.exec.calibration import CalibrationSample, collect_samples, fit_cost_model
 from repro.exec.cost import DEFAULT_COST_MODEL, CostModel
+from repro.exec.graph import GraphRuntime
+from repro.exec.hybrid import HybridExecutor
 from repro.exec.procpool import ProcessPoolExecutorBackend
 from repro.exec.serial import SerialExecutor
 from repro.exec.sharded import ShardedExecutor
@@ -43,11 +52,13 @@ __all__ = [
     "CalibrationSample",
     "collect_samples",
     "fit_cost_model",
+    "GraphRuntime",
     "SerialExecutor",
     "SimulatedExecutor",
     "ThreadPoolExecutorBackend",
     "ProcessPoolExecutorBackend",
     "ShardedExecutor",
+    "HybridExecutor",
     "run_variants",
     "EXECUTORS",
 ]
@@ -59,6 +70,7 @@ EXECUTORS: dict[str, type[BaseExecutor]] = {
     ThreadPoolExecutorBackend.name: ThreadPoolExecutorBackend,
     ProcessPoolExecutorBackend.name: ProcessPoolExecutorBackend,
     ShardedExecutor.name: ShardedExecutor,
+    HybridExecutor.name: HybridExecutor,
 }
 
 

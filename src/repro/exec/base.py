@@ -16,7 +16,8 @@ strategies, cache and tracer — assembled either by
 compatibility :meth:`BaseExecutor.run` shim, which still accepts a bare
 point array.
 
-Concrete backends:
+Concrete backends (every one a lowering policy over the task-graph
+runtime in :mod:`repro.exec.graph`):
 
 * :class:`~repro.exec.serial.SerialExecutor` — one thread, queue order.
 * :class:`~repro.exec.threadpool.ThreadPoolExecutorBackend` — real
@@ -25,9 +26,15 @@ Concrete backends:
   reuse chains partitioned across workers (GIL-free); workers attach
   the parent's shared-memory store and index pack instead of pickling
   points and rebuilding trees.
+* :class:`~repro.exec.sharded.ShardedExecutor` — processes over
+  spatial regions with eps halos inside each variant; the parent
+  merges the pieces back into byte-identical canonical labels.
+* :class:`~repro.exec.hybrid.HybridExecutor` — both axes on one pool:
+  large from-scratch variants shard across regions concurrently with
+  other variants' reuse chains.
 * :class:`~repro.exec.simulated.SimulatedExecutor` — deterministic
-  work-unit clock; the backend used to reproduce the paper's scaling
-  figures.
+  work-unit clock pricing any of the above lowerings; the backend used
+  to reproduce the paper's scaling figures.
 """
 
 from __future__ import annotations
@@ -128,10 +135,15 @@ class BaseExecutor(abc.ABC):
         ``cellgraph`` runs scratch variants through the grid-cell
         kernel — byte-identical results, no per-point searches).
     regions / part_size:
-        Spatial partitioning knobs consumed by the sharded executor
-        (``regions`` fixes the region count, ``part_size`` derives it
-        as ``ceil(n / part_size)``); ignored by the variant-parallel
-        backends.  At most one may be set.
+        Spatial partitioning knobs consumed by the sharded, hybrid,
+        and simulated executors (``regions`` fixes the region count,
+        ``part_size`` derives it as ``ceil(n / part_size)``); ignored
+        by the variant-parallel backends.  At most one may be set.
+    shard_threshold:
+        Point count at which hybrid lowering fans a from-scratch
+        variant out into shard/merge tasks (see
+        :mod:`repro.core.taskgraph`).  ``None`` (default) leaves the
+        choice to the backend; ``0`` shards every scratch variant.
     """
 
     name: str = "?"
@@ -153,6 +165,7 @@ class BaseExecutor(abc.ABC):
         kernel: str = "bfs",
         regions: int | None = None,
         part_size: int | None = None,
+        shard_threshold: int | None = None,
     ) -> None:
         self.n_threads = check_positive_int(n_threads, name="n_threads")
         self.scheduler = scheduler if scheduler is not None else SchedGreedy()
@@ -182,6 +195,13 @@ class BaseExecutor(abc.ABC):
             check_positive_int(part_size, name="part_size")
             if part_size is not None
             else None
+        )
+        if shard_threshold is not None and int(shard_threshold) < 0:
+            raise ValueError(
+                f"shard_threshold must be >= 0, got {shard_threshold}"
+            )
+        self.shard_threshold = (
+            int(shard_threshold) if shard_threshold is not None else None
         )
 
     def _build_cache(self) -> NeighborhoodCache | None:
@@ -232,6 +252,7 @@ class BaseExecutor(abc.ABC):
             factory=IndexFactory(),
             regions=self.regions,
             part_size=self.part_size,
+            shard_threshold=self.shard_threshold,
         )
 
     def run(
@@ -289,7 +310,15 @@ class BaseExecutor(abc.ABC):
         """
 
     def __repr__(self) -> str:
+        extras = ""
+        if self.regions is not None:
+            extras += f", regions={self.regions}"
+        if self.part_size is not None:
+            extras += f", part_size={self.part_size}"
+        if self.shard_threshold is not None:
+            extras += f", shard_threshold={self.shard_threshold}"
         return (
             f"{type(self).__name__}(T={self.n_threads}, sched={self.scheduler.name}, "
-            f"reuse={self.reuse_policy.name}, r={self.low_res_r})"
+            f"reuse={self.reuse_policy.name}, r={self.low_res_r}, "
+            f"kernel={self.kernel}{extras})"
         )

@@ -1,0 +1,1261 @@
+"""The unified task-graph runtime every executor backend lowers through.
+
+Before this module the five backends were five sibling ``_run``
+implementations, each with its own pool, retry accounting, and span
+plumbing.  Now a backend is a *lowering policy*: it picks a lowering
+mode (:func:`repro.core.taskgraph.lower_variants`) and a **substrate**,
+and :class:`GraphRuntime` executes the resulting DAG with
+dependency-aware dispatch.  Three substrates cover every backend:
+
+``sim``
+    A deterministic event loop on the work-unit clock.  ``T`` virtual
+    workers carry availability times; a task starts at
+    ``max(worker_available, hard-dep finishes)`` and finishes after its
+    cost-model price.  Runs the serial backend (``T = 1``) and the
+    simulated backend (any lowering mode) — shard and merge tasks
+    execute inline for real (labels are genuine) and are priced
+    individually, so a hybrid graph shows shard tasks of one variant
+    genuinely overlapping other variants' reuse chains on the modeled
+    clock.
+``threads``
+    Real Python threads over the variant tasks (wall clock, online
+    reuse) — the paper's shared-memory Algorithm 3 loop.
+``lanes``
+    Real processes, one single-process pool per *lane*, so a killed
+    worker breaks exactly one lane instead of poisoning every in-flight
+    future.  Group units (reuse chains) run whole inside a
+    :func:`_chain_worker`; shard tasks fan out one region per lane and
+    merge in the parent.  Hybrid graphs dispatch both unit kinds from
+    one ready queue, which is what lets a big scratch variant's shards
+    run concurrently with other variants' reuse chains.
+
+Documented simplifications:
+
+* The ``sim`` substrate does not inject faults into shard/merge tasks
+  (variant tasks route through :class:`ResilientRunner` and keep the
+  legacy simulated fault semantics); process-level shard fault fidelity
+  lives in the ``lanes`` substrate, where kills genuinely terminate
+  worker processes.
+* Lane workers cannot share completed results mid-flight (process
+  isolation), so cross-group reuse is still forfeited — except that a
+  *sharded donor's* merged result is shipped to dependent groups at
+  submission time, which is exactly the hard edge hybrid lowering
+  records.
+
+Shared-memory economics are unchanged from the legacy process
+backends: the parent materializes the point database and the built
+index pack once; every lane worker attaches (zero-copy) instead of
+pickling points or rebuilding trees.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from repro.core.neighcache import NeighborhoodCache
+from repro.core.result import ClusteringResult
+from repro.core.reuse import POLICIES
+from repro.core.scheduling import (
+    CompletedRegistry,
+    PlannedVariant,
+    SchedGreedy,
+    dependency_tree,
+)
+from repro.core.shard import (
+    ShardPiece,
+    ShardPlan,
+    cluster_shard,
+    merge_shards,
+    plan_shards,
+    resolve_n_regions,
+)
+from repro.core.taskgraph import (
+    MergeTask,
+    ShardTask,
+    TaskGraph,
+    VariantTask,
+    lower_variants,
+)
+from repro.core.variants import Variant, VariantSet, sort_key
+from repro.engine.context import RunContext
+from repro.engine.factory import (
+    IndexFactory,
+    IndexPairHandle,
+    attach_index_pair,
+    share_index_pair,
+)
+from repro.engine.shm import destroy_segment, release_segment
+from repro.engine.store import PointStore, PointStoreHandle
+from repro.exec.base import BaseExecutor, BatchResult
+from repro.exec.cost import CostModel
+from repro.metrics.counters import WorkCounters
+from repro.metrics.records import BatchRunRecord, VariantRunRecord
+from repro.obs.span import SPAN_TASK, SpanRecord, Tracer, set_tracer
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.faults import (
+    BoundFaultPlan,
+    FaultSpec,
+    allow_kill_faults,
+    corrupt_result,
+    verify_result,
+)
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.report import BatchReport, VariantOutcome, VariantStatus
+from repro.resilience.runner import EVENT_RETRY, ResilientRunner
+
+__all__ = [
+    "EVENT_SHARD_PLAN",
+    "GraphRuntime",
+    "SUBSTRATES",
+    "partition_reuse_chains",
+]
+
+#: Instant event emitted once per batch describing the shard partition.
+EVENT_SHARD_PLAN = "shard_plan"
+
+#: Recognized execution substrates (see module docstring).
+SUBSTRATES = ("sim", "threads", "lanes")
+
+
+def partition_reuse_chains(
+    variants: VariantSet, n_workers: int
+) -> list[list[Variant]]:
+    """Split a variant set into <= ``n_workers`` reuse-closed groups.
+
+    Each returned group is ordered depth-first along the dependency
+    tree, so executing it serially front-to-back always finds each
+    variant's reuse source already completed (when the source is in the
+    group).  Groups are balanced greedily by variant count.
+    """
+    tree = dependency_tree(variants)
+    subtrees: list[list[Variant]] = []
+    roots = sorted(
+        (v for v, d in tree.nodes(data=True) if d.get("root")), key=sort_key
+    )
+    for root in roots:
+        order: list[Variant] = []
+        stack = [root]
+        while stack:
+            v = stack.pop()
+            order.append(v)
+            stack.extend(sorted(tree.successors(v), key=sort_key, reverse=True))
+        subtrees.append(order)
+
+    # Split any subtree bigger than an even share into contiguous
+    # depth-first chunks of near-equal size (a target-size prefix walk
+    # would strand a tiny remainder chunk — e.g. a 13-variant chain on
+    # 4 workers must become 4+3+3+3, not 4+4+4+1, or one worker idles).
+    # A chunk cut leaves the suffix's first variant without its in-group
+    # parent, so the suffix simply starts from scratch — correct, just
+    # less reuse.
+    target = max(1, -(-len(variants) // n_workers))  # ceil division
+    pieces: list[list[Variant]] = []
+    for st in subtrees:
+        if len(st) <= target:
+            pieces.append(st)
+            continue
+        k = -(-len(st) // target)
+        base, extra = divmod(len(st), k)
+        sizes = [base + 1] * extra + [base] * (k - extra)
+        i = 0
+        for size in sizes:
+            pieces.append(st[i : i + size])
+            i += size
+
+    # Greedy largest-first bin packing onto the workers, balanced by
+    # total variant count (singleton leftovers included).
+    pieces.sort(key=len, reverse=True)
+    bins: list[list[Variant]] = [[] for _ in range(min(n_workers, len(pieces)))]
+    for piece in pieces:
+        smallest = min(bins, key=len)
+        smallest.extend(piece)
+    return [b for b in bins if b]
+
+
+class _FixedOrderScheduler(SchedGreedy):
+    """SCHEDGREEDY source selection, but a caller-specified queue order."""
+
+    name = "SCHEDGREEDY(chain)"
+
+    def __init__(self, order: list[Variant]) -> None:
+        self._order = list(order)
+
+    def plan(self, vset: VariantSet) -> list[PlannedVariant]:
+        return [PlannedVariant(v) for v in self._order]
+
+
+def _chain_worker(
+    store_handle: PointStoreHandle,
+    idx_handle: IndexPairHandle,
+    variant_tuples: list[tuple[float, int]],
+    donors: list[tuple[tuple[float, int], ClusteringResult]],
+    reuse_policy_name: str,
+    cost_model: CostModel,
+    t0: float,
+    batch_size: int,
+    cache_bytes: int,
+    trace: bool,
+    retry_policy: RetryPolicy | None = None,
+    fault_plan: BoundFaultPlan | None = None,
+    checkpoint_root: str | None = None,
+    kernel: str = "bfs",
+):
+    """Run one reuse-chain group serially inside a lane worker process.
+
+    The worker attaches the parent's shared point segment and index
+    pack (zero-copy views; spans ``shm_attach``) instead of receiving
+    pickled points and rebuilding both trees.  ``donors`` carries the
+    completed results of sharded donors this group hard-depends on;
+    they are seeded into the worker's completed registry at t = 0 so
+    the group's head can reuse them (the registry accepts out-of-set
+    donors — inclusion checks are pure variant arithmetic).  The
+    neighborhood cache and tracer cannot cross the process boundary, so
+    each worker builds its own; spans are rebased onto the batch wall
+    window and shipped back as plain records.
+
+    Resilience plumbing matches the legacy process backend: the parent
+    ships its retry policy, the already-bound fault plan (re-keyed by
+    the group's submission attempt, see :meth:`BoundFaultPlan.shifted`),
+    and the checkpoint root; the in-worker :class:`ResilientRunner`
+    runs the same recovery loop as every other backend.  ``kill``
+    faults are armed here — and only in workers — so they genuinely
+    terminate a worker process without ever taking down an in-process
+    caller.
+    """
+    allow_kill_faults(True)
+    tracer = Tracer() if trace else None
+    set_tracer(tracer)
+    # perf_counter is monotonic *and* system-wide, so the parent's t0
+    # is directly comparable here (unlike time.time, which can step
+    # under NTP between the parent's stamp and ours).
+    start = time.perf_counter() - t0
+    perf_start = time.perf_counter()
+    store = PointStore.attach(store_handle, tracer=tracer)
+    idx_shm, indexes = attach_index_pair(idx_handle, store.points, tracer=tracer)
+    order = [Variant(e, m) for e, m in variant_tuples]
+    vset = VariantSet(order)
+    cache = (
+        NeighborhoodCache(capacity_bytes=cache_bytes) if cache_bytes > 0 else None
+    )
+    checkpoint = (
+        CheckpointStore(checkpoint_root, store.fingerprint, store.n_points)
+        if checkpoint_root
+        else None
+    )
+    ctx = RunContext(
+        store=store,
+        indexes=indexes,
+        scheduler=_FixedOrderScheduler(order),
+        reuse_policy=POLICIES[reuse_policy_name],
+        cost_model=cost_model,
+        n_threads=1,
+        batch_size=batch_size,
+        cache=cache,
+        dataset="",
+        retry_policy=retry_policy,
+        fault_plan=fault_plan,
+        checkpoint=checkpoint,
+        kernel=kernel,
+        factory=IndexFactory(),
+        **({"tracer": tracer} if tracer is not None else {}),
+    )
+    runner = ResilientRunner(ctx, vset)
+    registry = CompletedRegistry()
+    results: dict[Variant, ClusteringResult] = {}
+    records: list[VariantRunRecord] = []
+    try:
+        done = runner.resume_into(registry, results, records)
+        # Sharded donors completed before this group was even submitted;
+        # t = 0 makes them eligible for the whole chain.  They are *not*
+        # part of the worker's variant set (resume/record bookkeeping
+        # iterates the set), only reuse sources.
+        for (e, m), donor_result in donors:
+            registry.add(Variant(e, m), donor_result, finished_at=0.0)
+        clock = 0.0
+        for planned in ctx.scheduler.plan(vset):
+            if planned.variant in done:
+                continue
+            result, record = runner.execute(planned, registry, concurrency=1)
+            if result is None:  # permanent failure: skip, group continues
+                continue
+            record.start = clock
+            clock += record.response_time
+            record.finish = clock
+            record.thread_id = 0
+            registry.add(planned.variant, result, finished_at=clock)
+            results[planned.variant] = result
+            records.append(record)
+        if tracer is not None:
+            BaseExecutor._trace_cache_stats(tracer, cache)
+    finally:
+        # Drop every view into the segments before unmapping; both
+        # closes tolerate lingering exports (OS reclaims at exit).
+        del ctx, indexes
+        release_segment(idx_shm)
+        store.close()
+    finish = time.perf_counter() - t0
+    # Re-stamp the work-unit timestamps onto the worker's wall window.
+    span = finish - start
+    total = clock or 1.0
+    for rec in records:
+        rec.start = start + rec.start / total * span
+        rec.finish = start + rec.finish / total * span
+        rec.response_time = rec.finish - rec.start
+    batch = BatchResult(
+        results=results,
+        record=BatchRunRecord(records=records, n_threads=1, makespan=clock),
+        report=runner.report(),
+    )
+    spans = None
+    if tracer is not None:
+        spans = tracer.drain()
+        for s in spans:
+            s.t0 = s.t0 - perf_start + start
+        set_tracer(None)
+    return batch, spans
+
+
+def _shard_worker(
+    store_handle: PointStoreHandle,
+    plan: ShardPlan,
+    region: int,
+    minpts: int,
+    kernel: str,
+    batch_size: int,
+    t0: float,
+    trace: bool,
+    fault_spec: FaultSpec | None = None,
+    deadline_s: float | None = None,
+) -> tuple[ShardPiece, list[SpanRecord] | None, float, float]:
+    """Cluster one region's slab inside a lane worker process.
+
+    The worker attaches the parent's shared point segment (zero-copy)
+    and slices it by the region's index sets — no point array crosses
+    the process boundary in either direction.  When the parent shipped
+    a ``start``-phase fault spec for this region, it fires here:
+    ``kill`` faults are armed (and only here), so they genuinely
+    terminate the worker process.
+
+    Tracing mirrors the chain worker: a worker-local tracer records the
+    shard spans, which are rebased onto the batch wall window (``t0``
+    is from the parent's monotonic clock, which is system-wide) and
+    shipped back as plain records.
+    """
+    allow_kill_faults(True)
+    tracer = Tracer() if trace else None
+    set_tracer(tracer)
+    start = time.perf_counter() - t0
+    perf_start = time.perf_counter()
+    store = PointStore.attach(store_handle, tracer=tracer)
+    try:
+        if fault_spec is not None:
+            BoundFaultPlan({}).fire(
+                fault_spec, deadline_s=deadline_s, started_at=perf_start
+            )
+        piece = cluster_shard(
+            store.points,
+            plan,
+            region,
+            minpts,
+            kernel=kernel,
+            batch_size=batch_size,
+            tracer=tracer,
+        )
+    finally:
+        store.close()
+    finish = time.perf_counter() - t0
+    spans = None
+    if tracer is not None:
+        spans = tracer.drain()
+        for s in spans:
+            s.t0 = s.t0 - perf_start + start
+        set_tracer(None)
+    return piece, spans, start, finish
+
+
+# --------------------------------------------------------------------------
+# lane-substrate scheduling units
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _GroupUnit:
+    """One reuse-chain group destined for a :func:`_chain_worker`."""
+
+    gid: int
+    variants: list[Variant]
+    deps: set[str]  # merge-task ids of sharded donors
+    submissions: int = 0
+    running: bool = False
+    done: bool = False
+
+
+@dataclass
+class _ShardPipeline:
+    """One sharded variant: region fan-out plus the parent-side merge."""
+
+    variant: Variant
+    n_regions: int
+    deps: set[str]  # sequencing edges (shard mode) — empty in hybrid
+    merge_id: str
+    shard_ids: tuple[str, ...]
+    attempt: int = 0  # advances once per absorbed recovery round
+    started_at: float = 0.0  # perf_counter at first dispatch
+    started: bool = False
+    done: bool = False
+    last_error: str | None = None
+    pieces: dict[int, tuple[ShardPiece, float]] = field(default_factory=dict)
+    inflight: set[int] = field(default_factory=set)
+
+    def pending_regions(self) -> list[int]:
+        return [
+            r
+            for r in range(self.n_regions)
+            if r not in self.pieces and r not in self.inflight
+        ]
+
+
+@dataclass
+class _Job:
+    """Bookkeeping for one in-flight lane future."""
+
+    kind: str  # "group" | "shard"
+    unit: object  # _GroupUnit | _ShardPipeline
+    lane: int
+    deadline: float | None  # absolute time.monotonic() watchdog budget
+    region: int = -1
+    stamp: int = -1  # pipeline attempt at submission (staleness check)
+
+
+class _Lane:
+    """One worker slot: a single-process pool a kill breaks in isolation."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.pool = ProcessPoolExecutor(max_workers=1)
+
+    def respawn(self, *, hung: bool = False) -> None:
+        if hung:  # wedged workers never join; kill them first
+            for proc in list(getattr(self.pool, "_processes", {}).values()):
+                proc.terminate()
+        self.pool.shutdown(wait=True, cancel_futures=True)
+        self.pool = ProcessPoolExecutor(max_workers=1)
+
+    def close(self) -> None:
+        self.pool.shutdown(wait=True, cancel_futures=True)
+
+
+class GraphRuntime:
+    """Execute a lowered :class:`TaskGraph` on one worker pool.
+
+    ``substrate`` picks the execution medium (one of
+    :data:`SUBSTRATES`); the lowering ``mode`` passed to :meth:`run`
+    picks the graph shape.  Every backend's ``_run`` is a one-line
+    combination of the two.
+    """
+
+    def __init__(self, substrate: str) -> None:
+        if substrate not in SUBSTRATES:
+            raise ValueError(
+                f"unknown substrate {substrate!r}; "
+                f"expected one of {list(SUBSTRATES)}"
+            )
+        self.substrate = substrate
+
+    # -- entry point -----------------------------------------------------
+    def run(
+        self, ctx: RunContext, variants: VariantSet, *, mode: str = "variant"
+    ) -> BatchResult:
+        tracer = ctx.tracer
+        runner = ResilientRunner(ctx, variants)
+        registry = CompletedRegistry()
+        results: dict[Variant, ClusteringResult] = {}
+        records: list[VariantRunRecord] = []
+        done = runner.resume_into(registry, results, records)
+        plan = [
+            p for p in ctx.scheduler.plan(variants) if p.variant not in done
+        ]
+        base_plan: ShardPlan | None = None
+        n_regions = 1
+        if mode in ("shard", "hybrid") and plan:
+            n_regions = resolve_n_regions(
+                ctx.store.n_points, ctx.regions, ctx.part_size,
+                default=ctx.n_threads,
+            )
+            # Cut geometry is eps-independent; plan once, re-halo per
+            # variant with ShardPlan.with_eps.  plan_shards may clamp a
+            # degenerate (empty) database to one region — lower with
+            # the *planned* count so graph and geometry always agree.
+            base_plan = plan_shards(ctx.points, plan[0].variant.eps, n_regions)
+            n_regions = base_plan.n_regions
+        graph = lower_variants(
+            plan,
+            variants,
+            mode=mode,
+            n_regions=n_regions,
+            n_points=ctx.store.n_points,
+            shard_threshold=ctx.shard_threshold,
+        )
+        if graph.merge_tasks() and base_plan is not None:
+            tracer.instant(
+                EVENT_SHARD_PLAN,
+                regions=base_plan.n_regions,
+                axis=base_plan.axis,
+                n=ctx.store.n_points,
+            )
+        if len(graph):
+            if self.substrate == "sim":
+                self._run_sim(
+                    ctx, runner, graph, base_plan, registry, results, records
+                )
+            elif self.substrate == "threads":
+                self._run_threads(ctx, runner, graph, registry, results, records)
+            else:
+                self._run_lanes(
+                    ctx, runner, graph, base_plan, registry, results, records
+                )
+        makespan = max((r.finish for r in records), default=0.0)
+        batch_record = BatchRunRecord(
+            records=records, n_threads=ctx.n_threads, makespan=makespan
+        )
+        return BatchResult(
+            results=results, record=batch_record, report=runner.report()
+        )
+
+    # -- sim substrate ---------------------------------------------------
+    def _run_sim(
+        self,
+        ctx: RunContext,
+        runner: ResilientRunner,
+        graph: TaskGraph,
+        base_plan: ShardPlan | None,
+        registry: CompletedRegistry,
+        results: dict,
+        records: list,
+    ) -> None:
+        """Deterministic event loop on the work-unit clock.
+
+        ``T`` virtual workers carry availability times in a min-heap;
+        tasks dispatch in graph (plan) order, each starting at
+        ``max(worker_available, hard-dep finishes)``.  Variant tasks
+        route through the resilient runner with ``before = start`` (the
+        online reuse constraint a real pool faces); shard and merge
+        tasks execute inline for real and are priced by the cost model
+        at contention ``T``.  Ties on availability break on worker id,
+        so the whole schedule is bit-reproducible.
+        """
+        tracer = ctx.tracer
+        workers = [(0.0, tid) for tid in range(ctx.n_threads)]
+        heapq.heapify(workers)
+        finish_at: dict[str, float] = {}
+        failed: set[str] = set()
+        task_spans: list[SpanRecord] = []
+        # Per-sharded-variant state: re-haloed plan, pieces, wall start.
+        plans: dict[Variant, ShardPlan] = {}
+        pieces: dict[Variant, dict[int, tuple[ShardPiece, float]]] = {}
+        wall_t0: dict[Variant, float] = {}
+
+        def variant_plan(variant: Variant) -> ShardPlan:
+            assert base_plan is not None
+            if variant not in plans:
+                plans[variant] = base_plan.with_eps(variant.eps)
+            return plans[variant]
+
+        for task in graph.tasks:
+            dep_finishes = [finish_at[d] for d in task.deps if d in finish_at]
+            if isinstance(task, MergeTask):
+                if any(d in failed for d in task.deps):
+                    # A shard task failed (not reachable today: the sim
+                    # substrate injects no shard faults) — the variant
+                    # fails and the batch continues.
+                    failed.add(task.task_id)
+                    runner.mark_failed_group(
+                        [task.variant], "shard task failed", attempts=1
+                    )
+                    continue
+                avail, tid = heapq.heappop(workers)
+                start = max([avail, *dep_finishes])
+                variant = task.variant
+                merge_delta = WorkCounters()
+                ordered = [pieces[variant][r][0] for r in range(task.n_regions)]
+                labels, core_mask = merge_shards(
+                    ctx.points,
+                    variant_plan(variant),
+                    ordered,
+                    counters=merge_delta,
+                    tracer=tracer,
+                )
+                merged = WorkCounters()
+                for piece, _ in pieces[variant].values():
+                    merged.merge(piece.counters)
+                dur = ctx.cost_model.duration(merge_delta, ctx.n_threads)
+                merged.merge(merge_delta)
+                finish = start + dur
+                result = ClusteringResult(
+                    labels,
+                    core_mask,
+                    variant=variant,
+                    counters=merged,
+                    elapsed=time.perf_counter() - wall_t0[variant],
+                )
+                if runner.enabled:
+                    verify_result(result, ctx.store.n_points)
+                sim_start = min(s for _, s in pieces[variant].values())
+                record = VariantRunRecord(
+                    variant=variant,
+                    response_time=finish - sim_start,
+                    wall_time=result.elapsed,
+                    start=sim_start,
+                    finish=finish,
+                    thread_id=tid,
+                    n_clusters=result.n_clusters,
+                    n_noise=result.n_noise,
+                    counters=merged,
+                )
+                registry.add(variant, result, finished_at=finish)
+                results[variant] = result
+                records.append(record)
+                heapq.heappush(workers, (finish, tid))
+                finish_at[task.task_id] = finish
+                del pieces[variant]
+                if runner.checkpoint is not None:
+                    runner.checkpoint.save(result)
+                if runner.enabled:
+                    runner.merge_outcomes(
+                        BatchReport(
+                            outcomes={
+                                variant: VariantOutcome(
+                                    variant, VariantStatus.OK, attempts=1
+                                )
+                            }
+                        )
+                    )
+                task_spans.append(
+                    SpanRecord(
+                        SPAN_TASK, start, dur, f"sim-{tid}",
+                        {"kind": "merge", "id": task.task_id,
+                         "deps": list(task.deps)},
+                    )
+                )
+            elif isinstance(task, ShardTask):
+                # Sequencing deps (shard mode) gate the start time; a
+                # failed dep simply does not delay (legacy sharded runs
+                # the next variant after a permanent failure).
+                avail, tid = heapq.heappop(workers)
+                start = max([avail, *dep_finishes])
+                variant = task.variant
+                if variant not in wall_t0:
+                    wall_t0[variant] = time.perf_counter()
+                piece = cluster_shard(
+                    ctx.points,
+                    variant_plan(variant),
+                    task.region,
+                    variant.minpts,
+                    kernel=ctx.kernel,
+                    batch_size=ctx.batch_size,
+                    tracer=tracer,
+                )
+                dur = ctx.cost_model.duration(piece.counters, ctx.n_threads)
+                finish = start + dur
+                pieces.setdefault(variant, {})[task.region] = (piece, start)
+                heapq.heappush(workers, (finish, tid))
+                finish_at[task.task_id] = finish
+                task_spans.append(
+                    SpanRecord(
+                        SPAN_TASK, start, dur, f"sim-{tid}",
+                        {"kind": "shard", "id": task.task_id,
+                         "deps": list(task.deps)},
+                    )
+                )
+            else:  # VariantTask
+                avail, tid = heapq.heappop(workers)
+                # Failed hard deps (a sharded donor that died) are
+                # dropped: the donor is absent from the registry, so
+                # select_source re-plans onto a survivor or scratch.
+                start = max([avail, *dep_finishes])
+                result, record = runner.execute(
+                    task.planned, registry, before=start
+                )
+                if result is None:  # permanent failure: worker frees at once
+                    failed.add(task.task_id)
+                    heapq.heappush(workers, (avail, tid))
+                    continue
+                finish = start + record.response_time
+                record.start = start
+                record.finish = finish
+                record.thread_id = tid
+                registry.add(task.variant, result, finished_at=finish)
+                heapq.heappush(workers, (finish, tid))
+                finish_at[task.task_id] = finish
+                results[task.variant] = result
+                records.append(record)
+                task_spans.append(
+                    SpanRecord(
+                        SPAN_TASK, start, finish - start, f"sim-{tid}",
+                        {"kind": "variant", "id": task.task_id,
+                         "deps": list(task.deps),
+                         "soft": list(task.soft_deps)},
+                    )
+                )
+        if tracer.enabled and task_spans:
+            tracer.add_records(task_spans)
+        BaseExecutor._trace_cache_stats(tracer, ctx.cache)
+
+    # -- threads substrate -----------------------------------------------
+    def _run_threads(
+        self,
+        ctx: RunContext,
+        runner: ResilientRunner,
+        graph: TaskGraph,
+        registry: CompletedRegistry,
+        results: dict,
+        records: list,
+    ) -> None:
+        """Real shared-memory threads over the variant tasks.
+
+        Variant lowering carries no hard edges (donor edges are soft),
+        so workers pull tasks from the queue in dispatch order and the
+        online registry decides reuse — the paper's OpenMP loop.
+        """
+        tasks = graph.variant_tasks()
+        tracer = ctx.tracer
+        queue_lock = threading.Lock()
+        results_lock = threading.Lock()
+        next_item = 0
+        t0 = time.perf_counter()
+
+        def worker(tid: int) -> None:
+            nonlocal next_item
+            while True:
+                with queue_lock:
+                    if next_item >= len(tasks):
+                        return
+                    task = tasks[next_item]
+                    next_item += 1
+                start = time.perf_counter() - t0
+                with tracer.span(
+                    SPAN_TASK,
+                    kind="variant",
+                    id=task.task_id,
+                    deps=list(task.deps),
+                    soft=list(task.soft_deps),
+                ):
+                    result, record = runner.execute(
+                        task.planned,
+                        registry,
+                        before=None,  # wall clock: anything completed is eligible
+                    )
+                if result is None:  # permanent failure: skip, batch continues
+                    continue
+                finish = time.perf_counter() - t0
+                record.start = start
+                record.finish = finish
+                record.response_time = finish - start
+                record.thread_id = tid
+                registry.add(task.variant, result, finished_at=finish)
+                with results_lock:
+                    results[task.variant] = result
+                    records.append(record)
+
+        threads = [
+            threading.Thread(
+                target=worker, args=(tid,), name=f"variant-worker-{tid}"
+            )
+            for tid in range(ctx.n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        BaseExecutor._trace_cache_stats(tracer, ctx.cache)
+
+    # -- lanes substrate --------------------------------------------------
+    def _run_lanes(
+        self,
+        ctx: RunContext,
+        runner: ResilientRunner,
+        graph: TaskGraph,
+        base_plan: ShardPlan | None,
+        registry: CompletedRegistry,
+        results: dict,
+        records: list,
+    ) -> None:
+        """Process lanes: dependency-aware dispatch of groups and shards.
+
+        Every lane is its own single-process pool, so a killed worker
+        breaks exactly one lane (the legacy shared pool poisoned every
+        in-flight future).  Group units keep the legacy process-backend
+        accounting: one submission counter per group, fault plans
+        re-keyed with :meth:`BoundFaultPlan.shifted` on resubmission,
+        and a respawn budget extended by the number of *planned* kills.
+        Shard pipelines keep the legacy sharded-backend accounting: one
+        attempt per recovery round, completed regions keep their
+        pieces, finish-phase faults retry the whole variant.
+        """
+        tracer = ctx.tracer
+        policy = runner.policy
+        max_attempts = policy.max_attempts if policy is not None else 1
+        planned_kills = (
+            sum(1 for s in runner.faults.table.values() if s.kind == "kill")
+            if runner.faults
+            else 0
+        )
+        max_submissions = max_attempts + planned_kills
+        deadline = policy.deadline_s if policy is not None else None
+
+        variant_tasks = graph.variant_tasks()
+        merge_tasks = graph.merge_tasks()
+        shard_deps: dict[Variant, set[str]] = {}
+        for st in graph.shard_tasks():
+            shard_deps.setdefault(st.variant, set()).update(st.deps)
+        sharded_set = {t.variant for t in merge_tasks}
+        hard_deps = {t.variant: set(t.deps) for t in variant_tasks}
+
+        # Group the plain variants along the *global* reuse forest (so
+        # a sharded root's subtree stays one chain), then drop the
+        # sharded variants themselves — their results arrive as donors.
+        groups: list[_GroupUnit] = []
+        if variant_tasks:
+            all_vs = [t.variant for t in variant_tasks] + list(sharded_set)
+            raw = partition_reuse_chains(VariantSet(all_vs), ctx.n_threads)
+            for chain in raw:
+                kept = [v for v in chain if v not in sharded_set]
+                if not kept:
+                    continue
+                deps: set[str] = set()
+                for v in kept:
+                    deps |= hard_deps[v]
+                groups.append(_GroupUnit(len(groups), kept, deps))
+
+        pipelines: dict[Variant, _ShardPipeline] = {}
+        for mt in merge_tasks:
+            pipelines[mt.variant] = _ShardPipeline(
+                variant=mt.variant,
+                n_regions=mt.n_regions,
+                deps=set(shard_deps.get(mt.variant, set())),
+                merge_id=mt.task_id,
+                shard_ids=tuple(mt.deps),
+            )
+        merge_variant = {p.merge_id: p.variant for p in pipelines.values()}
+
+        # Dispatch order: units appear where their first task does.
+        group_of = {v: g for g in groups for v in g.variants}
+        units: list[_GroupUnit | _ShardPipeline] = []
+        seen: set[int] = set()
+        for task in graph.tasks:
+            unit: _GroupUnit | _ShardPipeline | None
+            if isinstance(task, VariantTask):
+                unit = group_of.get(task.variant)
+            else:
+                unit = pipelines.get(task.variant)
+            if unit is not None and id(unit) not in seen:
+                seen.add(id(unit))
+                units.append(unit)
+
+        if self.substrate == "lanes" and graph.mode == "shard":
+            n_lanes = max(1, min(ctx.n_threads, merge_tasks[0].n_regions))
+        elif graph.mode == "variant":
+            n_lanes = max(1, len(groups))
+        else:
+            n_lanes = max(1, ctx.n_threads)
+
+        store_handle = ctx.store.ensure_shared(tracer=tracer)
+        idx_shm = idx_handle = None
+        if groups:
+            idx_shm, idx_handle = share_index_pair(ctx.indexes, tracer=tracer)
+        cache_bytes = ctx.cache.capacity_bytes if ctx.cache is not None else 0
+        checkpoint_root = (
+            str(ctx.checkpoint.root) if ctx.checkpoint is not None else None
+        )
+        t0 = time.perf_counter()
+        lanes = [_Lane(i) for i in range(n_lanes)]
+        free_lanes = list(range(n_lanes))
+        inflight: dict[Future, _Job] = {}
+        resolved: set[str] = set()
+        failed_ids: set[str] = set()
+        task_spans: list[SpanRecord] = []
+
+        def settled() -> set[str]:
+            return resolved | failed_ids
+
+        def submit_group(unit: _GroupUnit, lane: int) -> None:
+            plan = runner.faults
+            if plan is not None and unit.submissions > 0:
+                plan = plan.shifted(unit.submissions)
+            donors = []
+            for dep in sorted(unit.deps):
+                v = merge_variant[dep]
+                if v in results:
+                    donors.append((v.as_tuple(), results[v]))
+            budget = (
+                time.monotonic()
+                + deadline * len(unit.variants) * max_attempts
+                + 30.0
+                if deadline is not None
+                else None
+            )
+            unit.running = True
+            fut = lanes[lane].pool.submit(
+                _chain_worker,
+                store_handle,
+                idx_handle,
+                [v.as_tuple() for v in unit.variants],
+                donors,
+                ctx.reuse_policy.name,
+                ctx.cost_model,
+                t0,
+                ctx.batch_size,
+                cache_bytes,
+                tracer.enabled,
+                policy,
+                plan,
+                checkpoint_root,
+                ctx.kernel,
+            )
+            inflight[fut] = _Job("group", unit, lane, budget)
+
+        def submit_shard(pipe: _ShardPipeline, region: int, lane: int) -> None:
+            assert base_plan is not None
+            if not pipe.started:
+                pipe.started = True
+                pipe.started_at = time.perf_counter()
+            spec = None
+            if runner.faults:
+                found = runner.faults.find(pipe.variant, pipe.attempt, "start")
+                if found is not None and region == found.index % pipe.n_regions:
+                    spec = found
+            budget = (
+                time.monotonic() + deadline + 30.0
+                if deadline is not None
+                else None
+            )
+            pipe.inflight.add(region)
+            fut = lanes[lane].pool.submit(
+                _shard_worker,
+                store_handle,
+                base_plan.with_eps(pipe.variant.eps),
+                region,
+                pipe.variant.minpts,
+                ctx.kernel,
+                ctx.batch_size,
+                t0,
+                tracer.enabled,
+                spec,
+                deadline,
+            )
+            inflight[fut] = _Job(
+                "shard", pipe, lane, budget, region=region, stamp=pipe.attempt
+            )
+
+        def next_dispatch() -> tuple[str, object, int] | None:
+            ready = settled()
+            for unit in units:
+                if isinstance(unit, _GroupUnit):
+                    if (
+                        not unit.done
+                        and not unit.running
+                        and unit.deps <= ready
+                    ):
+                        return ("group", unit, -1)
+                else:
+                    if not unit.done and unit.deps <= ready:
+                        pending = unit.pending_regions()
+                        if pending:
+                            return ("shard", unit, pending[0])
+            return None
+
+        def fail_pipeline(pipe: _ShardPipeline, error: str) -> None:
+            runner.mark_failed_group([pipe.variant], error, attempts=pipe.attempt)
+            pipe.done = True
+            failed_ids.add(pipe.merge_id)
+
+        def handle_group_failure(job: _Job, error: str) -> None:
+            unit = job.unit
+            assert isinstance(unit, _GroupUnit)
+            unit.running = False
+            unit.submissions += 1
+            if unit.submissions >= max_submissions:
+                runner.mark_failed_group(
+                    unit.variants, error, attempts=unit.submissions
+                )
+                unit.done = True
+
+        def handle_shard_failure(job: _Job, error: str) -> None:
+            pipe = job.unit
+            assert isinstance(pipe, _ShardPipeline)
+            pipe.inflight.discard(job.region)
+            if pipe.done or job.stamp != pipe.attempt:
+                return  # stale round: already accounted
+            pipe.attempt += 1
+            pipe.last_error = error
+            tracer.instant(
+                EVENT_RETRY,
+                variant=str(pipe.variant),
+                attempt=pipe.attempt,
+                regions=[job.region],
+                error=error,
+            )
+            if pipe.attempt >= max_submissions:
+                fail_pipeline(pipe, error)
+
+        def merge_pipeline(pipe: _ShardPipeline) -> None:
+            assert base_plan is not None
+            variant = pipe.variant
+            plan = base_plan.with_eps(variant.eps)
+            merge_t0 = time.perf_counter()
+            merged = WorkCounters()
+            for piece, _ in pipe.pieces.values():
+                merged.merge(piece.counters)
+            ordered = [pipe.pieces[r][0] for r in range(pipe.n_regions)]
+            labels, core_mask = merge_shards(
+                ctx.points, plan, ordered, counters=merged, tracer=tracer
+            )
+            result = ClusteringResult(
+                labels,
+                core_mask,
+                variant=variant,
+                counters=merged,
+                elapsed=time.perf_counter() - pipe.started_at,
+            )
+            try:
+                if runner.faults:
+                    spec = runner.faults.find(variant, pipe.attempt, "finish")
+                    if spec is not None:
+                        if spec.kind == "corrupt":
+                            corrupt_result(result)
+                        else:
+                            runner.faults.fire(
+                                spec,
+                                deadline_s=deadline,
+                                started_at=pipe.started_at,
+                            )
+                if runner.enabled:
+                    verify_result(result, ctx.store.n_points)
+            except Exception as exc:
+                if not runner.enabled:
+                    raise
+                pipe.attempt += 1
+                pipe.last_error = f"{type(exc).__name__}: {exc}"
+                tracer.instant(
+                    EVENT_RETRY,
+                    variant=str(variant),
+                    attempt=pipe.attempt,
+                    error=pipe.last_error,
+                )
+                if pipe.attempt >= max_submissions:
+                    fail_pipeline(pipe, pipe.last_error)
+                else:
+                    # A finish-phase fault damaged the merged result:
+                    # retry the whole variant (serial attempt
+                    # semantics), unlike worker deaths which only
+                    # resubmit their own region.
+                    pipe.pieces = {}
+                return
+            finish = time.perf_counter() - t0
+            start = min((w for _, w in pipe.pieces.values()), default=finish)
+            # Modeled critical path of the region decomposition: the R
+            # active workers each hold ~1/R of the merged ledger and run
+            # at concurrency R.  duration() is linear in the counters,
+            # so the per-worker share is duration(merged, R) / R.
+            active = max(1, min(ctx.n_threads, pipe.n_regions))
+            record = VariantRunRecord(
+                variant=variant,
+                response_time=ctx.cost_model.duration(merged, active) / active,
+                wall_time=result.elapsed,
+                start=start,
+                finish=finish,
+                thread_id=0,
+                n_clusters=result.n_clusters,
+                n_noise=result.n_noise,
+                counters=merged,
+            )
+            registry.add(variant, result, finished_at=finish)
+            results[variant] = result
+            records.append(record)
+            pipe.done = True
+            resolved.add(pipe.merge_id)
+            if tracer.enabled:
+                task_spans.append(
+                    SpanRecord(
+                        SPAN_TASK,
+                        merge_t0 - t0,
+                        time.perf_counter() - merge_t0,
+                        "parent",
+                        {"kind": "merge", "id": pipe.merge_id,
+                         "deps": list(pipe.shard_ids)},
+                    )
+                )
+            if runner.checkpoint is not None:
+                runner.checkpoint.save(result)
+            if runner.enabled:
+                status = (
+                    VariantStatus.RETRIED
+                    if pipe.attempt > 0
+                    else VariantStatus.OK
+                )
+                runner.merge_outcomes(
+                    BatchReport(
+                        outcomes={
+                            variant: VariantOutcome(
+                                variant,
+                                status,
+                                attempts=pipe.attempt + 1,
+                                error=pipe.last_error,
+                            )
+                        }
+                    )
+                )
+
+        def handle_group_success(job: _Job, payload) -> None:
+            unit = job.unit
+            assert isinstance(unit, _GroupUnit)
+            batch, spans = payload
+            for rec in batch.record.records:
+                rec.thread_id = unit.gid
+                records.append(rec)
+                if tracer.enabled:
+                    task_spans.append(
+                        SpanRecord(
+                            SPAN_TASK,
+                            rec.start,
+                            rec.finish - rec.start,
+                            f"lane-{job.lane}",
+                            {"kind": "variant",
+                             "id": f"variant:{rec.variant.eps:g}"
+                                   f"/{rec.variant.minpts}",
+                             "deps": sorted(unit.deps)},
+                        )
+                    )
+            if spans:
+                tracer.add_records(spans, thread=f"worker-{unit.gid}")
+            results.update(batch.results)
+            if batch.report is not None:
+                if unit.submissions > 0:
+                    # The whole group re-ran after a worker death; its
+                    # completions are retries even though the fresh
+                    # worker saw attempt 0.
+                    for o in batch.report.outcomes.values():
+                        if o.status is VariantStatus.RESUMED:
+                            continue
+                        o.attempts += unit.submissions
+                        if o.status is VariantStatus.OK:
+                            o.status = VariantStatus.RETRIED
+                runner.merge_outcomes(batch.report)
+            unit.running = False
+            unit.done = True
+
+        def handle_shard_success(job: _Job, payload) -> None:
+            pipe = job.unit
+            assert isinstance(pipe, _ShardPipeline)
+            piece, spans, w_start, w_finish = payload
+            pipe.inflight.discard(job.region)
+            if pipe.done:
+                return  # stale completion after a permanent failure
+            # Shard work is deterministic, so a piece from a superseded
+            # round is byte-identical — accept it.
+            pipe.pieces[job.region] = (piece, w_start)
+            if spans:
+                tracer.add_records(spans, thread=f"shard-{job.region}")
+            if tracer.enabled:
+                task_spans.append(
+                    SpanRecord(
+                        SPAN_TASK,
+                        w_start,
+                        w_finish - w_start,
+                        f"lane-{job.lane}",
+                        {"kind": "shard",
+                         "id": f"shard:{pipe.variant.eps:g}"
+                               f"/{pipe.variant.minpts}#{job.region}",
+                         "deps": []},
+                    )
+                )
+            if len(pipe.pieces) == pipe.n_regions:
+                merge_pipeline(pipe)
+
+        try:
+            while True:
+                while free_lanes:
+                    dispatch = next_dispatch()
+                    if dispatch is None:
+                        break
+                    kind, unit, region = dispatch
+                    lane = free_lanes.pop()
+                    if kind == "group":
+                        submit_group(unit, lane)  # type: ignore[arg-type]
+                    else:
+                        submit_shard(unit, region, lane)  # type: ignore[arg-type]
+                if not inflight:
+                    break
+                timeout = None
+                now = time.monotonic()
+                for job in inflight.values():
+                    if job.deadline is not None:
+                        remaining = max(0.0, job.deadline - now)
+                        timeout = (
+                            remaining
+                            if timeout is None
+                            else min(timeout, remaining)
+                        )
+                done_futs, _ = wait(
+                    inflight, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                if not done_futs:
+                    # Watchdog: a truly wedged worker never joins; stop
+                    # waiting, kill its lane, and account the failure.
+                    now = time.monotonic()
+                    for fut in list(inflight):
+                        job = inflight[fut]
+                        if job.deadline is not None and now >= job.deadline:
+                            del inflight[fut]
+                            lanes[job.lane].respawn(hung=True)
+                            free_lanes.append(job.lane)
+                            error = (
+                                "worker exceeded the deadline budget"
+                                if job.kind == "group"
+                                else "shard worker exceeded the deadline budget"
+                            )
+                            if job.kind == "group":
+                                handle_group_failure(job, error)
+                            else:
+                                handle_shard_failure(job, error)
+                    continue
+                for fut in done_futs:
+                    job = inflight.pop(fut)
+                    try:
+                        payload = fut.result()
+                    except Exception as exc:
+                        if not runner.enabled:
+                            raise  # seed semantics: plain runs propagate
+                        lanes[job.lane].respawn()
+                        free_lanes.append(job.lane)
+                        error = f"worker died: {type(exc).__name__}: {exc}"
+                        if job.kind == "group":
+                            handle_group_failure(job, error)
+                        else:
+                            handle_shard_failure(
+                                job, f"shard {error}"
+                            )
+                        continue
+                    free_lanes.append(job.lane)
+                    if job.kind == "group":
+                        handle_group_success(job, payload)
+                    else:
+                        handle_shard_success(job, payload)
+        finally:
+            for lane in lanes:
+                lane.close()
+            if idx_shm is not None:
+                # The pack exists only for this batch; remove it even
+                # when a worker raised.  (The point segment belongs to
+                # the store's owner — the session or the compatibility
+                # run() shim.)  destroy also drops the segment from the
+                # owned-set audit, so later leak gates (Session.close,
+                # CI doctor) stay clean.
+                release_segment(idx_shm)
+                destroy_segment(idx_shm)
+        if tracer.enabled and task_spans:
+            tracer.add_records(task_spans)

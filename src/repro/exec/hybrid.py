@@ -1,0 +1,52 @@
+"""Hybrid executor: variant × shard parallelism on one worker pool.
+
+The paper's axis (Algorithm 3's outer ``parallel for`` over variants)
+and the region-sharding axis (:mod:`repro.core.shard`) were previously
+separate backends: a run was either variant-parallel (reuse chains
+concurrent, each variant serial inside) or shard-parallel (one variant
+split across workers, the grid walked sequentially).  Hybrid lowering
+(:func:`repro.core.taskgraph.lower_variants`) combines them in one
+DAG:
+
+* from-scratch variants (donor-forest roots and ``force_scratch``
+  heads) at or above ``ctx.shard_threshold`` points fan out into
+  shard/merge tasks;
+* every other variant stays a whole-variant task inside its reuse
+  chain, with a **hard** edge onto its donor's merge task when the
+  donor was sharded (the chain waits for the stitched labels, then
+  reuses them);
+* nothing sequences unrelated chains.
+
+On the ``lanes`` substrate of :class:`~repro.exec.graph.GraphRuntime`
+that last property is the whole point: a large scratch variant's shard
+tasks occupy lanes *concurrently with* other chains' whole-variant
+groups, so the pool never drains while one big variant hogs the
+spatial axis — the two parallelism axes interleave on one pool.
+
+``ctx.shard_threshold`` gates the fan-out (``None`` applies
+:data:`~repro.core.taskgraph.DEFAULT_SHARD_THRESHOLD`; ``0`` shards
+every scratch variant); region count resolution follows the sharded
+backend (``regions`` / ``part_size`` / worker count).  Labels remain
+byte-identical to the serial kernels on every path — sharded variants
+through the exact halo merge, chain variants through the exact reuse
+kernel seeded with the merged donor results.
+"""
+
+from __future__ import annotations
+
+from repro.core.variants import VariantSet
+from repro.engine.context import RunContext
+from repro.exec.base import BaseExecutor, BatchResult
+from repro.exec.graph import GraphRuntime
+
+__all__ = ["HybridExecutor"]
+
+
+class HybridExecutor(BaseExecutor):
+    """Two-level executor: sharded scratch roots + concurrent reuse chains."""
+
+    name = "hybrid"
+
+    def _run(self, ctx: RunContext, variants: VariantSet) -> BatchResult:
+        runtime = GraphRuntime("lanes")
+        return runtime.run(ctx, variants, mode="hybrid")

@@ -4,8 +4,9 @@ CPython threads cannot run the Python-level clustering loop in
 parallel, so this backend substitutes the paper's shared-memory threads
 with processes (DESIGN.md substitution table).  Processes cannot
 cheaply share *completed results* mid-flight, which changes what reuse
-is possible; we therefore partition the variant set **statically** by
-the Figure 3(a) dependency forest:
+is possible; the variant set is therefore partitioned **statically** by
+the Figure 3(a) dependency forest
+(:func:`~repro.exec.graph.partition_reuse_chains`):
 
 1. build the static dependency tree (each variant's best reuse source
    under global knowledge);
@@ -22,216 +23,21 @@ Cross-group reuse is forfeited — the documented price of process
 isolation — but every group still enjoys full intra-chain reuse, and
 workers scale across cores for real.
 
-Shared-memory economics (session engine): the parent materializes the
-point database into a POSIX shared-memory segment
-(:meth:`PointStore.ensure_shared`) and packs both already-built R-trees
-into a second segment (:func:`share_index_pair`); workers *attach* both
-— zero-copy, no pickled point array on the wire, no per-worker index
-rebuild.  This restores the paper's Algorithm 3 setup cost (one ``D``,
-one ``T_high``/``T_low``, whatever the worker count) for the process
-backend.  The parent unlinks the index pack in a ``finally``; the point
-segment's lifecycle belongs to the store's owner (the session or the
-compatibility ``run()`` shim).
+Lowering policy: variant-only tasks on the ``lanes`` substrate of
+:class:`~repro.exec.graph.GraphRuntime`, which owns the worker
+lifecycle, the shared-memory economics (the parent materializes the
+point database and the packed index pair once; workers attach,
+zero-copy), and the kill/hang recovery accounting.
 """
 
 from __future__ import annotations
 
-import time
-from concurrent.futures import TimeoutError as FuturesTimeoutError
-from concurrent.futures import ProcessPoolExecutor
-
-from repro.core.reuse import POLICIES
-from repro.core.scheduling import (
-    CompletedRegistry,
-    PlannedVariant,
-    SchedGreedy,
-    dependency_tree,
-)
-from repro.core.variants import Variant, VariantSet, sort_key
+from repro.core.variants import VariantSet
 from repro.engine.context import RunContext
-from repro.engine.factory import (
-    IndexPairHandle,
-    attach_index_pair,
-    share_index_pair,
-)
-from repro.engine.shm import destroy_segment, release_segment
-from repro.engine.store import PointStore, PointStoreHandle
 from repro.exec.base import BaseExecutor, BatchResult
-from repro.exec.cost import CostModel
-from repro.exec.serial import SerialExecutor
-from repro.metrics.records import BatchRunRecord
-from repro.obs.span import Tracer, set_tracer
-from repro.resilience.checkpoint import CheckpointStore
-from repro.resilience.faults import BoundFaultPlan, allow_kill_faults
-from repro.resilience.policy import RetryPolicy
-from repro.resilience.report import VariantStatus
-from repro.resilience.runner import ResilientRunner
+from repro.exec.graph import GraphRuntime, partition_reuse_chains
 
 __all__ = ["ProcessPoolExecutorBackend", "partition_reuse_chains"]
-
-
-def partition_reuse_chains(
-    variants: VariantSet, n_workers: int
-) -> list[list[Variant]]:
-    """Split a variant set into <= ``n_workers`` reuse-closed groups.
-
-    Each returned group is ordered depth-first along the dependency
-    tree, so executing it serially front-to-back always finds each
-    variant's reuse source already completed (when the source is in the
-    group).  Groups are balanced greedily by variant count.
-    """
-    tree = dependency_tree(variants)
-    subtrees: list[list[Variant]] = []
-    roots = sorted(
-        (v for v, d in tree.nodes(data=True) if d.get("root")), key=sort_key
-    )
-    for root in roots:
-        order: list[Variant] = []
-        stack = [root]
-        while stack:
-            v = stack.pop()
-            order.append(v)
-            stack.extend(sorted(tree.successors(v), key=sort_key, reverse=True))
-        subtrees.append(order)
-
-    # Split any subtree bigger than an even share into contiguous
-    # depth-first chunks of near-equal size (a target-size prefix walk
-    # would strand a tiny remainder chunk — e.g. a 13-variant chain on
-    # 4 workers must become 4+3+3+3, not 4+4+4+1, or one worker idles).
-    # A chunk cut leaves the suffix's first variant without its in-group
-    # parent, so the suffix simply starts from scratch — correct, just
-    # less reuse.
-    target = max(1, -(-len(variants) // n_workers))  # ceil division
-    pieces: list[list[Variant]] = []
-    for st in subtrees:
-        if len(st) <= target:
-            pieces.append(st)
-            continue
-        k = -(-len(st) // target)
-        base, extra = divmod(len(st), k)
-        sizes = [base + 1] * extra + [base] * (k - extra)
-        i = 0
-        for size in sizes:
-            pieces.append(st[i : i + size])
-            i += size
-
-    # Greedy largest-first bin packing onto the workers, balanced by
-    # total variant count (singleton leftovers included).
-    pieces.sort(key=len, reverse=True)
-    bins: list[list[Variant]] = [[] for _ in range(min(n_workers, len(pieces)))]
-    for piece in pieces:
-        smallest = min(bins, key=len)
-        smallest.extend(piece)
-    return [b for b in bins if b]
-
-
-def _worker(
-    store_handle: PointStoreHandle,
-    idx_handle: IndexPairHandle,
-    variant_tuples: list[tuple[float, int]],
-    reuse_policy_name: str,
-    cost_model: CostModel,
-    t0: float,
-    batch_size: int,
-    cache_bytes: int,
-    trace: bool,
-    retry_policy: RetryPolicy | None = None,
-    fault_plan: BoundFaultPlan | None = None,
-    checkpoint_root: str | None = None,
-    kernel: str = "bfs",
-):
-    """Run one group serially inside a worker process.
-
-    The worker attaches the parent's shared point segment and index
-    pack (zero-copy views; spans ``shm_attach``) instead of receiving
-    pickled points and rebuilding both trees.  The neighborhood cache
-    cannot cross the process boundary, so each worker builds its own;
-    intra-group eps sharing is preserved, cross-group sharing is
-    forfeited along with cross-group cluster reuse.
-
-    Tracing follows the same pattern: a live tracer cannot be shared
-    either, so when ``trace`` is set the worker installs its own
-    :class:`~repro.obs.span.Tracer`, runs the group under it, rebases
-    every span onto the batch's wall window (the worker's monotonic
-    clock has a different origin), and ships the plain records back
-    for the parent to merge.
-
-    Resilience plumbing: the parent ships its retry policy, the
-    already-bound fault plan (re-keyed by the group's submission
-    attempt, see :meth:`BoundFaultPlan.shifted`), and the checkpoint
-    root; the group's internal :class:`SerialExecutor` then runs the
-    same recovery loop as every other backend.  ``kill`` faults are
-    armed here — and only here — so they genuinely terminate a worker
-    process without ever being able to take down an in-process caller.
-    """
-    allow_kill_faults(True)
-    tracer = Tracer() if trace else None
-    set_tracer(tracer)
-    # perf_counter is monotonic *and* system-wide, so the parent's t0
-    # is directly comparable here (unlike time.time, which can step
-    # under NTP between the parent's stamp and ours).
-    start = time.perf_counter() - t0
-    perf_start = time.perf_counter()
-    store = PointStore.attach(store_handle, tracer=tracer)
-    idx_shm, indexes = attach_index_pair(idx_handle, store.points, tracer=tracer)
-    order = [Variant(e, m) for e, m in variant_tuples]
-    vset = VariantSet(order)
-    group = SerialExecutor(
-        scheduler=_FixedOrderScheduler(order),
-        reuse_policy=POLICIES[reuse_policy_name],
-        cost_model=cost_model,
-        batch_size=batch_size,
-        cache_bytes=cache_bytes,
-        tracer=tracer,
-        kernel=kernel,
-    )
-    ctx = group.make_context(store, indexes)
-    if retry_policy is not None or fault_plan is not None or checkpoint_root:
-        checkpoint = (
-            CheckpointStore(checkpoint_root, store.fingerprint, store.n_points)
-            if checkpoint_root
-            else None
-        )
-        ctx = ctx.with_(
-            retry_policy=retry_policy,
-            fault_plan=fault_plan,
-            checkpoint=checkpoint,
-        )
-    try:
-        batch = group.run_context(ctx, vset)
-    finally:
-        # Drop every view into the segments before unmapping; both
-        # closes tolerate lingering exports (OS reclaims at exit).
-        del ctx, indexes
-        release_segment(idx_shm)
-        store.close()
-    finish = time.perf_counter() - t0
-    # Re-stamp the work-unit timestamps onto the worker's wall window.
-    span = finish - start
-    total = batch.record.makespan or 1.0
-    for rec in batch.record.records:
-        rec.start = start + rec.start / total * span
-        rec.finish = start + rec.finish / total * span
-        rec.response_time = rec.finish - rec.start
-    spans = None
-    if tracer is not None:
-        spans = tracer.drain()
-        for s in spans:
-            s.t0 = s.t0 - perf_start + start
-        set_tracer(None)
-    return batch, spans
-
-
-class _FixedOrderScheduler(SchedGreedy):
-    """SCHEDGREEDY source selection, but a caller-specified queue order."""
-
-    name = "SCHEDGREEDY(chain)"
-
-    def __init__(self, order: list[Variant]) -> None:
-        self._order = list(order)
-
-    def plan(self, vset: VariantSet) -> list[PlannedVariant]:
-        return [PlannedVariant(v) for v in self._order]
 
 
 class ProcessPoolExecutorBackend(BaseExecutor):
@@ -240,149 +46,5 @@ class ProcessPoolExecutorBackend(BaseExecutor):
     name = "processes"
 
     def _run(self, ctx: RunContext, variants: VariantSet) -> BatchResult:
-        tracer = ctx.tracer
-        runner = ResilientRunner(ctx, variants)
-        results = {}
-        records = []
-        # Checkpoint resume happens in the parent so finished variants
-        # never even enter the partitioning (the registry is throwaway —
-        # the parent executes nothing itself).
-        done = runner.resume_into(CompletedRegistry(), results, records)
-        remaining = [v for v in variants if v not in done]
-        if not remaining:
-            batch_record = BatchRunRecord(
-                records=records, n_threads=ctx.n_threads, makespan=0.0
-            )
-            return BatchResult(
-                results=results, record=batch_record, report=runner.report()
-            )
-        groups = partition_reuse_chains(VariantSet(remaining), ctx.n_threads)
-        # Materialize the shared database and pack the already-built
-        # trees once; every worker attaches instead of rebuilding.
-        store_handle = ctx.store.ensure_shared(tracer=tracer)
-        idx_shm, idx_handle = share_index_pair(ctx.indexes, tracer=tracer)
-        cache_bytes = ctx.cache.capacity_bytes if ctx.cache is not None else 0
-        checkpoint_root = (
-            str(ctx.checkpoint.root) if ctx.checkpoint is not None else None
-        )
-        policy = runner.policy
-        # One worker death poisons the whole pool (concurrent.futures
-        # fails every in-flight future), so breakage cannot be blamed on
-        # a single group; the respawn budget is therefore the per-variant
-        # attempt budget extended by the number of *planned* kills, so
-        # collateral breakage can never exhaust an innocent group.
-        planned_kills = (
-            sum(1 for s in runner.faults.table.values() if s.kind == "kill")
-            if runner.faults
-            else 0
-        )
-        max_submissions = (
-            policy.max_attempts if policy is not None else 1
-        ) + planned_kills
-        # Parent-side hang watchdog: a cooperative hang converts into a
-        # timeout inside the worker, but a truly wedged worker needs the
-        # parent to give up waiting and terminate the pool.
-        if policy is not None and policy.deadline_s is not None:
-            longest = max(len(g) for g in groups)
-            budget = policy.deadline_s * longest * policy.max_attempts + 30.0
-        else:
-            budget = None
-        t0 = time.perf_counter()
-        pending = list(range(len(groups)))
-        submissions = dict.fromkeys(pending, 0)
-
-        def run_round(round_gids: list[int]) -> list[int]:
-            """Submit each group once; return the groups to resubmit."""
-            pool = ProcessPoolExecutor(max_workers=len(round_gids))
-            broken: list[tuple[int, str]] = []
-            hung = False
-            try:
-                futures = {}
-                for gid in round_gids:
-                    plan = runner.faults
-                    if plan is not None and submissions[gid] > 0:
-                        plan = plan.shifted(submissions[gid])
-                    futures[gid] = pool.submit(
-                        _worker,
-                        store_handle,
-                        idx_handle,
-                        [v.as_tuple() for v in groups[gid]],
-                        ctx.reuse_policy.name,
-                        ctx.cost_model,
-                        t0,
-                        ctx.batch_size,
-                        cache_bytes,
-                        tracer.enabled,
-                        policy,
-                        plan,
-                        checkpoint_root,
-                        ctx.kernel,
-                    )
-                for gid, fut in futures.items():
-                    try:
-                        batch, spans = fut.result(timeout=budget)
-                    except FuturesTimeoutError:
-                        hung = True
-                        broken.append(
-                            (gid, "worker exceeded the group deadline budget")
-                        )
-                        continue
-                    except Exception as exc:
-                        if not runner.enabled:
-                            raise  # seed semantics: plain runs propagate
-                        broken.append(
-                            (gid, f"worker died: {type(exc).__name__}: {exc}")
-                        )
-                        continue
-                    for rec in batch.record.records:
-                        rec.thread_id = gid
-                        records.append(rec)
-                    if spans:
-                        tracer.add_records(spans, thread=f"worker-{gid}")
-                    results.update(batch.results)
-                    if batch.report is not None:
-                        if submissions[gid] > 0:
-                            # The whole group re-ran after a worker
-                            # death; its completions are retries even
-                            # though the fresh worker saw attempt 0.
-                            for o in batch.report.outcomes.values():
-                                if o.status is VariantStatus.RESUMED:
-                                    continue
-                                o.attempts += submissions[gid]
-                                if o.status is VariantStatus.OK:
-                                    o.status = VariantStatus.RETRIED
-                        runner.merge_outcomes(batch.report)
-            finally:
-                if hung:  # wedged workers never join; kill them first
-                    for proc in list(getattr(pool, "_processes", {}).values()):
-                        proc.terminate()
-                pool.shutdown(wait=True, cancel_futures=True)
-            resubmit = []
-            for gid, error in broken:
-                submissions[gid] += 1
-                if submissions[gid] >= max_submissions:
-                    runner.mark_failed_group(
-                        groups[gid], error, attempts=submissions[gid]
-                    )
-                else:
-                    resubmit.append(gid)
-            return resubmit
-
-        try:
-            while pending:
-                pending = run_round(pending)
-        finally:
-            # The pack exists only for this batch; remove it even when a
-            # worker raised.  (The point segment belongs to the store's
-            # owner — the session or the compatibility run() shim.)
-            # destroy also drops the segment from the owned-set audit,
-            # so later leak gates (Session.close, CI doctor) stay clean.
-            release_segment(idx_shm)
-            destroy_segment(idx_shm)
-        makespan = max((r.finish for r in records), default=0.0)
-        batch_record = BatchRunRecord(
-            records=records, n_threads=ctx.n_threads, makespan=makespan
-        )
-        return BatchResult(
-            results=results, record=batch_record, report=runner.report()
-        )
+        runtime = GraphRuntime("lanes")
+        return runtime.run(ctx, variants, mode="variant")

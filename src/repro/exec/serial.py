@@ -4,16 +4,20 @@ This is the configuration of the paper's Section V-D reuse study
 (``T = 1``): every variant except the first can reuse any variant
 before it in the schedule, isolating the data-reuse gains from
 parallel-execution effects.
+
+Lowering policy: variant-only tasks on the deterministic ``sim``
+substrate of :class:`~repro.exec.graph.GraphRuntime`.  At width 1 the
+event loop degenerates to the plain clock-accumulating queue walk —
+every task starts when the previous one finishes, so the makespan is
+the exact sum of the response times.
 """
 
 from __future__ import annotations
 
-from repro.core.scheduling import CompletedRegistry
 from repro.core.variants import VariantSet
 from repro.engine.context import RunContext
 from repro.exec.base import BaseExecutor, BatchResult
-from repro.metrics.records import BatchRunRecord
-from repro.resilience.runner import ResilientRunner
+from repro.exec.graph import GraphRuntime
 
 __all__ = ["SerialExecutor"]
 
@@ -33,27 +37,5 @@ class SerialExecutor(BaseExecutor):
         super().__init__(**kwargs)
 
     def _run(self, ctx: RunContext, variants: VariantSet) -> BatchResult:
-        registry = CompletedRegistry()
-        results = {}
-        records = []
-        runner = ResilientRunner(ctx, variants)
-        done = runner.resume_into(registry, results, records)
-        clock = 0.0
-        for planned in ctx.scheduler.plan(variants):
-            if planned.variant in done:
-                continue
-            result, record = runner.execute(
-                planned, registry, concurrency=1
-            )
-            if result is None:  # permanent failure: skip, batch continues
-                continue
-            record.start = clock
-            clock += record.response_time
-            record.finish = clock
-            record.thread_id = 0
-            registry.add(planned.variant, result, finished_at=clock)
-            results[planned.variant] = result
-            records.append(record)
-        self._trace_cache_stats(ctx.tracer, ctx.cache)
-        batch = BatchRunRecord(records=records, n_threads=1, makespan=clock)
-        return BatchResult(results=results, record=batch, report=runner.report())
+        runtime = GraphRuntime("sim")
+        return runtime.run(ctx, variants, mode="variant")

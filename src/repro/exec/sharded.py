@@ -10,127 +10,36 @@ the canonical labels with a union-find pass over the cut bands
 (:func:`repro.core.shard.merge_shards`) — byte-identical to the serial
 kernels.
 
-Shared-memory economics match the process backend: the parent
-materializes the point database once
-(:meth:`PointStore.ensure_shared`); workers attach the segment and
-slice it by index — no point arrays are pickled, and each worker builds
-only its own slab-sized kernel index.  Each shard returns index arrays
-(owned ids, core flags, local component ids, bounded border pairs), so
-the wire cost is O(owned points), never O(n x regions).
-
-Resilience: a dead shard is a **re-plannable unit**.  A worker death
-(injected ``kill``/``crash``, a wedged worker, or a real crash) fails
-only that region's submission; completed regions keep their pieces and
-only the failed regions resubmit, one recovery round per absorbed
-attempt.  ``finish``-phase faults (``corrupt`` and parent-side
-crash/hang) apply to the merged result and retry the whole variant,
-matching the serial attempt semantics.  The retry budget follows the
-context's :class:`~repro.resilience.policy.RetryPolicy`, extended by
-the number of *planned* kills (one kill poisons every in-flight future
-in the pool, so collateral breakage must not exhaust innocent
-regions' budgets — the same accounting as the process backend).
+Lowering policy: shard-only tasks on the ``lanes`` substrate of
+:class:`~repro.exec.graph.GraphRuntime` — every variant fans out into
+one :class:`~repro.core.taskgraph.ShardTask` per region joined by a
+:class:`~repro.core.taskgraph.MergeTask`, with hard sequencing edges
+between consecutive variants (one variant in flight at a time, the
+legacy walk).  The runtime owns the shared-memory economics (workers
+attach the parent's point segment and slice by index — wire cost is
+O(owned points), never O(n x regions)) and the recovery accounting: a
+dead shard is a **re-plannable unit** (only the failed region
+resubmits, one absorbed attempt per recovery round), while
+``finish``-phase faults retry the whole variant, matching the serial
+attempt semantics.  The retry budget follows the context's
+:class:`~repro.resilience.policy.RetryPolicy`, extended by the number
+of *planned* kills.
 
 Cross-variant cluster reuse is forfeited: every variant clusters from
 scratch across its regions (the documented price of the spatial axis,
 like the process backend forfeits cross-group reuse).  Scheduler and
-reuse-policy knobs only affect variant ordering here.
+reuse-policy knobs only affect variant ordering here.  Want both axes
+at once?  That is the :class:`~repro.exec.hybrid.HybridExecutor`.
 """
 
 from __future__ import annotations
 
-import time
-from concurrent.futures import TimeoutError as FuturesTimeoutError
-from concurrent.futures import ProcessPoolExecutor
-
-from repro.core.result import ClusteringResult
-from repro.core.scheduling import CompletedRegistry, PlannedVariant
-from repro.core.shard import (
-    ShardPiece,
-    ShardPlan,
-    cluster_shard,
-    merge_shards,
-    plan_shards,
-    resolve_n_regions,
-)
 from repro.core.variants import VariantSet
 from repro.engine.context import RunContext
-from repro.engine.store import PointStore, PointStoreHandle
 from repro.exec.base import BaseExecutor, BatchResult
-from repro.metrics.counters import WorkCounters
-from repro.metrics.records import BatchRunRecord, VariantRunRecord
-from repro.obs.span import Span, Tracer, set_tracer
-from repro.resilience.faults import (
-    BoundFaultPlan,
-    FaultSpec,
-    allow_kill_faults,
-    corrupt_result,
-    verify_result,
-)
-from repro.resilience.report import BatchReport, VariantOutcome, VariantStatus
-from repro.resilience.runner import EVENT_RETRY, ResilientRunner
+from repro.exec.graph import EVENT_SHARD_PLAN, GraphRuntime
 
-__all__ = ["ShardedExecutor"]
-
-#: Instant event emitted once per batch describing the partition.
-EVENT_SHARD_PLAN = "shard_plan"
-
-
-def _shard_worker(
-    store_handle: PointStoreHandle,
-    plan: ShardPlan,
-    region: int,
-    minpts: int,
-    kernel: str,
-    batch_size: int,
-    t0: float,
-    trace: bool,
-    fault_spec: FaultSpec | None = None,
-    deadline_s: float | None = None,
-) -> tuple[ShardPiece, list[Span] | None, float, float]:
-    """Cluster one region's slab inside a worker process.
-
-    The worker attaches the parent's shared point segment (zero-copy)
-    and slices it by the region's index sets — no point array crosses
-    the process boundary in either direction.  When the parent shipped
-    a ``start``-phase fault spec for this region, it fires here:
-    ``kill`` faults are armed (and only here), so they genuinely
-    terminate the worker process.
-
-    Tracing mirrors the process backend: a worker-local tracer records
-    the shard spans, which are rebased onto the batch wall window
-    (``t0`` is from the parent's monotonic clock, which is system-wide)
-    and shipped back as plain records.
-    """
-    allow_kill_faults(True)
-    tracer = Tracer() if trace else None
-    set_tracer(tracer)
-    start = time.perf_counter() - t0
-    perf_start = time.perf_counter()
-    store = PointStore.attach(store_handle, tracer=tracer)
-    try:
-        if fault_spec is not None:
-            BoundFaultPlan({}).fire(
-                fault_spec, deadline_s=deadline_s, started_at=perf_start
-            )
-        piece = cluster_shard(
-            store.points,
-            plan,
-            region,
-            minpts,
-            kernel=kernel,
-            batch_size=batch_size,
-            tracer=tracer,
-        )
-    finally:
-        store.close()
-    finish = time.perf_counter() - t0
-    spans = None
-    if tracer is not None:
-        spans = tracer.drain()
-        for s in spans:
-            s.t0 = s.t0 - perf_start + start
-        set_tracer(None)
-    return piece, spans, start, finish
+__all__ = ["EVENT_SHARD_PLAN", "ShardedExecutor"]
 
 
 class ShardedExecutor(BaseExecutor):
@@ -146,251 +55,5 @@ class ShardedExecutor(BaseExecutor):
     name = "sharded"
 
     def _run(self, ctx: RunContext, variants: VariantSet) -> BatchResult:
-        tracer = ctx.tracer
-        runner = ResilientRunner(ctx, variants)
-        registry = CompletedRegistry()
-        results: dict = {}
-        records: list[VariantRunRecord] = []
-        done = runner.resume_into(registry, results, records)
-        queue = [p for p in ctx.scheduler.plan(variants) if p.variant not in done]
-        if queue:
-            n_regions = resolve_n_regions(
-                ctx.store.n_points, ctx.regions, ctx.part_size,
-                default=ctx.n_threads,
-            )
-            # Cut geometry is eps-independent; plan once, re-halo per
-            # variant with ShardPlan.with_eps.
-            base_plan = plan_shards(
-                ctx.points, queue[0].variant.eps, n_regions
-            )
-            tracer.instant(
-                EVENT_SHARD_PLAN,
-                regions=base_plan.n_regions,
-                axis=base_plan.axis,
-                n=ctx.store.n_points,
-            )
-            workers = max(1, min(ctx.n_threads, base_plan.n_regions))
-            store_handle = ctx.store.ensure_shared(tracer=tracer)
-            t0 = time.perf_counter()
-            # The pool travels in a one-slot box: a killed worker
-            # poisons the whole pool, and recovery swaps in a fresh one.
-            pool_box = [ProcessPoolExecutor(max_workers=workers)]
-            try:
-                for planned in queue:
-                    out = self._run_variant(
-                        ctx, runner, planned, base_plan, pool_box,
-                        t0, store_handle, workers,
-                    )
-                    if out is None:  # permanent failure: batch continues
-                        continue
-                    result, record = out
-                    registry.add(
-                        planned.variant, result, finished_at=record.finish
-                    )
-                    results[planned.variant] = result
-                    records.append(record)
-            finally:
-                pool_box[0].shutdown(wait=True, cancel_futures=True)
-        makespan = max((r.finish for r in records), default=0.0)
-        batch_record = BatchRunRecord(
-            records=records, n_threads=ctx.n_threads, makespan=makespan
-        )
-        return BatchResult(
-            results=results, record=batch_record, report=runner.report()
-        )
-
-    def _run_variant(
-        self,
-        ctx: RunContext,
-        runner: ResilientRunner,
-        planned: PlannedVariant,
-        base_plan: ShardPlan,
-        pool_box: list[ProcessPoolExecutor],
-        t0: float,
-        store_handle: PointStoreHandle,
-        workers: int,
-    ) -> tuple[ClusteringResult, VariantRunRecord] | None:
-        """Fan one variant out across regions; recover region-by-region.
-
-        Returns ``None`` when the variant failed permanently (recorded
-        in the runner); the batch moves on, exactly like the other
-        backends' resilient loops.
-        """
-        variant = planned.variant
-        tracer = ctx.tracer
-        policy = runner.policy
-        max_attempts = policy.max_attempts if policy is not None else 1
-        planned_kills = (
-            sum(1 for s in runner.faults.table.values() if s.kind == "kill")
-            if runner.faults
-            else 0
-        )
-        budget = max_attempts + planned_kills
-        deadline = policy.deadline_s if policy is not None else None
-        # Parent-side watchdog: a cooperative hang converts into a
-        # timeout inside the worker; a truly wedged worker needs the
-        # parent to stop waiting and terminate the pool.
-        round_timeout = deadline + 30.0 if deadline is not None else None
-        plan = base_plan.with_eps(variant.eps)
-        n_regions = plan.n_regions
-        attempt = 0  # advances once per absorbed recovery round
-        last_error: str | None = None
-        pieces: dict[int, tuple[ShardPiece, float]] = {}
-        t_var = time.perf_counter()
-        while True:
-            pending = [r for r in range(n_regions) if r not in pieces]
-            pool = pool_box[0]
-            futures = {}
-            for region in pending:
-                spec = None
-                if runner.faults:
-                    found = runner.faults.find(variant, attempt, "start")
-                    if found is not None and region == found.index % n_regions:
-                        spec = found
-                futures[region] = pool.submit(
-                    _shard_worker,
-                    store_handle,
-                    plan,
-                    region,
-                    variant.minpts,
-                    ctx.kernel,
-                    ctx.batch_size,
-                    t0,
-                    tracer.enabled,
-                    spec,
-                    deadline,
-                )
-            failed: list[tuple[int, str]] = []
-            hung = False
-            for region, fut in futures.items():
-                try:
-                    piece, spans, w_start, _w_finish = fut.result(
-                        timeout=round_timeout
-                    )
-                except FuturesTimeoutError:
-                    hung = True
-                    failed.append(
-                        (region, "shard worker exceeded the deadline budget")
-                    )
-                    continue
-                except Exception as exc:
-                    if not runner.enabled:
-                        raise  # seed semantics: plain runs propagate
-                    failed.append(
-                        (region,
-                         f"shard worker died: {type(exc).__name__}: {exc}")
-                    )
-                    continue
-                pieces[region] = (piece, w_start)
-                if spans:
-                    tracer.add_records(spans, thread=f"shard-{region}")
-            if failed:
-                # One worker death poisons every in-flight future, so a
-                # single kill can fail innocent regions alongside the
-                # target; recovery therefore charges one attempt per
-                # round, not per region, and resubmits only what is
-                # still missing — the dead shard is the re-planned
-                # unit, never the whole batch.
-                if hung:  # wedged workers never join; kill them first
-                    for proc in list(getattr(pool, "_processes", {}).values()):
-                        proc.terminate()
-                pool.shutdown(wait=True, cancel_futures=True)
-                pool_box[0] = ProcessPoolExecutor(max_workers=workers)
-                attempt += 1
-                last_error = failed[0][1]
-                tracer.instant(
-                    EVENT_RETRY,
-                    variant=str(variant),
-                    attempt=attempt,
-                    regions=[r for r, _ in failed],
-                    error=last_error,
-                )
-                if attempt >= budget:
-                    runner.mark_failed_group(
-                        [variant], last_error, attempts=attempt
-                    )
-                    return None
-                continue
-            merged = WorkCounters()
-            for piece, _ in pieces.values():
-                merged.merge(piece.counters)
-            ordered = [pieces[r][0] for r in range(n_regions)]
-            labels, core_mask = merge_shards(
-                ctx.points, plan, ordered, counters=merged, tracer=tracer
-            )
-            result = ClusteringResult(
-                labels,
-                core_mask,
-                variant=variant,
-                counters=merged,
-                elapsed=time.perf_counter() - t_var,
-            )
-            try:
-                if runner.faults:
-                    spec = runner.faults.find(variant, attempt, "finish")
-                    if spec is not None:
-                        if spec.kind == "corrupt":
-                            corrupt_result(result)
-                        else:
-                            runner.faults.fire(
-                                spec, deadline_s=deadline, started_at=t_var
-                            )
-                if runner.enabled:
-                    verify_result(result, ctx.store.n_points)
-            except Exception as exc:
-                if not runner.enabled:
-                    raise
-                attempt += 1
-                last_error = f"{type(exc).__name__}: {exc}"
-                tracer.instant(
-                    EVENT_RETRY,
-                    variant=str(variant),
-                    attempt=attempt,
-                    error=last_error,
-                )
-                if attempt >= budget:
-                    runner.mark_failed_group(
-                        [variant], last_error, attempts=attempt
-                    )
-                    return None
-                # A finish-phase fault damaged the merged result: retry
-                # the whole variant (serial attempt semantics), unlike
-                # worker deaths which only resubmit their own region.
-                pieces = {}
-                continue
-            break
-        finish = time.perf_counter() - t0
-        start = min((w for _, w in pieces.values()), default=finish)
-        # Modeled critical path of the region decomposition: the R
-        # active workers each hold ~1/R of the merged ledger and run at
-        # concurrency R.  duration() is linear in the counters, so the
-        # per-worker share is duration(merged, R) / R.
-        active = min(workers, n_regions)
-        record = VariantRunRecord(
-            variant=variant,
-            response_time=ctx.cost_model.duration(merged, active) / active,
-            wall_time=result.elapsed,
-            start=start,
-            finish=finish,
-            thread_id=0,
-            n_clusters=result.n_clusters,
-            n_noise=result.n_noise,
-            counters=merged,
-        )
-        if runner.checkpoint is not None:
-            runner.checkpoint.save(result)
-        if runner.enabled:
-            status = (
-                VariantStatus.RETRIED if attempt > 0 else VariantStatus.OK
-            )
-            runner.merge_outcomes(
-                BatchReport(
-                    outcomes={
-                        variant: VariantOutcome(
-                            variant, status,
-                            attempts=attempt + 1, error=last_error,
-                        )
-                    }
-                )
-            )
-        return result, record
+        runtime = GraphRuntime("lanes")
+        return runtime.run(ctx, variants, mode="shard")

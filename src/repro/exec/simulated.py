@@ -6,17 +6,19 @@ executes every variant for real (so labels, reuse fractions, and
 quality are genuine) but stamps start/finish times on a **work-unit
 clock** priced by :class:`~repro.exec.cost.CostModel`.
 
-Event loop
-----------
-``T`` virtual threads each carry an availability time.  Variants are
-dispatched in the scheduler's queue order: the earliest-available
-thread takes the next planned variant; the variant may reuse any
-result whose *simulated* finish time is strictly before its start
-(exactly the online constraint a real pool faces); its duration is the
-cost model's price for the work it actually performed, under the
-memory-contention factor for ``T`` concurrent workers.  Ties on
-availability break on thread id, making the whole schedule — and every
-number derived from it — bit-reproducible.
+Lowering policy: the ``sim`` substrate of
+:class:`~repro.exec.graph.GraphRuntime` prices whatever DAG the
+context asks for —
+
+* default: variant-only lowering, the legacy event loop (``T`` virtual
+  threads, earliest-available dispatch, online reuse under the
+  simulated clock, ties broken on thread id — bit-reproducible);
+* ``ctx.regions`` / ``ctx.part_size`` set: shard lowering, modeling
+  the region-parallel decomposition on the same clock;
+* ``ctx.shard_threshold`` set: hybrid lowering, so the modeled
+  schedule shows a large scratch variant's shards genuinely
+  overlapping other variants' reuse chains — the pricing harness
+  behind the hybrid ablation bench.
 
 The model makes one simplification, documented in DESIGN.md: the
 contention factor is static in ``T`` rather than tracking instantaneous
@@ -26,14 +28,10 @@ configuration being compared runs under the same factor.
 
 from __future__ import annotations
 
-import heapq
-
-from repro.core.scheduling import CompletedRegistry
 from repro.core.variants import VariantSet
 from repro.engine.context import RunContext
 from repro.exec.base import BaseExecutor, BatchResult
-from repro.metrics.records import BatchRunRecord
-from repro.resilience.runner import ResilientRunner
+from repro.exec.graph import GraphRuntime
 
 __all__ = ["SimulatedExecutor"]
 
@@ -44,34 +42,11 @@ class SimulatedExecutor(BaseExecutor):
     name = "simulated"
 
     def _run(self, ctx: RunContext, variants: VariantSet) -> BatchResult:
-        registry = CompletedRegistry()
-        results = {}
-        records = []
-        runner = ResilientRunner(ctx, variants)
-        done = runner.resume_into(registry, results, records)
-        # (available_time, thread_id) min-heap of virtual workers.
-        workers = [(0.0, tid) for tid in range(ctx.n_threads)]
-        heapq.heapify(workers)
-        makespan = 0.0
-        for planned in ctx.scheduler.plan(variants):
-            if planned.variant in done:
-                continue
-            start, tid = heapq.heappop(workers)
-            result, record = runner.execute(planned, registry, before=start)
-            if result is None:  # permanent failure: worker frees at once
-                heapq.heappush(workers, (start, tid))
-                continue
-            finish = start + record.response_time
-            record.start = start
-            record.finish = finish
-            record.thread_id = tid
-            registry.add(planned.variant, result, finished_at=finish)
-            heapq.heappush(workers, (finish, tid))
-            results[planned.variant] = result
-            records.append(record)
-            makespan = max(makespan, finish)
-        self._trace_cache_stats(ctx.tracer, ctx.cache)
-        batch = BatchRunRecord(
-            records=records, n_threads=ctx.n_threads, makespan=makespan
-        )
-        return BatchResult(results=results, record=batch, report=runner.report())
+        runtime = GraphRuntime("sim")
+        if ctx.shard_threshold is not None:
+            mode = "hybrid"
+        elif ctx.regions is not None or ctx.part_size is not None:
+            mode = "shard"
+        else:
+            mode = "variant"
+        return runtime.run(ctx, variants, mode=mode)

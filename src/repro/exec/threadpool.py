@@ -7,6 +7,10 @@ completed at that moment, so the reuse pattern is wall-clock dependent
 (run-to-run nondeterministic), exactly like the paper's OpenMP
 implementation.
 
+Lowering policy: variant-only tasks on the ``threads`` substrate of
+:class:`~repro.exec.graph.GraphRuntime` (donor edges are advisory; the
+online registry decides reuse).
+
 Honesty note (DESIGN.md substitutions): CPython's GIL serializes the
 Python-level parts of the clustering loop; only the vectorized NumPy
 kernels overlap.  Thread scaling here is therefore far below the
@@ -19,15 +23,10 @@ parallel speedups.
 
 from __future__ import annotations
 
-import threading
-import time
-
-from repro.core.scheduling import CompletedRegistry, PlannedVariant
 from repro.core.variants import VariantSet
 from repro.engine.context import RunContext
 from repro.exec.base import BaseExecutor, BatchResult
-from repro.metrics.records import BatchRunRecord
-from repro.resilience.runner import ResilientRunner
+from repro.exec.graph import GraphRuntime
 
 __all__ = ["ThreadPoolExecutorBackend"]
 
@@ -38,58 +37,5 @@ class ThreadPoolExecutorBackend(BaseExecutor):
     name = "threads"
 
     def _run(self, ctx: RunContext, variants: VariantSet) -> BatchResult:
-        registry = CompletedRegistry()
-        runner = ResilientRunner(ctx, variants)
-        # One cache shared by all workers; NeighborhoodCache locks
-        # internally, so concurrent hit/miss/put traffic is safe.  The
-        # tracer is likewise shared: record emission locks, and span
-        # records carry the emitting worker thread's name.
-        queue_lock = threading.Lock()
-        results_lock = threading.Lock()
-        results = {}
-        records = []
-        done = runner.resume_into(registry, results, records)
-        plan = [p for p in ctx.scheduler.plan(variants) if p.variant not in done]
-        next_item = 0
-        t0 = time.perf_counter()
-
-        def worker(tid: int) -> None:
-            nonlocal next_item
-            while True:
-                with queue_lock:
-                    if next_item >= len(plan):
-                        return
-                    planned: PlannedVariant = plan[next_item]
-                    next_item += 1
-                start = time.perf_counter() - t0
-                result, record = runner.execute(
-                    planned,
-                    registry,
-                    before=None,  # wall clock: anything completed is eligible
-                )
-                if result is None:  # permanent failure: skip, batch continues
-                    continue
-                finish = time.perf_counter() - t0
-                record.start = start
-                record.finish = finish
-                record.response_time = finish - start
-                record.thread_id = tid
-                registry.add(planned.variant, result, finished_at=finish)
-                with results_lock:
-                    results[planned.variant] = result
-                    records.append(record)
-
-        threads = [
-            threading.Thread(target=worker, args=(tid,), name=f"variant-worker-{tid}")
-            for tid in range(ctx.n_threads)
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        self._trace_cache_stats(ctx.tracer, ctx.cache)
-        makespan = max((r.finish for r in records), default=0.0)
-        batch = BatchRunRecord(
-            records=records, n_threads=ctx.n_threads, makespan=makespan
-        )
-        return BatchResult(results=results, record=batch, report=runner.report())
+        runtime = GraphRuntime("threads")
+        return runtime.run(ctx, variants, mode="variant")

@@ -38,4 +38,12 @@ __all__ = [
     "use_tracer",
     "resolve_tracer",
     "PHASE_PREFIX",
+    "SPAN_TASK",
 ]
+
+#: Span name carrying task identity in the task-graph runtime: every
+#: record has ``args = {"kind": ..., "id": ..., "deps": [...]}`` naming
+#: the :mod:`repro.core.taskgraph` node it executed (``kind`` one of
+#: ``variant`` / ``shard`` / ``merge``).  Simulated substrates emit
+#: these on the work-unit clock, wall substrates on the batch window.
+SPAN_TASK = "task"

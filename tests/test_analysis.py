@@ -288,11 +288,11 @@ class BaseExecutor(abc.ABC):
 """
 
 
-def _backend(name, run_body="        runner = ResilientRunner(ctx, variants)\n",
+def _backend(name, run_body="        return GraphRuntime(\"sim\").run(ctx, variants)\n",
              run_sig="self, ctx, variants", extra=""):
     return (
         "from repro.exec.base import BaseExecutor\n"
-        "from repro.resilience.runner import ResilientRunner\n\n"
+        "from repro.exec.graph import GraphRuntime\n\n"
         f"class {name}(BaseExecutor):\n"
         f"    name = \"{name.lower()}\"\n\n"
         f"    def _run({run_sig}):\n"
@@ -328,11 +328,38 @@ class TestExecutorContractRule:
         assert rule_ids(report) == ["executor-contract"]
         assert "signature" in report.findings[0].message
 
-    def test_missing_resilient_runner_is_flagged(self):
+    def test_missing_graph_runtime_is_flagged(self):
         bad = _backend("Alpha", run_body="        return None\n")
         report = check(_project("Alpha", Alpha=bad), [ExecutorContractRule])
         assert rule_ids(report) == ["executor-contract"]
+        assert "GraphRuntime" in report.findings[0].message
         assert "FaultPlan" in report.findings[0].message
+
+    def test_private_pool_spawn_is_flagged(self):
+        sources = _project("Alpha")
+        sources["repro.exec.mod0"] = _backend(
+            "Alpha",
+            extra=(
+                "\nfrom concurrent.futures import ProcessPoolExecutor\n"
+                "POOL = ProcessPoolExecutor(max_workers=2)\n"
+            ),
+        )
+        report = check(sources, [ExecutorContractRule])
+        assert rule_ids(report) == ["executor-contract", "executor-contract"]
+        assert all("spawns workers" in f.message for f in report.findings)
+
+    def test_runtime_module_may_spawn_pools(self):
+        sources = _project("Alpha")
+        sources["repro.exec.graph"] = (
+            "import threading\n"
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "class GraphRuntime:\n"
+            "    def spawn(self):\n"
+            "        threading.Thread(target=print).start()\n"
+            "        return ProcessPoolExecutor(max_workers=1)\n"
+        )
+        report = check(sources, [ExecutorContractRule])
+        assert report.findings == []
 
     def test_missing_run_hook_is_flagged(self):
         bad = (
@@ -346,10 +373,10 @@ class TestExecutorContractRule:
     def test_missing_name_attr_is_flagged(self):
         bad = (
             "from repro.exec.base import BaseExecutor\n"
-            "from repro.resilience.runner import ResilientRunner\n"
+            "from repro.exec.graph import GraphRuntime\n"
             "class Alpha(BaseExecutor):\n"
             "    def _run(self, ctx, variants):\n"
-            "        runner = ResilientRunner(ctx, variants)\n"
+            "        return GraphRuntime(\"sim\").run(ctx, variants)\n"
         )
         sources = _project("Alpha", Alpha=bad)
         sources["repro.exec"] = (

@@ -250,6 +250,7 @@ class TestBenchSnapshot:
             ("BENCH_index.json", "index"),
             ("BENCH_batch.json", "batch"),
             ("BENCH_shard.json", "shard"),
+            ("BENCH_hybrid.json", "hybrid"),
         ]:
             path = root / name
             if not path.exists():
@@ -262,3 +263,11 @@ class TestBenchSnapshot:
             if bench == "shard":
                 assert any(k.startswith("serial ") for k in kinds)
                 assert any("R=8" in k for k in kinds)
+            if bench == "hybrid":
+                assert set(kinds) == {
+                    "serial", "variant-only", "shard-only", "hybrid"
+                }
+                speedup = snap["workload"]["modeled_speedup"]
+                assert speedup["hybrid"] >= max(
+                    speedup["variant-only"], speedup["shard-only"]
+                )

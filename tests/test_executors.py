@@ -185,7 +185,7 @@ class TestProcessPool:
 class TestRegistry:
     def test_executor_registry(self):
         assert set(EXECUTORS) == {
-            "serial", "simulated", "threads", "processes", "sharded"
+            "serial", "simulated", "threads", "processes", "sharded", "hybrid"
         }
 
     def test_record_carries_config(self, blobs):

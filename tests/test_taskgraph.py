@@ -1,0 +1,207 @@
+"""Task-graph planning: lowering modes, edge discipline, validation.
+
+``lower_variants`` is pure planning (no execution), so these tests pin
+the DAG shapes every backend's lowering policy relies on: soft donor
+edges in variant mode, hard merge-sequencing in shard mode, and the
+threshold-gated mixed fan-out of hybrid mode.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheduling import PlannedVariant, SchedGreedy, SchedMinpts
+from repro.core.taskgraph import (
+    DEFAULT_SHARD_THRESHOLD,
+    MergeTask,
+    ShardTask,
+    TaskGraph,
+    VariantTask,
+    lower_variants,
+    merge_task_id,
+    shard_task_id,
+    variant_task_id,
+)
+from repro.core.variants import Variant, VariantSet
+
+VSET = VariantSet.from_product([0.4, 0.5, 0.6], [4, 6])
+PLAN = SchedGreedy().plan(VSET)
+
+
+def task_ids(graph: TaskGraph) -> list[str]:
+    return [t.task_id for t in graph.tasks]
+
+
+class TestTaskIds:
+    def test_id_formats(self):
+        v = Variant(0.5, 4)
+        assert variant_task_id(v) == "variant:0.5/4"
+        assert shard_task_id(v, 2) == "shard:0.5/4#2"
+        assert merge_task_id(v) == "merge:0.5/4"
+
+    def test_ids_are_unique_across_grid(self):
+        graph = lower_variants(PLAN, VSET, mode="shard", n_regions=3)
+        ids = task_ids(graph)
+        assert len(ids) == len(set(ids))
+
+
+class TestVariantLowering:
+    def test_one_task_per_planned_variant(self):
+        graph = lower_variants(PLAN, VSET)
+        assert len(graph) == len(PLAN)
+        assert [t.variant for t in graph.variant_tasks()] == [
+            p.variant for p in PLAN
+        ]
+        assert graph.shard_tasks() == [] and graph.merge_tasks() == []
+
+    def test_donor_edges_are_soft(self):
+        graph = lower_variants(PLAN, VSET)
+        soft = [t for t in graph.tasks if t.soft_deps]
+        assert soft, "a 3x2 grid must have at least one reuse edge"
+        for t in graph.tasks:
+            assert t.deps == ()  # nothing blocks dispatch in variant mode
+        # every soft edge points at an earlier variant task
+        seen: set[str] = set()
+        for t in graph.tasks:
+            for dep in t.soft_deps:
+                assert dep in seen
+            seen.add(t.task_id)
+
+    def test_force_scratch_heads_have_no_donor_edge(self):
+        plan = SchedMinpts().plan(VSET)
+        graph = lower_variants(plan, VSET)
+        for t in graph.variant_tasks():
+            if t.planned.force_scratch:
+                assert t.soft_deps == () and t.deps == ()
+
+    def test_terminal_id_is_the_variant_task(self):
+        graph = lower_variants(PLAN, VSET)
+        v = PLAN[0].variant
+        assert graph.terminal_id(v) == variant_task_id(v)
+        with pytest.raises(KeyError):
+            graph.terminal_id(Variant(9.9, 99))
+
+
+class TestShardLowering:
+    def test_fan_out_and_merge_per_variant(self):
+        graph = lower_variants(PLAN, VSET, mode="shard", n_regions=3)
+        assert len(graph.shard_tasks()) == 3 * len(PLAN)
+        assert len(graph.merge_tasks()) == len(PLAN)
+        for mt in graph.merge_tasks():
+            assert mt.deps == tuple(
+                shard_task_id(mt.variant, r) for r in range(3)
+            )
+        assert graph.sharded_variants() == [p.variant for p in PLAN]
+
+    def test_consecutive_variants_hard_sequenced(self):
+        graph = lower_variants(PLAN, VSET, mode="shard", n_regions=2)
+        merges = graph.merge_tasks()
+        shards_of = {
+            p.variant: [
+                t for t in graph.shard_tasks() if t.variant == p.variant
+            ]
+            for p in PLAN
+        }
+        for prev, p in zip(PLAN, PLAN[1:]):
+            want = (merge_task_id(prev.variant),)
+            for st in shards_of[p.variant]:
+                assert st.deps == want
+        for st in shards_of[PLAN[0].variant]:
+            assert st.deps == ()
+        assert len(merges) == len(PLAN)
+
+    def test_single_region_still_fans_out(self):
+        graph = lower_variants(PLAN, VSET, mode="shard", n_regions=1)
+        assert len(graph.shard_tasks()) == len(PLAN)
+        assert len(graph.merge_tasks()) == len(PLAN)
+
+    def test_terminal_id_is_the_merge(self):
+        graph = lower_variants(PLAN, VSET, mode="shard", n_regions=2)
+        v = PLAN[0].variant
+        assert graph.terminal_id(v) == merge_task_id(v)
+
+
+class TestHybridLowering:
+    def test_threshold_gates_fan_out(self):
+        # below the default threshold nothing shards
+        small = lower_variants(
+            PLAN, VSET, mode="hybrid", n_regions=4, n_points=100
+        )
+        assert small.merge_tasks() == []
+        assert len(small.variant_tasks()) == len(PLAN)
+        # at/above it the scratch roots fan out
+        big = lower_variants(
+            PLAN, VSET, mode="hybrid", n_regions=4,
+            n_points=DEFAULT_SHARD_THRESHOLD,
+        )
+        assert big.merge_tasks() != []
+
+    def test_threshold_zero_shards_every_scratch_variant(self):
+        graph = lower_variants(
+            PLAN, VSET, mode="hybrid", n_regions=2, n_points=10,
+            shard_threshold=0,
+        )
+        sharded = set(graph.sharded_variants())
+        assert sharded  # the forest has at least one root
+        # non-scratch variants stay whole
+        assert len(graph.variant_tasks()) == len(PLAN) - len(sharded)
+
+    def test_single_region_never_shards(self):
+        graph = lower_variants(
+            PLAN, VSET, mode="hybrid", n_regions=1, n_points=10 ** 9,
+            shard_threshold=0,
+        )
+        assert graph.merge_tasks() == []
+
+    def test_donor_on_sharded_root_is_hard(self):
+        graph = lower_variants(
+            PLAN, VSET, mode="hybrid", n_regions=2, n_points=10,
+            shard_threshold=0,
+        )
+        sharded = set(graph.sharded_variants())
+        merge_ids = {merge_task_id(v) for v in sharded}
+        hard = [t for t in graph.variant_tasks() if t.deps]
+        assert hard, "some chain must hang off a sharded root"
+        for t in hard:
+            assert set(t.deps) <= merge_ids
+            assert t.soft_deps == ()
+        # plain donor edges (if any) stay soft and never block
+        for t in graph.variant_tasks():
+            for dep in t.soft_deps:
+                assert dep.startswith("variant:")
+
+    def test_mixed_graph_is_topological(self):
+        graph = lower_variants(
+            PLAN, VSET, mode="hybrid", n_regions=3, n_points=10,
+            shard_threshold=0,
+        )
+        seen: set[str] = set()
+        for t in graph.tasks:
+            for dep in t.deps:
+                assert dep in seen
+            seen.add(t.task_id)
+
+
+class TestValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="lowering mode"):
+            lower_variants(PLAN, VSET, mode="wat")
+        with pytest.raises(ValueError, match="lowering mode"):
+            TaskGraph((), mode="wat")
+
+    def test_duplicate_task_id_rejected(self):
+        p = PlannedVariant(Variant(0.5, 4))
+        with pytest.raises(ValueError, match="duplicate"):
+            TaskGraph((VariantTask(p), VariantTask(p)))
+
+    def test_forward_hard_dep_rejected(self):
+        v = Variant(0.5, 4)
+        shard = ShardTask(v, 0, 1, deps=(merge_task_id(v),))
+        merge = MergeTask(v, 1, deps=(shard.task_id,))
+        with pytest.raises(ValueError, match="topological"):
+            TaskGraph((shard, merge), mode="shard")
+
+    def test_empty_graph_is_valid(self):
+        graph = lower_variants([], VSET)
+        assert len(graph) == 0
+        assert graph.by_id == {}
