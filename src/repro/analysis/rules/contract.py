@@ -26,7 +26,15 @@ This rule pins the contract:
 * any override of an inherited hook (``run``, ``run_context``,
   ``make_context``) keeps the base signature's parameter names;
 * the ``EXECUTORS`` registry in ``repro/exec/__init__.py`` and the
-  set of concrete backend classes match exactly, both ways.
+  set of concrete backend classes match exactly, both ways;
+* supervision discipline: heartbeat emitters (``worker_pulse``) are
+  constructed only inside ``repro.exec.graph`` workers (and the
+  defining module ``repro.supervise.signals``) — a pulse beating
+  outside the runtime would fake liveness for work the supervisor
+  cannot see — and remediation :class:`Action` objects are built only
+  through the :class:`~repro.supervise.remedy.Proposer` registry in
+  ``repro.supervise.remedy``, so every action the runtime executes is
+  one the registry proposed and the risk gate scored.
 """
 
 from __future__ import annotations
@@ -51,6 +59,15 @@ _POOL_ATTRS = {"threading": "Thread", "multiprocessing": "Process"}
 
 #: Hooks whose signatures must match the base class when overridden.
 _PINNED_HOOKS = ("_run", "run", "run_context", "make_context")
+
+#: Supervision call discipline: callable name -> modules allowed to
+#: call it.  ``worker_pulse`` builds the heartbeat emitter (defined in
+#: signals, beaten only by the runtime's workers); ``Action`` is the
+#: remediation dataclass (constructed only by the Proposer registry).
+_SUPERVISE_SITES = {
+    "worker_pulse": frozenset({"repro.supervise.signals", _RUNTIME_MODULE}),
+    "Action": frozenset({"repro.supervise.remedy"}),
+}
 
 #: Fallback expectation when repro/exec/base.py is not in the run.
 _FALLBACK_SIGNATURES = {"_run": ["self", "ctx", "variants"]}
@@ -179,10 +196,43 @@ class ExecutorContractRule(ProjectRule):
             return pkg, node, names
         return pkg, None, set()
 
+    def _supervision_sites(self, project: Project) -> list[Finding]:
+        """Flag worker_pulse / Action construction outside sanctioned modules."""
+        findings: list[Finding] = []
+        for module, mf in sorted(project.modules.items()):
+            for node in ast.walk(mf.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                fn = node.func
+                if isinstance(fn, ast.Name):
+                    called = fn.id
+                elif isinstance(fn, ast.Attribute):
+                    called = fn.attr
+                else:
+                    continue
+                allowed = _SUPERVISE_SITES.get(called)
+                if allowed is None or module in allowed:
+                    continue
+                where = " / ".join(sorted(allowed))
+                what = (
+                    "heartbeat emitters are constructed"
+                    if called == "worker_pulse"
+                    else "remediation actions are proposed"
+                )
+                findings.append(
+                    self._finding(
+                        mf, node,
+                        f"{module} calls {called}(); {what} only in {where}",
+                    )
+                )
+        return findings
+
     def check(self, project: Project) -> list[Finding]:
         findings: list[Finding] = []
         base_sigs = self._base_signatures(project)
         backends: dict[str, tuple] = {}  # class name -> (ModuleFile, ClassDef)
+
+        findings.extend(self._supervision_sites(project))
 
         for mf in project.in_package(_EXEC_PACKAGE):
             if mf.module != _RUNTIME_MODULE:

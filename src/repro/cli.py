@@ -138,6 +138,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         retry_policy = RetryPolicy(
             max_retries=args.retries, deadline_s=args.deadline
         )
+    supervise = None
+    if getattr(args, "supervise", False):
+        from repro.supervise import SupervisePolicy
+
+        supervise = SupervisePolicy(risk_budget=args.risk_budget)
     with Session(
         points,
         dataset=name,
@@ -155,6 +160,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             shard_threshold=args.shard_threshold,
             retry_policy=retry_policy,
             resume=args.resume,
+            supervise=supervise,
         )
     rec = batch.record
     status = {}
@@ -194,14 +200,44 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(batch.report.summary())
         for variant in batch.report.failed:
             print(f"  FAILED {variant}: {batch.report.outcomes[variant].error}")
+        if batch.report.remediations:
+            print("remediations:")
+            for row in batch.report.remediation_rows():
+                action = row["action"] or {}
+                print(
+                    "  [{rid}] {kind} {subject}: {act} "
+                    "(risk {risk:.2f}) -> {decision}/{verdict}".format(
+                        rid=row["rid"],
+                        kind=row["anomaly"]["kind"],
+                        subject=row["anomaly"]["subject"],
+                        act=action.get("kind", "-"),
+                        risk=action.get("risk", 0.0),
+                        decision=row["decision"],
+                        verdict=row["verdict"] or "unchecked",
+                    )
+                )
         if not batch.report.complete:
             return 1
     return 0
 
 
+def _doctor_anomalies(segments) -> list:
+    """Classify orphaned segments through the supervisor's detector.
+
+    Reuses the same signal → anomaly path the in-run supervisor walks,
+    so ``repro doctor`` and the remediation loop can never disagree on
+    what counts as a leak.
+    """
+    from repro.supervise import Detector, HealthMonitor
+
+    return Detector().classify_all(HealthMonitor.orphan_signals(segments))
+
+
 def cmd_doctor(args: argparse.Namespace) -> int:
     from repro.resilience.audit import scan_segments, unlink_segment
 
+    if getattr(args, "watch", False):
+        return _doctor_watch(args)
     segments = scan_segments()
     removed = []
     if args.unlink:
@@ -215,9 +251,13 @@ def cmd_doctor(args: argparse.Namespace) -> int:
         print(
             json.dumps(
                 {
+                    "schema": 2,
                     "segments": [s.as_dict() for s in segments],
                     "orphaned": sum(1 for s in segments if s.orphaned),
                     "removed": removed,
+                    "anomalies": [
+                        a.as_dict() for a in _doctor_anomalies(segments)
+                    ],
                 }
             )
         )
@@ -237,6 +277,44 @@ def cmd_doctor(args: argparse.Namespace) -> int:
             "run `repro doctor --unlink` to remove them"
         )
     return 0
+
+
+def _doctor_watch(args: argparse.Namespace) -> int:
+    """Poll-mode doctor: re-scan on an interval, report anomalies.
+
+    ``--max-polls`` bounds the loop (0 = until interrupted) so tests
+    and CI gates can run a fixed number of scans.  Exit status is 1 if
+    the *final* scan still sees orphaned segments.
+    """
+    import time as _time
+
+    from repro.resilience.audit import scan_segments, unlink_segment
+
+    polls = 0
+    orphans = 0
+    while True:
+        segments = scan_segments()
+        anomalies = _doctor_anomalies(segments)
+        orphans = len(anomalies)
+        stamp = _time.strftime("%H:%M:%S")
+        if anomalies:
+            for a in anomalies:
+                print(f"[{stamp}] {a.kind} {a.subject}: {a.detail}")
+            if args.unlink:
+                for a in anomalies:
+                    if unlink_segment(a.subject):
+                        print(f"[{stamp}] reclaimed {a.subject}")
+                orphans = len(_doctor_anomalies(scan_segments()))
+        else:
+            print(f"[{stamp}] ok: {len(segments)} segment(s), 0 orphaned")
+        polls += 1
+        if args.max_polls and polls >= args.max_polls:
+            break
+        try:
+            _time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            break
+    return 1 if orphans else 0
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -543,6 +621,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "there and a rerun over the same data skips them")
     s.add_argument("--retries", type=int, default=0,
                    help="per-variant retry budget (enables resilient mode)")
+    s.add_argument("--supervise", action="store_true",
+                   help="run under the self-healing supervisor "
+                        "(heartbeats + risk-gated auto-remediation)")
+    s.add_argument("--risk-budget", type=float, default=0.5,
+                   dest="risk_budget", metavar="R",
+                   help="auto-apply remediations with risk <= R; "
+                        "recommend above (default 0.5)")
     s.add_argument("--deadline", type=float, default=None, metavar="S",
                    help="per-variant deadline in seconds")
     s.set_defaults(func=cmd_sweep)
@@ -601,6 +686,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="remove segments whose creating process is dead")
     d.add_argument("--json", action="store_true",
                    help="machine-readable output")
+    d.add_argument("--watch", action="store_true",
+                   help="poll mode: re-scan on an interval and report "
+                        "anomalies via the supervisor's detector")
+    d.add_argument("--interval", type=float, default=2.0, metavar="S",
+                   help="seconds between --watch scans (default 2)")
+    d.add_argument("--max-polls", type=int, default=0, dest="max_polls",
+                   metavar="N",
+                   help="stop --watch after N scans (0 = until interrupted)")
     d.set_defaults(func=cmd_doctor)
 
     a = sub.add_parser(

@@ -37,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.resilience.checkpoint import CheckpointStore
     from repro.resilience.faults import FaultPlan
     from repro.resilience.policy import RetryPolicy
+    from repro.supervise.supervisor import SupervisePolicy
 
 __all__ = ["KERNELS", "RunContext"]
 
@@ -124,6 +125,12 @@ class RunContext:
         :data:`~repro.core.taskgraph.DEFAULT_SHARD_THRESHOLD`; the
         simulated executor lowers variant-only); ``0`` shards every
         scratch variant.
+    supervisor:
+        Self-healing supervision knobs
+        (:class:`~repro.supervise.supervisor.SupervisePolicy`):
+        heartbeat stall timeout, risk budget for auto-remediation, and
+        the graceful-degradation ladder settings.  ``None`` (default)
+        disables supervision entirely.
     """
 
     store: PointStore
@@ -144,6 +151,7 @@ class RunContext:
     regions: int | None = None
     part_size: int | None = None
     shard_threshold: int | None = None
+    supervisor: SupervisePolicy | None = None
 
     @property
     def points(self) -> np.ndarray:

@@ -54,6 +54,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.resilience.checkpoint import CheckpointStore
     from repro.resilience.faults import FaultPlan
     from repro.resilience.policy import RetryPolicy
+    from repro.supervise.supervisor import SupervisePolicy
 
 __all__ = ["Session"]
 
@@ -115,6 +116,12 @@ class Session:
         Default point count at which hybrid lowering fans a
         from-scratch variant out into shard/merge tasks (``None``
         defers to the backend; ``0`` shards every scratch variant).
+    supervise:
+        Session-wide default for the self-healing supervisor
+        (:mod:`repro.supervise`): ``True`` enables the default
+        :class:`~repro.supervise.supervisor.SupervisePolicy`, a policy
+        instance tunes it, ``None``/``False`` (default) disables.  Can
+        be overridden per executor or per run.
     tracer:
         Span collector for everything the session does; ``None``
         resolves to the globally active tracer at each use.
@@ -136,6 +143,7 @@ class Session:
         regions: int | None = None,
         part_size: int | None = None,
         shard_threshold: int | None = None,
+        supervise: SupervisePolicy | bool | None = None,
         tracer: Tracer | None = None,
     ) -> None:
         if cost_model is None:
@@ -176,6 +184,9 @@ class Session:
         self.shard_threshold = (
             int(shard_threshold) if shard_threshold is not None else None
         )
+        from repro.supervise.supervisor import as_supervise_policy
+
+        self.supervise = as_supervise_policy(supervise)
         self.tracer = tracer
         self._closed = False
         self._active_runs = 0
@@ -257,12 +268,15 @@ class Session:
         retry_policy: RetryPolicy | None = None,
         fault_plan: FaultPlan | None = None,
         checkpoint: CheckpointStore | None = None,
+        supervise: SupervisePolicy | bool | None = None,
     ) -> RunContext:
         """Assemble the :class:`RunContext` for one run.
 
         Fallback order per knob: explicit argument, else the executor
         instance's configuration (when one is given), else the session
-        default.
+        default.  ``supervise`` follows the same chain; pass ``False``
+        to switch supervision off for one run regardless of the
+        executor / session default.
         """
         if self._closed:
             raise SessionClosedError("Session is closed")
@@ -302,6 +316,16 @@ class Session:
             raise ValueError(
                 f"unknown kernel {kernel!r}; expected one of {list(KERNELS)}"
             )
+        from repro.supervise.supervisor import as_supervise_policy
+
+        if supervise is False:
+            sup = None
+        elif supervise is not None:
+            sup = as_supervise_policy(supervise)
+        elif ex is not None and getattr(ex, "supervise", None) is not None:
+            sup = ex.supervise
+        else:
+            sup = self.supervise
         tracer = resolve_tracer(self.tracer)
         return RunContext(
             store=self.store,
@@ -328,6 +352,7 @@ class Session:
             regions=regions,
             part_size=part_size,
             shard_threshold=shard_threshold,
+            supervisor=sup,
         )
 
     def run(
@@ -350,6 +375,7 @@ class Session:
         retry_policy: RetryPolicy | None = None,
         fault_plan: FaultPlan | None = None,
         resume: str | Path | CheckpointStore | None = None,
+        supervise: SupervisePolicy | bool | None = None,
     ) -> BatchResult:
         """Execute every variant and return the batch result.
 
@@ -370,6 +396,13 @@ class Session:
         data skips them.  Any of the three makes the run resilient: a
         permanently failed variant no longer aborts the batch, and
         dependents re-plan onto surviving donors.
+
+        ``supervise`` attaches the self-healing supervisor (heartbeat
+        monitoring, risk-gated remediation, graceful degradation — see
+        :mod:`repro.supervise`): ``True`` for the default policy, a
+        :class:`~repro.supervise.supervisor.SupervisePolicy` to tune
+        it, ``False`` to switch off an executor/session default.
+        Supervision implies a resilient run.
         """
         if self._closed:
             raise SessionClosedError("Session is closed")
@@ -399,6 +432,7 @@ class Session:
             retry_policy=retry_policy,
             fault_plan=fault_plan,
             checkpoint=checkpoint,
+            supervise=supervise,
         )
         self._active_runs += 1
         try:

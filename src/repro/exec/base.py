@@ -58,6 +58,7 @@ from repro.engine.store import PointStore
 from repro.exec.cost import DEFAULT_COST_MODEL, CostModel
 from repro.metrics.records import BatchRunRecord
 from repro.obs.span import Tracer, resolve_tracer
+from repro.supervise.supervisor import SupervisePolicy, as_supervise_policy
 from repro.util.validation import check_positive_int
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -144,6 +145,12 @@ class BaseExecutor(abc.ABC):
         variant out into shard/merge tasks (see
         :mod:`repro.core.taskgraph`).  ``None`` (default) leaves the
         choice to the backend; ``0`` shards every scratch variant.
+    supervise:
+        Self-healing supervision for the run: ``True`` enables the
+        default :class:`~repro.supervise.supervisor.SupervisePolicy`,
+        a policy instance customizes the knobs (risk budget, stall
+        timeout, …), ``None``/``False`` disables.  Implies a resilient
+        run (a default retry policy when none is passed).
     """
 
     name: str = "?"
@@ -166,6 +173,7 @@ class BaseExecutor(abc.ABC):
         regions: int | None = None,
         part_size: int | None = None,
         shard_threshold: int | None = None,
+        supervise: SupervisePolicy | bool | None = None,
     ) -> None:
         self.n_threads = check_positive_int(n_threads, name="n_threads")
         self.scheduler = scheduler if scheduler is not None else SchedGreedy()
@@ -203,6 +211,7 @@ class BaseExecutor(abc.ABC):
         self.shard_threshold = (
             int(shard_threshold) if shard_threshold is not None else None
         )
+        self.supervise = as_supervise_policy(supervise)
 
     def _build_cache(self) -> NeighborhoodCache | None:
         """One fresh neighborhood cache per batch, or ``None`` if disabled."""
@@ -253,6 +262,7 @@ class BaseExecutor(abc.ABC):
             regions=self.regions,
             part_size=self.part_size,
             shard_threshold=self.shard_threshold,
+            supervisor=self.supervise,
         )
 
     def run(
@@ -317,6 +327,8 @@ class BaseExecutor(abc.ABC):
             extras += f", part_size={self.part_size}"
         if self.shard_threshold is not None:
             extras += f", shard_threshold={self.shard_threshold}"
+        if self.supervise is not None:
+            extras += f", supervise(budget={self.supervise.risk_budget:g})"
         return (
             f"{type(self).__name__}(T={self.n_threads}, sched={self.scheduler.name}, "
             f"reuse={self.reuse_policy.name}, r={self.low_res_r}, "

@@ -106,6 +106,8 @@ from repro.resilience.faults import (
 from repro.resilience.policy import RetryPolicy
 from repro.resilience.report import BatchReport, VariantOutcome, VariantStatus
 from repro.resilience.runner import EVENT_RETRY, ResilientRunner
+from repro.supervise.signals import PulseHandle, worker_pulse
+from repro.supervise.supervisor import Supervisor
 
 __all__ = [
     "EVENT_SHARD_PLAN",
@@ -203,6 +205,7 @@ def _chain_worker(
     fault_plan: BoundFaultPlan | None = None,
     checkpoint_root: str | None = None,
     kernel: str = "bfs",
+    pulse: PulseHandle | None = None,
 ):
     """Run one reuse-chain group serially inside a lane worker process.
 
@@ -227,6 +230,7 @@ def _chain_worker(
     caller.
     """
     allow_kill_faults(True)
+    hb = worker_pulse(pulse)
     tracer = Tracer() if trace else None
     set_tracer(tracer)
     # perf_counter is monotonic *and* system-wide, so the parent's t0
@@ -279,6 +283,13 @@ def _chain_worker(
         for planned in ctx.scheduler.plan(vset):
             if planned.variant in done:
                 continue
+            if hb is not None:
+                # Beat *before* the attempt: a stall fault freezes the
+                # counter mid-task, which is exactly what the parent's
+                # HealthMonitor is looking for.
+                hb.beat(
+                    f"variant:{planned.variant.eps:g}/{planned.variant.minpts}"
+                )
             result, record = runner.execute(planned, registry, concurrency=1)
             if result is None:  # permanent failure: skip, group continues
                 continue
@@ -297,6 +308,9 @@ def _chain_worker(
         del ctx, indexes
         release_segment(idx_shm)
         store.close()
+        if hb is not None:
+            hb.beat("group:done")
+            hb.close()
     finish = time.perf_counter() - t0
     # Re-stamp the work-unit timestamps onto the worker's wall window.
     span = finish - start
@@ -330,6 +344,8 @@ def _shard_worker(
     trace: bool,
     fault_spec: FaultSpec | None = None,
     deadline_s: float | None = None,
+    pulse: PulseHandle | None = None,
+    task_label: str = "",
 ) -> tuple[ShardPiece, list[SpanRecord] | None, float, float]:
     """Cluster one region's slab inside a lane worker process.
 
@@ -346,12 +362,16 @@ def _shard_worker(
     shipped back as plain records.
     """
     allow_kill_faults(True)
+    hb = worker_pulse(pulse)
     tracer = Tracer() if trace else None
     set_tracer(tracer)
     start = time.perf_counter() - t0
     perf_start = time.perf_counter()
     store = PointStore.attach(store_handle, tracer=tracer)
     try:
+        if hb is not None:
+            # Before the fault fires: a stall freezes the counter here.
+            hb.beat(task_label or "shard")
         if fault_spec is not None:
             BoundFaultPlan({}).fire(
                 fault_spec, deadline_s=deadline_s, started_at=perf_start
@@ -365,8 +385,12 @@ def _shard_worker(
             batch_size=batch_size,
             tracer=tracer,
         )
+        if hb is not None:
+            hb.beat(task_label or "shard")
     finally:
         store.close()
+        if hb is not None:
+            hb.close()
     finish = time.perf_counter() - t0
     spans = None
     if tracer is not None:
@@ -429,6 +453,7 @@ class _Job:
     deadline: float | None  # absolute time.monotonic() watchdog budget
     region: int = -1
     stamp: int = -1  # pipeline attempt at submission (staleness check)
+    label: str = ""  # supervisor task label ("group:N" / shard task id)
 
 
 class _Lane:
@@ -507,6 +532,11 @@ class GraphRuntime:
                 axis=base_plan.axis,
                 n=ctx.store.n_points,
             )
+        supervisor = None
+        if ctx.supervisor is not None:
+            supervisor = Supervisor(
+                ctx.supervisor, tracer=tracer, n_tasks=max(len(graph), 1)
+            )
         if len(graph):
             if self.substrate == "sim":
                 self._run_sim(
@@ -516,15 +546,27 @@ class GraphRuntime:
                 self._run_threads(ctx, runner, graph, registry, results, records)
             else:
                 self._run_lanes(
-                    ctx, runner, graph, base_plan, registry, results, records
+                    ctx,
+                    runner,
+                    graph,
+                    base_plan,
+                    registry,
+                    results,
+                    records,
+                    supervisor=supervisor,
                 )
         makespan = max((r.finish for r in records), default=0.0)
         batch_record = BatchRunRecord(
             records=records, n_threads=ctx.n_threads, makespan=makespan
         )
-        return BatchResult(
-            results=results, record=batch_record, report=runner.report()
-        )
+        report = runner.report()
+        if supervisor is not None:
+            # In-process substrates get the finalize-only supervision
+            # scope: dangling verifications fail, orphans are reclaimed.
+            supervisor.finalize()
+            if report is not None:
+                report.remediations.extend(supervisor.records)
+        return BatchResult(results=results, record=batch_record, report=report)
 
     # -- sim substrate ---------------------------------------------------
     def _run_sim(
@@ -783,6 +825,7 @@ class GraphRuntime:
         registry: CompletedRegistry,
         results: dict,
         records: list,
+        supervisor: Supervisor | None = None,
     ) -> None:
         """Process lanes: dependency-aware dispatch of groups and shards.
 
@@ -795,6 +838,15 @@ class GraphRuntime:
         Shard pipelines keep the legacy sharded-backend accounting: one
         attempt per recovery round, completed regions keep their
         pieces, finish-phase faults retry the whole variant.
+
+        When a :class:`Supervisor` is attached, every lane gets one
+        heartbeat-mailbox slot; workers beat at task boundaries, the
+        dispatch loop polls the monitor between futures, and applied
+        remediations drive lane respawns, gated resubmissions, and —
+        when a unit exhausts its submission budget — the graceful-
+        degradation ladder (inline re-runs on the threads / serial
+        rungs, shard→variant lowering for pipelines).  Every decision
+        is traced and lands in ``BatchReport.remediations``.
         """
         tracer = ctx.tracer
         policy = runner.policy
@@ -873,6 +925,8 @@ class GraphRuntime:
         )
         t0 = time.perf_counter()
         lanes = [_Lane(i) for i in range(n_lanes)]
+        mailbox = supervisor.open_mailbox(n_lanes) if supervisor else None
+        n_graph_tasks = max(len(graph), 1)
         free_lanes = list(range(n_lanes))
         inflight: dict[Future, _Job] = {}
         resolved: set[str] = set()
@@ -881,6 +935,14 @@ class GraphRuntime:
 
         def settled() -> set[str]:
             return resolved | failed_ids
+
+        def group_label(unit: _GroupUnit) -> str:
+            return f"group:{unit.gid}"
+
+        def shard_label(pipe: _ShardPipeline, region: int) -> str:
+            return f"shard:{pipe.variant.eps:g}/{pipe.variant.minpts}#{region}"
+
+        replan_noted: set[tuple[int, str]] = set()
 
         def submit_group(unit: _GroupUnit, lane: int) -> None:
             plan = runner.faults
@@ -891,6 +953,19 @@ class GraphRuntime:
                 v = merge_variant[dep]
                 if v in results:
                     donors.append((v.as_tuple(), results[v]))
+                elif (
+                    supervisor is not None
+                    and dep in failed_ids
+                    and (unit.gid, dep) not in replan_noted
+                ):
+                    # The donor died permanently; the worker's scheduler
+                    # re-plans the chain onto surviving donors / scratch.
+                    replan_noted.add((unit.gid, dep))
+                    supervisor.on_replanned(
+                        group_label(unit),
+                        dep,
+                        blast_radius=len(unit.variants) / n_graph_tasks,
+                    )
             budget = (
                 time.monotonic()
                 + deadline * len(unit.variants) * max_attempts
@@ -915,19 +990,29 @@ class GraphRuntime:
                 plan,
                 checkpoint_root,
                 ctx.kernel,
+                mailbox.handle(lane) if mailbox is not None else None,
             )
-            inflight[fut] = _Job("group", unit, lane, budget)
+            if supervisor is not None:
+                supervisor.job_started(
+                    lane, group_label(unit), deadline_s=deadline
+                )
+            inflight[fut] = _Job(
+                "group", unit, lane, budget, label=group_label(unit)
+            )
 
         def submit_shard(pipe: _ShardPipeline, region: int, lane: int) -> None:
             assert base_plan is not None
             if not pipe.started:
                 pipe.started = True
                 pipe.started_at = time.perf_counter()
+            label = shard_label(pipe, region)
             spec = None
             if runner.faults:
                 found = runner.faults.find(pipe.variant, pipe.attempt, "start")
                 if found is not None and region == found.index % pipe.n_regions:
                     spec = found
+                if spec is None:
+                    spec = runner.faults.find_task(label, pipe.attempt, "start")
             budget = (
                 time.monotonic() + deadline + 30.0
                 if deadline is not None
@@ -946,9 +1031,19 @@ class GraphRuntime:
                 tracer.enabled,
                 spec,
                 deadline,
+                mailbox.handle(lane) if mailbox is not None else None,
+                label,
             )
+            if supervisor is not None:
+                supervisor.job_started(lane, label, deadline_s=deadline)
             inflight[fut] = _Job(
-                "shard", pipe, lane, budget, region=region, stamp=pipe.attempt
+                "shard",
+                pipe,
+                lane,
+                budget,
+                region=region,
+                stamp=pipe.attempt,
+                label=label,
             )
 
         def next_dispatch() -> tuple[str, object, int] | None:
@@ -968,26 +1063,238 @@ class GraphRuntime:
                             return ("shard", unit, pending[0])
             return None
 
-        def fail_pipeline(pipe: _ShardPipeline, error: str) -> None:
+        def run_inline(
+            order: list[Variant],
+            consumed: int,
+            kernel: str,
+            step_label: str,
+            *,
+            donors: tuple[Variant, ...] | list[Variant] = (),
+            force_scratch: bool = False,
+        ) -> tuple[bool, int]:
+            """Degraded-rung execution: run ``order`` serially in-parent.
+
+            The fault plan is shifted past the ``consumed`` submissions so
+            already-fired faults do not refire; completed variants land
+            in the shared ``results``/``records`` with a ``degraded``
+            outcome.  ``donors`` (seeded at t = 0) and ``force_scratch``
+            mirror the reuse provenance the unit had on its original
+            rung, so the degraded labels stay byte-identical to a
+            fault-free run.  Returns (all completed, attempts used).
+            """
+            shifted = (
+                runner.faults.shifted(consumed)
+                if runner.faults and consumed > 0
+                else runner.faults
+            )
+            local_ctx = ctx.with_(
+                scheduler=_FixedOrderScheduler(order),
+                fault_plan=shifted,
+                retry_policy=policy,
+                supervisor=None,
+                n_threads=1,
+                kernel=kernel,
+            )
+            sub_vset = VariantSet(order)
+            local_runner = ResilientRunner(local_ctx, sub_vset)
+            reg = CompletedRegistry()
+            for d in donors:
+                if d in results:
+                    reg.add(d, results[d], finished_at=0.0)
+            used = 0
+            try:
+                for v in order:
+                    planned = PlannedVariant(v, force_scratch=force_scratch)
+                    v_start = time.perf_counter() - t0
+                    result, record = local_runner.execute(
+                        planned, reg, concurrency=1
+                    )
+                    outcome = local_runner.report().outcomes.get(v)
+                    attempts = outcome.attempts if outcome is not None else 1
+                    used += attempts
+                    if result is None:
+                        return False, used
+                    now = time.perf_counter() - t0
+                    record.start = v_start
+                    record.finish = now
+                    record.response_time = now - v_start
+                    record.thread_id = -1
+                    reg.add(v, result, finished_at=now)
+                    registry.add(v, result, finished_at=now)
+                    results[v] = result
+                    records.append(record)
+                    runner.mark_degraded(
+                        v,
+                        step_label,
+                        attempts=consumed + attempts,
+                        error=outcome.error if outcome is not None else None,
+                    )
+            except Exception:
+                return False, used + 1
+            return True, used
+
+        def run_inline_on_thread(
+            order: list[Variant],
+            consumed: int,
+            kernel: str,
+            step_label: str,
+            donors: list[Variant],
+        ) -> tuple[bool, int]:
+            out: list[tuple[bool, int]] = []
+
+            def target() -> None:
+                out.append(
+                    run_inline(
+                        order, consumed, kernel, step_label, donors=donors
+                    )
+                )
+
+            th = threading.Thread(target=target, name="degrade-runner")
+            th.start()
+            th.join()
+            return out[0] if out else (False, 1)
+
+        def degrade_group(unit: _GroupUnit, error: str) -> bool:
+            """Walk the substrate ladder for an exhausted group.
+
+            Each rung re-runs the group's remaining variants inline
+            (threads rung: a parent thread; serial rung: the parent
+            itself — no worker boundary left to fail).
+            """
+            assert supervisor is not None
+            label = group_label(unit)
+            rung = "lanes"
+            consumed = unit.submissions
+            while True:
+                rec, step = supervisor.on_exhausted(
+                    label,
+                    submissions=consumed,
+                    budget=max_submissions,
+                    blast_radius=len(unit.variants) / n_graph_tasks,
+                    breaker_key=label,
+                    axis="substrate",
+                    rung=rung,
+                )
+                if step is None:
+                    return False
+                remaining = [v for v in unit.variants if v not in results]
+                # Exactly what a fresh lane submission would see: the
+                # group's sharded donors plus its own completed chain
+                # prefix — not the whole batch (a wider donor pool could
+                # pick a different reuse source and permute cluster ids).
+                donors = [
+                    merge_variant[dep]
+                    for dep in sorted(unit.deps)
+                    if merge_variant[dep] in results
+                ] + [v for v in unit.variants if v in results]
+                if step.target == "threads":
+                    ok, used = run_inline_on_thread(
+                        remaining, consumed, ctx.kernel, step.label, donors
+                    )
+                else:
+                    ok, used = run_inline(
+                        remaining, consumed, ctx.kernel, step.label,
+                        donors=donors,
+                    )
+                supervisor.task_done(label, ok, step.label)
+                if ok:
+                    unit.done = True
+                    return True
+                consumed += max(used, 1)
+                rung = step.target
+
+        def degrade_pipeline(
+            pipe: _ShardPipeline, error: str, *, axis_hint: str | None = None
+        ) -> bool:
+            """Lower an exhausted pipeline: shard→variant (or cellgraph→bfs)."""
+            assert supervisor is not None
+            label = pipe.merge_id
+            if axis_hint == "kernel" and ctx.kernel == "cellgraph":
+                axis, rung = "kernel", ctx.kernel
+            else:
+                axis, rung = "lowering", "shard"
+            rec, step = supervisor.on_exhausted(
+                label,
+                submissions=pipe.attempt,
+                budget=max_submissions,
+                blast_radius=(1 + pipe.n_regions) / n_graph_tasks,
+                breaker_key=label,
+                axis=axis,
+                rung=rung,
+            )
+            if step is None:
+                return False
+            kernel = "bfs" if axis == "kernel" else ctx.kernel
+            # Shard pipelines compute from scratch; the variant-lowered
+            # re-run must too, or cluster ids permute under reuse.
+            ok, _used = run_inline(
+                [pipe.variant], pipe.attempt, kernel, step.label,
+                force_scratch=True,
+            )
+            supervisor.task_done(label, ok, step.label)
+            for r in range(pipe.n_regions):
+                # Pending shard-level remediations (a stuck region that
+                # forced this lowering) are settled by the variant-level
+                # re-run — the shard tasks themselves never complete.
+                supervisor.task_done(shard_label(pipe, r), ok, step.label)
+            if ok:
+                pipe.done = True
+                resolved.add(pipe.merge_id)
+                return True
+            return False
+
+        def fail_pipeline(
+            pipe: _ShardPipeline, error: str, *, axis_hint: str | None = None
+        ) -> None:
+            if supervisor is not None and degrade_pipeline(
+                pipe, error, axis_hint=axis_hint
+            ):
+                return
             runner.mark_failed_group([pipe.variant], error, attempts=pipe.attempt)
             pipe.done = True
             failed_ids.add(pipe.merge_id)
+            if supervisor is not None:
+                supervisor.task_done(pipe.merge_id, False, error)
 
         def handle_group_failure(job: _Job, error: str) -> None:
             unit = job.unit
             assert isinstance(unit, _GroupUnit)
             unit.running = False
             unit.submissions += 1
-            if unit.submissions >= max_submissions:
+            if supervisor is not None:
+                supervisor.job_finished(job.lane)
+            exhausted = unit.submissions >= max_submissions
+            if (
+                supervisor is not None
+                and not exhausted
+                and unit.submissions >= 2
+            ):
+                # Second-and-later deaths of the same group are a crash
+                # loop: the supervisor gates each further resubmission.
+                rec = supervisor.on_crash(
+                    group_label(unit),
+                    submissions=unit.submissions,
+                    budget=max_submissions,
+                    blast_radius=len(unit.variants) / n_graph_tasks,
+                )
+                if rec.decision != "applied":
+                    exhausted = True
+            if exhausted:
+                if supervisor is not None and degrade_group(unit, error):
+                    return
                 runner.mark_failed_group(
                     unit.variants, error, attempts=unit.submissions
                 )
                 unit.done = True
+                if supervisor is not None:
+                    supervisor.task_done(group_label(unit), False, error)
 
         def handle_shard_failure(job: _Job, error: str) -> None:
             pipe = job.unit
             assert isinstance(pipe, _ShardPipeline)
             pipe.inflight.discard(job.region)
+            if supervisor is not None:
+                supervisor.job_finished(job.lane)
             if pipe.done or job.stamp != pipe.attempt:
                 return  # stale round: already accounted
             pipe.attempt += 1
@@ -999,7 +1306,17 @@ class GraphRuntime:
                 regions=[job.region],
                 error=error,
             )
-            if pipe.attempt >= max_submissions:
+            exhausted = pipe.attempt >= max_submissions
+            if supervisor is not None and not exhausted and pipe.attempt >= 2:
+                rec = supervisor.on_crash(
+                    job.label or shard_label(pipe, job.region),
+                    submissions=pipe.attempt,
+                    budget=max_submissions,
+                    blast_radius=1.0 / n_graph_tasks,
+                )
+                if rec.decision != "applied":
+                    exhausted = True
+            if exhausted:
                 fail_pipeline(pipe, error)
 
         def merge_pipeline(pipe: _ShardPipeline) -> None:
@@ -1024,6 +1341,10 @@ class GraphRuntime:
             try:
                 if runner.faults:
                     spec = runner.faults.find(variant, pipe.attempt, "finish")
+                    if spec is None:
+                        spec = runner.faults.find_task(
+                            pipe.merge_id, pipe.attempt, "finish"
+                        )
                     if spec is not None:
                         if spec.kind == "corrupt":
                             corrupt_result(result)
@@ -1046,8 +1367,18 @@ class GraphRuntime:
                     attempt=pipe.attempt,
                     error=pipe.last_error,
                 )
-                if pipe.attempt >= max_submissions:
-                    fail_pipeline(pipe, pipe.last_error)
+                retry_ok = pipe.attempt < max_submissions
+                if supervisor is not None and retry_ok:
+                    # Corruption retries are supervised decisions: the
+                    # risk gate must admit the resubmission.
+                    rec = supervisor.on_corruption(
+                        pipe.merge_id,
+                        pipe.last_error,
+                        blast_radius=(1 + pipe.n_regions) / n_graph_tasks,
+                    )
+                    retry_ok = rec.decision == "applied"
+                if not retry_ok:
+                    fail_pipeline(pipe, pipe.last_error, axis_hint="kernel")
                 else:
                     # A finish-phase fault damaged the merged result:
                     # retry the whole variant (serial attempt
@@ -1078,6 +1409,8 @@ class GraphRuntime:
             records.append(record)
             pipe.done = True
             resolved.add(pipe.merge_id)
+            if supervisor is not None:
+                supervisor.task_done(pipe.merge_id, True, "merge verified")
             if tracer.enabled:
                 task_spans.append(
                     SpanRecord(
@@ -1147,12 +1480,18 @@ class GraphRuntime:
                 runner.merge_outcomes(batch.report)
             unit.running = False
             unit.done = True
+            if supervisor is not None:
+                supervisor.job_finished(job.lane)
+                supervisor.task_done(group_label(unit), True)
 
         def handle_shard_success(job: _Job, payload) -> None:
             pipe = job.unit
             assert isinstance(pipe, _ShardPipeline)
             piece, spans, w_start, w_finish = payload
             pipe.inflight.discard(job.region)
+            if supervisor is not None:
+                supervisor.job_finished(job.lane)
+                supervisor.task_done(job.label, True)
             if pipe.done:
                 return  # stale completion after a permanent failure
             # Shard work is deterministic, so a piece from a superseded
@@ -1200,9 +1539,39 @@ class GraphRuntime:
                             if timeout is None
                             else min(timeout, remaining)
                         )
+                if supervisor is not None:
+                    poll_s = supervisor.policy.poll_interval_s
+                    timeout = poll_s if timeout is None else min(timeout, poll_s)
                 done_futs, _ = wait(
                     inflight, timeout=timeout, return_when=FIRST_COMPLETED
                 )
+                if supervisor is not None:
+                    # Applied stuck-task remediations: kill the stale
+                    # lane and route the job through the normal failure
+                    # accounting (which resubmits or degrades).
+                    for rec in supervisor.poll():
+                        target = rec.anomaly.subject
+                        match = next(
+                            (
+                                f
+                                for f, j in inflight.items()
+                                if j.label == target and f not in done_futs
+                            ),
+                            None,
+                        )
+                        if match is None:
+                            continue
+                        job = inflight.pop(match)
+                        lanes[job.lane].respawn(hung=True)
+                        free_lanes.append(job.lane)
+                        if job.kind == "group":
+                            handle_group_failure(
+                                job, "stuck task: heartbeat stale"
+                            )
+                        else:
+                            handle_shard_failure(
+                                job, "stuck shard: heartbeat stale"
+                            )
                 if not done_futs:
                     # Watchdog: a truly wedged worker never joins; stop
                     # waiting, kill its lane, and account the failure.
@@ -1224,7 +1593,9 @@ class GraphRuntime:
                                 handle_shard_failure(job, error)
                     continue
                 for fut in done_futs:
-                    job = inflight.pop(fut)
+                    job = inflight.pop(fut, None)
+                    if job is None:
+                        continue  # remediated as stuck in this round
                     try:
                         payload = fut.result()
                     except Exception as exc:
@@ -1248,6 +1619,8 @@ class GraphRuntime:
         finally:
             for lane in lanes:
                 lane.close()
+            if supervisor is not None:
+                supervisor.close_mailbox()
             if idx_shm is not None:
                 # The pack exists only for this batch; remove it even
                 # when a worker raised.  (The point segment belongs to

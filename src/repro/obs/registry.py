@@ -104,6 +104,11 @@ class MetricsRegistry:
             reg.totals.merge(r.counters)
         if batch.report is not None:
             reg.meta["outcomes"] = batch.report.counts()
+            if batch.report.remediations:
+                decisions: dict[str, int] = {}
+                for r in batch.report.remediations:
+                    decisions[r.decision] = decisions.get(r.decision, 0) + 1
+                reg.meta["remediations"] = decisions
         if tracer is not None:
             reg.add_spans(tracer.records())
         return reg
@@ -190,6 +195,21 @@ class MetricsRegistry:
                 out[s.name] = out.get(s.name, 0) + 1
         return out
 
+    def supervise_events(self) -> dict[str, int]:
+        """Counts of supervisor decision/verify instants, when any fired.
+
+        Keys are the ``supervise.*`` event names emitted by
+        :class:`~repro.supervise.supervisor.Supervisor` (``anomaly`` /
+        ``apply`` / ``recommend`` / ``suppress`` / ``verify``), with the
+        prefix stripped; events that never fired are omitted.
+        """
+        out: dict[str, int] = {}
+        for s in self.spans:
+            if s.name.startswith("supervise."):
+                name = s.name[len("supervise."):]
+                out[name] = out.get(name, 0) + 1
+        return out
+
     def variant_walls(self) -> dict[str, float]:
         """``{variant label: wall seconds}`` from the per-variant rows."""
         return {row["variant"]: row["wall_time"] for row in self.variant_rows}
@@ -247,6 +267,12 @@ class MetricsRegistry:
             lines.append(
                 "resilience: "
                 + ", ".join(f"{n} x{c}" for n, c in sorted(events.items()))
+            )
+        supervise = self.supervise_events()
+        if supervise:
+            lines.append(
+                "supervision: "
+                + ", ".join(f"{n} x{c}" for n, c in sorted(supervise.items()))
             )
         outcomes = self.meta.get("outcomes")
         if outcomes:

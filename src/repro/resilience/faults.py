@@ -29,6 +29,21 @@ Fault kinds
     inside process-pool workers (see :func:`allow_kill_faults`); every
     other backend downgrades it to ``crash`` so a stray plan can never
     take down the caller's interpreter.
+``stall``
+    Stop emitting heartbeats while appearing busy.  Inside an armed
+    process-pool worker the sleep is **uncooperative** (no deadline
+    polling) — the parent-side supervisor must notice the stale
+    heartbeat and respawn the lane.  Everywhere else it degrades to a
+    cooperative ``hang`` so an in-process backend cannot wedge.
+``slow``
+    Cooperative delay of ``hang_s`` seconds, then the variant completes
+    normally.  Exercises deadline-at-risk detection without failure.
+
+Specs are keyed on the canonical variant index by default; setting
+``task`` instead targets one concrete task-graph node
+(``shard:eps/minpts#region`` / ``merge:eps/minpts`` ids from
+:mod:`repro.core.taskgraph`), which the sharded pipelines resolve via
+:meth:`BoundFaultPlan.find_task`.
 
 Random plans are drawn through :func:`repro.util.rng.resolve_rng`, so a
 seeded :meth:`FaultPlan.random` is bit-reproducible like every other
@@ -65,7 +80,7 @@ __all__ = [
 ]
 
 #: Recognised fault kinds (see module docstring).
-FAULT_KINDS = ("crash", "hang", "corrupt", "kill")
+FAULT_KINDS = ("crash", "hang", "corrupt", "kill", "stall", "slow")
 
 #: ``start`` fires before the variant computes, ``finish`` after.
 FAULT_PHASES = ("start", "finish")
@@ -110,7 +125,12 @@ class FaultSpec:
         computed — wasted work on retry, and the only phase where
         ``corrupt`` is meaningful).
     hang_s:
-        Sleep duration for ``hang`` faults, wall seconds.
+        Sleep duration for ``hang`` / ``stall`` / ``slow`` faults,
+        wall seconds.
+    task:
+        When set, the spec targets one concrete task-graph node id
+        (``shard:…#r`` or ``merge:…``) instead of a variant index;
+        ``index`` is then ignored and may be ``-1``.
     """
 
     kind: str
@@ -118,6 +138,7 @@ class FaultSpec:
     attempt: int = 0
     phase: str = "start"
     hang_s: float = 0.0
+    task: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -128,7 +149,7 @@ class FaultSpec:
             raise ValidationError(
                 f"unknown fault phase {self.phase!r}; expected one of {FAULT_PHASES}"
             )
-        if self.index < 0:
+        if self.task is None and self.index < 0:
             raise ValidationError(f"fault index must be >= 0, got {self.index}")
         if self.attempt < 0:
             raise ValidationError(f"fault attempt must be >= 0, got {self.attempt}")
@@ -202,10 +223,14 @@ class FaultPlan:
         """Resolve index-keyed specs against a concrete variant set.
 
         Specs whose index falls outside the set are ignored (a plan may
-        be reused across differently-sized batches).
+        be reused across differently-sized batches).  Task-id keyed
+        specs bind verbatim — task ids already name a concrete node.
         """
-        table: dict[tuple[tuple[float, int], int, str], FaultSpec] = {}
+        table: dict[tuple, FaultSpec] = {}
         for spec in self.specs:
+            if spec.task is not None:
+                table[(spec.task, spec.attempt, spec.phase)] = spec
+                continue
             if spec.index >= len(vset):
                 continue
             key = (vset[spec.index].as_tuple(), spec.attempt, spec.phase)
@@ -221,6 +246,10 @@ class BoundFaultPlan:
 
     def find(self, variant: Variant, attempt: int, phase: str) -> FaultSpec | None:
         return self.table.get((variant.as_tuple(), attempt, phase))
+
+    def find_task(self, task_id: str, attempt: int, phase: str) -> FaultSpec | None:
+        """Look up a spec keyed on a task-graph node id (shard/merge)."""
+        return self.table.get((task_id, attempt, phase))
 
     def shifted(self, offset: int) -> BoundFaultPlan:
         """The plan as seen by a resubmitted worker group.
@@ -254,11 +283,15 @@ class BoundFaultPlan:
         deadline_s: float | None = None,
         started_at: float | None = None,
     ) -> None:
-        """Execute a ``start``-phase fault (crash / hang / kill).
+        """Execute a ``start``-phase fault (crash / hang / kill / stall / slow).
 
         ``hang`` sleeps in small slices so an active deadline converts
         the hang into a :class:`VariantTimeoutError` as soon as the
         attempt budget is exhausted rather than after the full sleep.
+        ``stall`` inside an armed pool worker sleeps *without* polling
+        the deadline (the supervisor must notice the stale heartbeat);
+        elsewhere it degrades to a cooperative hang.  ``slow`` always
+        sleeps cooperatively and then lets the variant proceed.
         """
         if spec.kind == "kill" and kill_faults_allowed():
             os._exit(86)  # simulated worker death; parent must recover
@@ -267,7 +300,17 @@ class BoundFaultPlan:
                 f"injected {spec.kind} (variant index {spec.index}, "
                 f"attempt {spec.attempt}, phase {spec.phase})"
             )
-        if spec.kind == "hang":
+        if spec.kind == "slow" or (spec.kind == "stall" and kill_faults_allowed()):
+            # Delay without converting to a timeout error: a slow task
+            # still completes; an armed stall is uncooperative by design
+            # and survives only until the parent respawns the lane.
+            remaining = spec.hang_s
+            while remaining > 0.0:
+                slice_s = min(remaining, 0.01)
+                time.sleep(slice_s)
+                remaining -= slice_s
+            return
+        if spec.kind in ("hang", "stall"):
             t0 = started_at if started_at is not None else time.perf_counter()
             remaining = spec.hang_s
             while remaining > 0.0:
@@ -279,8 +322,8 @@ class BoundFaultPlan:
                     and time.perf_counter() - t0 > deadline_s
                 ):
                     raise VariantTimeoutError(
-                        f"injected hang exceeded the {deadline_s:g}s deadline "
-                        f"(variant index {spec.index})"
+                        f"injected {spec.kind} exceeded the {deadline_s:g}s "
+                        f"deadline (variant index {spec.index})"
                     )
 
 

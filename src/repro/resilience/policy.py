@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.util.errors import ValidationError
+from repro.util.rng import derive_rng, resolve_rng
 
 __all__ = ["RetryPolicy"]
 
@@ -44,6 +45,17 @@ class RetryPolicy:
         ``min(base * factor**attempt, max)`` seconds.  The default base
         of 0 disables sleeping, which is what deterministic test runs
         want; production sweeps over flaky storage set a real base.
+    backoff_jitter:
+        Fraction in ``[0, 1]`` by which each sleep is randomly
+        *shortened* (full-jitter downward), decorrelating shard-retry
+        stampedes against a freshly respawned pool.  0 (the default)
+        keeps backoff purely deterministic.
+    backoff_seed:
+        Seed for the jitter stream.  With a seed set, the draw for a
+        given ``(key, attempt)`` is bit-reproducible (tests); ``None``
+        draws fresh OS entropy per sleep (production decorrelation).
+        Jitter never touches the wallclock for randomness — every draw
+        goes through :func:`repro.util.rng.resolve_rng`.
     """
 
     max_retries: int = 2
@@ -51,6 +63,8 @@ class RetryPolicy:
     backoff_base_s: float = 0.0
     backoff_factor: float = 2.0
     backoff_max_s: float = 1.0
+    backoff_jitter: float = 0.0
+    backoff_seed: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -67,17 +81,38 @@ class RetryPolicy:
             raise ValidationError(
                 f"backoff_factor must be >= 1, got {self.backoff_factor}"
             )
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValidationError(
+                f"backoff_jitter must be in [0, 1], got {self.backoff_jitter}"
+            )
+        if self.backoff_seed is not None and self.backoff_seed < 0:
+            raise ValidationError(
+                f"backoff_seed must be >= 0 (SeedSequence entropy), "
+                f"got {self.backoff_seed}"
+            )
 
     @property
     def max_attempts(self) -> int:
         """Total executions allowed per variant (first try + retries)."""
         return self.max_retries + 1
 
-    def backoff_s(self, attempt: int) -> float:
-        """Seconds to wait before re-running after failed ``attempt``."""
+    def backoff_s(self, attempt: int, *, key: int = 0) -> float:
+        """Seconds to wait before re-running after failed ``attempt``.
+
+        ``key`` identifies the retrying task (canonical variant index,
+        or region index for shard retries) so concurrent retries of the
+        same attempt draw *different* jitter from the same seed.
+        """
         if self.backoff_base_s <= 0.0:
             return 0.0
-        return min(
+        base = min(
             self.backoff_base_s * self.backoff_factor ** attempt,
             self.backoff_max_s,
         )
+        if self.backoff_jitter <= 0.0:
+            return base
+        if self.backoff_seed is None:
+            rng = resolve_rng(None)
+        else:
+            rng = derive_rng(self.backoff_seed, key, max(attempt, 0))
+        return base * (1.0 - self.backoff_jitter * float(rng.random()))

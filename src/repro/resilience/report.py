@@ -27,8 +27,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import TYPE_CHECKING
 
 from repro.core.variants import Variant
+
+if TYPE_CHECKING:  # upper layer; imported for annotations only (no cycle)
+    from repro.supervise.remedy import RemediationRecord
 
 __all__ = ["BatchReport", "VariantOutcome", "VariantStatus"]
 
@@ -61,6 +65,11 @@ class VariantOutcome:
     replanned_from:
         For ``replanned`` variants, the failed static donor the
         variant was originally planned to reuse.
+    degraded:
+        Ladder step label (e.g. ``"substrate:lanes→serial"``) when the
+        supervisor completed this variant by stepping it down the
+        graceful-degradation ladder instead of failing the batch;
+        ``None`` for variants that ran at the planned lowering.
     """
 
     variant: Variant
@@ -68,6 +77,7 @@ class VariantOutcome:
     attempts: int = 1
     error: str | None = None
     replanned_from: Variant | None = None
+    degraded: str | None = None
 
 
 @dataclass
@@ -76,10 +86,15 @@ class BatchReport:
 
     ``outcomes`` has one entry per variant of the batch's variant set
     — including permanently failed variants, which are absent from
-    :attr:`~repro.exec.base.BatchResult.results`.
+    :attr:`~repro.exec.base.BatchResult.results`.  When a run was
+    supervised, ``remediations`` additionally lists every anomaly the
+    supervisor detected with the proposed action, its risk score, the
+    risk-gate decision, and the verifier outcome (see
+    :class:`repro.supervise.remedy.RemediationRecord`).
     """
 
     outcomes: dict[Variant, VariantOutcome] = field(default_factory=dict)
+    remediations: list[RemediationRecord] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.outcomes)
@@ -125,6 +140,7 @@ class BatchReport:
     def merge(self, other: BatchReport) -> None:
         """Fold in another report (process-pool workers report per group)."""
         self.outcomes.update(other.outcomes)
+        self.remediations.extend(other.remediations)
 
     def counts(self) -> dict[str, int]:
         """``{status value: variant count}`` over every status."""
@@ -140,7 +156,13 @@ class BatchReport:
         for key in ("retried", "replanned", "resumed", "failed"):
             if c[key]:
                 parts.append(f"{c[key]} {key}")
-        return f"{len(self.outcomes)} variants: " + ", ".join(parts)
+        line = f"{len(self.outcomes)} variants: " + ", ".join(parts)
+        if self.remediations:
+            applied = sum(1 for r in self.remediations if r.decision == "applied")
+            line += (
+                f"; {len(self.remediations)} remediations ({applied} applied)"
+            )
+        return line
 
     def as_rows(self) -> list[dict]:
         """JSON-friendly per-variant rows (CLI / reporting)."""
@@ -153,6 +175,11 @@ class BatchReport:
                 "replanned_from": (
                     o.replanned_from.as_tuple() if o.replanned_from else None
                 ),
+                "degraded": o.degraded,
             }
             for o in self.outcomes.values()
         ]
+
+    def remediation_rows(self) -> list[dict]:
+        """JSON-friendly remediation records (CLI / CI consumers)."""
+        return [r.as_dict() for r in self.remediations]

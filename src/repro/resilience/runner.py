@@ -112,6 +112,10 @@ class ResilientRunner:
         )
         if ctx.retry_policy is not None:
             self.policy: RetryPolicy | None = ctx.retry_policy
+        elif ctx.supervisor is not None:
+            # Supervision without an explicit policy: self-healing needs
+            # a retry budget for its respawn/resubmit remediations.
+            self.policy = RetryPolicy()
         elif self.faults:
             # Faults without an explicit policy: capture failures into
             # the report (no retries) instead of aborting the batch.
@@ -124,6 +128,7 @@ class ResilientRunner:
         )
         self._lock = threading.Lock()
         self._outcomes: dict = {}
+        self._order = {v: i for i, v in enumerate(vset)}
 
     # -- checkpoint resume ----------------------------------------------
     def resume_into(
@@ -196,7 +201,9 @@ class ResilientRunner:
         last_error: BaseException | None = None
         for attempt in range(policy.max_attempts):
             if attempt > 0:
-                pause = policy.backoff_s(attempt - 1)
+                pause = policy.backoff_s(
+                    attempt - 1, key=self._order.get(variant, 0)
+                )
                 if pause > 0.0:
                     time.sleep(pause)
             try:
@@ -295,6 +302,24 @@ class ResilientRunner:
         """Fold a worker-produced report into this runner's accounting."""
         with self._lock:
             self._outcomes.update(report.outcomes)
+
+    def mark_degraded(
+        self, variant, label: str, *, attempts: int, error: str | None = None
+    ) -> None:
+        """Record a variant completed by stepping down the ladder.
+
+        ``label`` is the ladder-step label (e.g. ``substrate:lanes→serial``)
+        the supervisor applied; the variant still counts as ``retried``
+        because it needed more than one submission to finish.
+        """
+        with self._lock:
+            self._outcomes[variant] = VariantOutcome(
+                variant,
+                VariantStatus.RETRIED if attempts > 1 else VariantStatus.OK,
+                attempts=attempts,
+                error=error,
+                degraded=label,
+            )
 
     def mark_failed_group(self, variants, error: str, attempts: int = 1) -> None:
         """Record variants lost to a dead worker group as failed."""

@@ -415,6 +415,57 @@ class TestExecutorContractRule:
         assert report.findings == []
         assert report.suppressed >= 1
 
+    # -- supervision discipline ---------------------------------------
+    def test_rogue_heartbeat_emitter_is_flagged(self):
+        sources = _project("Alpha")
+        sources["repro.engine.rogue"] = (
+            "from repro.supervise.signals import worker_pulse\n"
+            "pulse = worker_pulse(None)\n"
+        )
+        report = check(sources, [ExecutorContractRule])
+        assert rule_ids(report) == ["executor-contract"]
+        assert "worker_pulse" in report.findings[0].message
+        assert "repro.exec.graph" in report.findings[0].message
+
+    def test_runtime_and_signals_may_emit_heartbeats(self):
+        sources = _project("Alpha")
+        sources["repro.exec.graph"] = (
+            "from repro.supervise.signals import worker_pulse\n"
+            "class GraphRuntime:\n"
+            "    def go(self, handle):\n"
+            "        return worker_pulse(handle)\n"
+        )
+        sources["repro.supervise.signals"] = (
+            "def worker_pulse(handle):\n"
+            "    return None\n"
+            "PULSE = worker_pulse(None)\n"
+        )
+        report = check(sources, [ExecutorContractRule])
+        assert report.findings == []
+
+    def test_adhoc_action_construction_is_flagged(self):
+        sources = _project("Alpha")
+        sources["repro.resilience.rogue"] = (
+            "from repro.supervise.remedy import Action\n"
+            "FIX = Action('degrade', target='group:g0')\n"
+        )
+        report = check(sources, [ExecutorContractRule])
+        assert rule_ids(report) == ["executor-contract"]
+        assert "Action" in report.findings[0].message
+        assert "repro.supervise.remedy" in report.findings[0].message
+
+    def test_proposer_registry_may_construct_actions(self):
+        sources = _project("Alpha")
+        sources["repro.supervise.remedy"] = (
+            "class Action:\n"
+            "    def __init__(self, kind, target=''):\n"
+            "        self.kind = kind\n"
+            "def propose():\n"
+            "    return [Action('respawn-lane')]\n"
+        )
+        report = check(sources, [ExecutorContractRule])
+        assert report.findings == []
+
 
 # ---------------------------------------------------------------------------
 # hot-path-purity
