@@ -39,6 +39,8 @@ from repro.analysis.findings import (
     write_baseline,
 )
 from repro.analysis.rules import ALL_RULES, RULES_BY_ID
+from repro.analysis.sarif import to_sarif, write_sarif
+from repro.analysis.traces import check_trace, check_traces
 
 __all__ = [
     "ALL_RULES",
@@ -47,9 +49,13 @@ __all__ = [
     "Finding",
     "analyze_paths",
     "analyze_source",
+    "check_trace",
+    "check_traces",
     "default_check_root",
     "format_finding",
     "iter_python_files",
     "load_baseline",
+    "to_sarif",
     "write_baseline",
+    "write_sarif",
 ]

@@ -1,0 +1,56 @@
+"""Flow-sensitive layer under the dataflow rules.
+
+Three pieces, composed by the rules in
+:mod:`repro.analysis.rules.shm_paths`, ``...rules.dag`` and
+``...rules.boundary``:
+
+* :mod:`~repro.analysis.dataflow.cfg` — per-function statement-level
+  CFGs with exception edges, ``finally`` routing, and branch
+  assume-facts;
+* :mod:`~repro.analysis.dataflow.lattice` — the resource-state pass
+  (acquired → released / escaped / leaked) solved per acquisition
+  site over that CFG;
+* :mod:`~repro.analysis.dataflow.summaries` — flow-insensitive
+  call-graph summaries so helpers that close/unlink on behalf of
+  callers are credited, plus the non-raising constructor set.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow.cfg import (
+    ControlFlowGraph,
+    Edge,
+    Node,
+    build_cfg,
+    default_can_raise,
+    stmt_calls,
+)
+from repro.analysis.dataflow.lattice import (
+    LeakReport,
+    ResourceSite,
+    ResourceSpec,
+    analyze_sites,
+    find_sites,
+)
+from repro.analysis.dataflow.summaries import (
+    FunctionSummary,
+    ProjectSummaries,
+    build_summaries,
+)
+
+__all__ = [
+    "ControlFlowGraph",
+    "Edge",
+    "FunctionSummary",
+    "LeakReport",
+    "Node",
+    "ProjectSummaries",
+    "ResourceSite",
+    "ResourceSpec",
+    "analyze_sites",
+    "build_cfg",
+    "build_summaries",
+    "default_can_raise",
+    "find_sites",
+    "stmt_calls",
+]

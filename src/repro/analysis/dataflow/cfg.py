@@ -1,0 +1,371 @@
+"""Per-function control-flow graphs built from the AST.
+
+The dataflow rules (``shm-paths``, the pulse-balance half of
+``dag-soundness``) need *paths*, not nodes: a resource acquired on one
+line is only safe if every path from the acquisition — including the
+paths taken when a later statement raises — reaches a release.  The
+graph built here is statement-level and deliberately small:
+
+* one :class:`Node` per simple statement, plus synthetic ``entry``,
+  ``exit`` (normal return) and ``raise_exit`` (unhandled exception)
+  nodes and pass-through pads for ``try`` plumbing;
+* every statement that *can raise* gets an **exceptional edge** to the
+  innermost handler target (or ``raise_exit``).  Exceptional edges are
+  taken *before* the statement's effect — a failed ``x = attach()``
+  never bound ``x``;
+* ``finally`` bodies are built once, with exits to both the normal
+  successor and — when the block can be entered exceptionally — the
+  outer exception target.  ``return`` routes through the innermost
+  ``finally`` (mildly conservative: the finally's normal exit then
+  also reaches the statements after the ``try``);
+* branch edges carry **assume facts**: ``if x is None: ...`` tags the
+  true edge with ``(x, is_none=True)`` so the lattice can drop
+  contradictory states (``x`` holding a live segment cannot be
+  ``None``) — this is what makes the ubiquitous
+  ``if shm is not None: release_segment(shm)`` cleanup idiom check
+  clean without pragmas.
+
+What can raise is pluggable (``can_raise``): rules pass a predicate
+that treats the repo's release/teardown helpers as non-raising, so a
+``finally`` that closes three resources in sequence does not generate
+spurious leak paths between the close calls.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ControlFlowGraph",
+    "Edge",
+    "Node",
+    "build_cfg",
+    "default_can_raise",
+    "stmt_calls",
+]
+
+#: ``(name, is_none)`` fact attached to a branch edge.
+Assume = tuple[str, bool]
+
+#: Scopes whose bodies do not execute at the point of definition.
+_DEFERRED = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One successor edge; ``exceptional`` edges fire pre-effect."""
+
+    dst: int
+    assume: Assume | None = None
+    exceptional: bool = False
+
+
+@dataclass
+class Node:
+    """One CFG node: a statement, or a synthetic entry/exit/pad."""
+
+    index: int
+    stmt: ast.stmt | None
+    kind: str  # "stmt" | "entry" | "exit" | "raise" | "pad"
+    succ: list[Edge] = field(default_factory=list)
+
+
+@dataclass
+class ControlFlowGraph:
+    """Statement-level CFG of one function body."""
+
+    nodes: list[Node]
+    entry: int
+    exit: int
+    raise_exit: int
+
+    def stmt_nodes(self) -> list[Node]:
+        return [n for n in self.nodes if n.kind == "stmt" and n.stmt is not None]
+
+
+def _exec_roots(stmt: ast.stmt) -> list[ast.AST]:
+    """Sub-trees evaluated when the statement *itself* executes.
+
+    Compound statements contribute only their header (test, iterable,
+    context expressions) — body statements get their own CFG nodes.
+    A nested ``def`` only evaluates decorators and default values.
+    """
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return [
+            *stmt.decorator_list,
+            *stmt.args.defaults,
+            *(d for d in stmt.args.kw_defaults if d is not None),
+        ]
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(stmt, ast.Try):
+        return []
+    return [stmt]
+
+
+def stmt_calls(stmt: ast.stmt) -> list[ast.Call]:
+    """Every call the statement executes (deferred bodies excluded)."""
+    calls: list[ast.Call] = []
+    stack: list[ast.AST] = _exec_roots(stmt)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _DEFERRED):
+            # A nested def/lambda runs later, not here; decorators and
+            # default values *do* run, so walk those.
+            if isinstance(node, ast.Lambda):
+                stack.extend(node.args.defaults)
+                stack.extend(d for d in node.args.kw_defaults if d is not None)
+            else:
+                stack.extend(node.decorator_list)
+                stack.extend(node.args.defaults)
+                stack.extend(d for d in node.args.kw_defaults if d is not None)
+            continue
+        if isinstance(node, ast.Call):
+            calls.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return calls
+
+
+def default_can_raise(stmt: ast.stmt) -> bool:
+    """Conservative default: calls, ``raise`` and ``assert`` raise."""
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    if isinstance(stmt, (ast.Global, ast.Nonlocal, ast.Pass, ast.Break, ast.Continue)):
+        return False
+    return bool(stmt_calls(stmt))
+
+
+def _assumptions(test: ast.expr) -> tuple[Assume | None, Assume | None]:
+    """``(true_edge_fact, false_edge_fact)`` for a branch test."""
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        true_fact, false_fact = _assumptions(test.operand)
+        return false_fact, true_fact
+    if isinstance(test, ast.Name):
+        # Truthiness: a live resource object is truthy, so the false
+        # edge implies "not acquired here" — model it as is_none.
+        return (test.id, False), (test.id, True)
+    if (
+        isinstance(test, ast.Compare)
+        and isinstance(test.left, ast.Name)
+        and len(test.ops) == 1
+        and len(test.comparators) == 1
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    ):
+        if isinstance(test.ops[0], ast.Is):
+            return (test.left.id, True), (test.left.id, False)
+        if isinstance(test.ops[0], ast.IsNot):
+            return (test.left.id, False), (test.left.id, True)
+    return None, None
+
+
+#: A dangling position: (source node, fact to attach to the out-edge).
+_Cursor = tuple[int, Assume | None]
+
+
+class _Builder:
+    def __init__(self, can_raise: Callable[[ast.stmt], bool]) -> None:
+        self.can_raise = can_raise
+        self.nodes: list[Node] = []
+        self.entry = self._new(None, "entry")
+        self.exit = self._new(None, "exit")
+        self.raise_exit = self._new(None, "raise")
+        self._exc: list[int] = [self.raise_exit]
+        self._finals: list[int] = []  # innermost-last finally entry pads
+        self._loops: list[tuple[int, list[_Cursor]]] = []  # (header, breaks)
+
+    def _new(self, stmt: ast.stmt | None, kind: str) -> int:
+        node = Node(index=len(self.nodes), stmt=stmt, kind=kind)
+        self.nodes.append(node)
+        return node.index
+
+    def _link(
+        self,
+        src: int,
+        dst: int,
+        *,
+        assume: Assume | None = None,
+        exceptional: bool = False,
+    ) -> None:
+        edge = Edge(dst=dst, assume=assume, exceptional=exceptional)
+        if edge not in self.nodes[src].succ:
+            self.nodes[src].succ.append(edge)
+
+    def _join(self, cursors: list[_Cursor], dst: int) -> None:
+        for src, fact in cursors:
+            self._link(src, dst, assume=fact)
+
+    # -- statement dispatch -------------------------------------------
+    def _seq(self, stmts: list[ast.stmt], cur: list[_Cursor]) -> list[_Cursor]:
+        for stmt in stmts:
+            cur = self._stmt(stmt, cur)
+        return cur
+
+    def _leave_to(self) -> int:
+        """Where ``return`` goes: innermost finally, else the exit."""
+        return self._finals[-1] if self._finals else self.exit
+
+    def _stmt(self, stmt: ast.stmt, cur: list[_Cursor]) -> list[_Cursor]:
+        n = self._new(stmt, "stmt")
+        self._join(cur, n)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, n)
+        if self.can_raise(stmt):
+            self._link(n, self._exc[-1], exceptional=True)
+        if isinstance(stmt, ast.Return):
+            self._link(n, self._leave_to())
+            return []
+        if isinstance(stmt, ast.Raise):
+            self._link(n, self._exc[-1], exceptional=True)
+            return []
+        if isinstance(stmt, ast.Break):
+            if self._loops:
+                self._loops[-1][1].append((n, None))
+                return []
+            return [(n, None)]  # malformed source; fall through
+        if isinstance(stmt, ast.Continue):
+            if self._loops:
+                self._link(n, self._loops[-1][0])
+                return []
+            return [(n, None)]
+        if isinstance(stmt, ast.If):
+            true_fact, false_fact = _assumptions(stmt.test)
+            body_out = self._seq(stmt.body, [(n, true_fact)])
+            if stmt.orelse:
+                else_out = self._seq(stmt.orelse, [(n, false_fact)])
+            else:
+                else_out = [(n, false_fact)]
+            return body_out + else_out
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, n)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._seq(stmt.body, [(n, None)])
+        if isinstance(stmt, ast.Match):
+            outs: list[_Cursor] = []
+            matched_all = False
+            for case in stmt.cases:
+                outs.extend(self._seq(case.body, [(n, None)]))
+                if isinstance(case.pattern, ast.MatchAs) and case.pattern.pattern is None:
+                    matched_all = True
+            if not matched_all:
+                outs.append((n, None))
+            return outs
+        return [(n, None)]
+
+    def _loop(
+        self, stmt: ast.While | ast.For | ast.AsyncFor, n: int
+    ) -> list[_Cursor]:
+        if isinstance(stmt, ast.While):
+            true_fact, false_fact = _assumptions(stmt.test)
+        else:
+            true_fact = false_fact = None
+        breaks: list[_Cursor] = []
+        self._loops.append((n, breaks))
+        body_out = self._seq(stmt.body, [(n, true_fact)])
+        self._loops.pop()
+        self._join(body_out, n)  # back edge
+        after: list[_Cursor] = [(n, false_fact)]
+        if stmt.orelse:
+            after = self._seq(stmt.orelse, after)
+        return after + breaks
+
+    # -- try/except/else/finally --------------------------------------
+    @staticmethod
+    def _catches_all(handler: ast.ExceptHandler) -> bool:
+        t = handler.type
+        if t is None:
+            return True
+        names = []
+        if isinstance(t, (ast.Name, ast.Attribute)):
+            names = [t.id if isinstance(t, ast.Name) else t.attr]
+        elif isinstance(t, ast.Tuple):
+            names = [
+                e.id if isinstance(e, ast.Name) else getattr(e, "attr", "")
+                for e in t.elts
+            ]
+        return any(n in ("Exception", "BaseException") for n in names)
+
+    def _try(self, stmt: ast.Try, n: int) -> list[_Cursor]:
+        has_handlers = bool(stmt.handlers)
+        has_finally = bool(stmt.finalbody)
+        outer_exc = self._exc[-1]
+        fin_pad = self._new(None, "pad") if has_finally else None
+        dispatch = self._new(None, "pad") if has_handlers else None
+        inner_exc = (
+            dispatch
+            if dispatch is not None
+            else (fin_pad if fin_pad is not None else outer_exc)
+        )
+        handled_exc = fin_pad if fin_pad is not None else outer_exc
+
+        # try body (protected by handlers and finally)
+        self._exc.append(inner_exc)
+        if fin_pad is not None:
+            self._finals.append(fin_pad)
+        body_out = self._seq(stmt.body, [(n, None)])
+        self._exc.pop()
+
+        # else clause: runs after a clean body, outside handler cover
+        self._exc.append(handled_exc)
+        else_out = self._seq(stmt.orelse, body_out) if stmt.orelse else body_out
+        tails = list(else_out)
+
+        # handlers: entered from the dispatch pad
+        if dispatch is not None:
+            catch_all = any(self._catches_all(h) for h in stmt.handlers)
+            for handler in stmt.handlers:
+                tails.extend(self._seq(handler.body, [(dispatch, None)]))
+            if not catch_all:
+                # A non-matching exception class propagates onward.
+                self._link(dispatch, handled_exc, exceptional=True)
+        self._exc.pop()
+        if fin_pad is not None:
+            self._finals.pop()
+
+        if fin_pad is None:
+            return tails
+
+        # finally body: built once, entered from every tail and from
+        # the exceptional edges already pointing at fin_pad.
+        self._join(tails, fin_pad)
+        fin_out = self._seq(stmt.finalbody, [(fin_pad, None)])
+        entered_exceptionally = any(
+            e.exceptional
+            for node in self.nodes
+            for e in node.succ
+            if e.dst == fin_pad
+        )
+        if entered_exceptionally:
+            # Resume-the-exception edges: the finally body *completed*
+            # before the suspended exception continues, so these are
+            # ordinary (post-effect) edges that happen to target the
+            # outer exception destination — a release performed by the
+            # last finally statement must be visible along them.
+            for src, fact in fin_out:
+                self._link(src, outer_exc, assume=fact)
+        return fin_out
+
+
+def build_cfg(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    *,
+    can_raise: Callable[[ast.stmt], bool] = default_can_raise,
+) -> ControlFlowGraph:
+    """Build the CFG for one function body."""
+    builder = _Builder(can_raise)
+    out = builder._seq(fn.body, [(builder.entry, None)])
+    builder._join(out, builder.exit)
+    return ControlFlowGraph(
+        nodes=builder.nodes,
+        entry=builder.entry,
+        exit=builder.exit,
+        raise_exit=builder.raise_exit,
+    )

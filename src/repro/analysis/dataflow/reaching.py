@@ -1,0 +1,175 @@
+"""Reaching definitions over the statement CFG.
+
+Which assignments to ``name`` can flow into a given use?  The
+``dag-soundness`` rule needs this to trace *derivations*: a tuple
+built from ``merge_task_id(parent)`` in one branch arm must not be
+blamed on a sibling arm's ``variant_task_id`` tuple — a
+flow-insensitive tag union over the whole function would flag every
+``VariantTask(..., soft_deps=soft)`` once any one arm misbinds
+``soft``.  With reaching definitions the finding lands on exactly the
+constructor call the bad definition reaches.
+
+:func:`tags_at` layers a derivation query on top: the set of
+``tag_calls`` names (e.g. ``merge_task_id``) reachable through any
+chain of reaching definitions into the expression's free names.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.dataflow.cfg import ControlFlowGraph
+from repro.analysis.visitor import dotted_source
+
+__all__ = ["Definition", "ReachingDefinitions", "compute_reaching"]
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One binding of ``name`` at a CFG node (value may be unknown)."""
+
+    name: str
+    node_index: int
+    value_index: int  # position among the node's defs (stable identity)
+
+
+def _target_names(target: ast.expr) -> list[str]:
+    names: list[str] = []
+    for sub in ast.walk(target):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+            names.append(sub.id)
+    return names
+
+
+def _stmt_defs(stmt: ast.stmt) -> list[tuple[str, ast.expr | None]]:
+    """``(name, rhs-or-None)`` pairs bound when the statement runs."""
+    out: list[tuple[str, ast.expr | None]] = []
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                out.append((target.id, stmt.value))
+            else:
+                for name in _target_names(target):
+                    out.append((name, None))  # destructured: shape unknown
+    elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+        out.append((stmt.target.id, stmt.value))
+    elif isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+        # x += y keeps x's old derivation and adds y's: model as a def
+        # whose RHS mentions both.
+        out.append((stmt.target.id, stmt.value))
+        out.append((stmt.target.id, ast.Name(id=stmt.target.id, ctx=ast.Load())))
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        for name in _target_names(stmt.target):
+            out.append((name, None))
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                for name in _target_names(item.optional_vars):
+                    out.append((name, None))
+    # walrus targets anywhere in the statement's expressions
+    for sub in ast.walk(stmt):
+        if isinstance(sub, ast.NamedExpr) and isinstance(sub.target, ast.Name):
+            out.append((sub.target.id, sub.value))
+    return out
+
+
+@dataclass
+class ReachingDefinitions:
+    cfg: ControlFlowGraph
+    defs: dict[Definition, ast.expr | None] = field(default_factory=dict)
+    reach_in: dict[int, frozenset[Definition]] = field(default_factory=dict)
+
+    def at(self, node_index: int, name: str) -> list[Definition]:
+        return [
+            d
+            for d in self.reach_in.get(node_index, frozenset())
+            if d.name == name
+        ]
+
+
+def compute_reaching(cfg: ControlFlowGraph) -> ReachingDefinitions:
+    gen: dict[int, list[Definition]] = {}
+    defs: dict[Definition, ast.expr | None] = {}
+    for node in cfg.stmt_nodes():
+        pairs = _stmt_defs(node.stmt)  # type: ignore[arg-type]
+        node_defs = []
+        for i, (name, value) in enumerate(pairs):
+            d = Definition(name=name, node_index=node.index, value_index=i)
+            defs[d] = value
+            node_defs.append(d)
+        if node_defs:
+            gen[node.index] = node_defs
+
+    reach_in: dict[int, set[Definition]] = {
+        n.index: set() for n in cfg.nodes
+    }
+    # Chaotic iteration: every node must be processed at least once
+    # (seeding only the entry would stall immediately — an empty OUT
+    # never grows a successor's IN, so nothing would ever be enqueued).
+    work = [node.index for node in cfg.nodes]
+    while work:
+        idx = work.pop()
+        in_set = reach_in[idx]
+        node_defs = gen.get(idx, [])
+        killed = {d.name for d in node_defs}
+        out = {d for d in in_set if d.name not in killed} | set(node_defs)
+        for edge in cfg.nodes[idx].succ:
+            # Exceptional edges fire pre-effect, but over-approximating
+            # with OUT everywhere is fine for derivation queries.
+            flowing = in_set if edge.exceptional else out
+            target = reach_in[edge.dst]
+            if not flowing <= target:
+                target.update(flowing)
+                work.append(edge.dst)
+    return ReachingDefinitions(
+        cfg=cfg,
+        defs=defs,
+        reach_in={k: frozenset(v) for k, v in reach_in.items()},
+    )
+
+
+def tags_at(
+    rd: ReachingDefinitions,
+    node_index: int,
+    expr: ast.expr,
+    tag_calls: dict[str, str],
+) -> set[str]:
+    """Derivation tags of ``expr`` at a node.
+
+    ``tag_calls`` maps bare callable names to tag labels; the result
+    is every label reachable from the expression through calls in its
+    own text or through any chain of reaching definitions of its free
+    names.  Unknown-shape definitions (loop targets, destructuring)
+    contribute nothing.
+    """
+    memo: dict[Definition, set[str]] = {}
+
+    def expr_tags(at_node: int, e: ast.expr, visiting: set[Definition]) -> set[str]:
+        tags: set[str] = set()
+        for sub in ast.walk(e):
+            if isinstance(sub, ast.Call):
+                bare = dotted_source(sub.func).rsplit(".", 1)[-1]
+                label = tag_calls.get(bare)
+                if label is not None:
+                    tags.add(label)
+            elif isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                for d in rd.at(at_node, sub.id):
+                    tags |= def_tags(d, visiting)
+        return tags
+
+    def def_tags(d: Definition, visiting: set[Definition]) -> set[str]:
+        if d in memo:
+            return memo[d]
+        if d in visiting:
+            return set()
+        value = rd.defs.get(d)
+        if value is None:
+            return set()
+        visiting.add(d)
+        tags = expr_tags(d.node_index, value, visiting)
+        visiting.discard(d)
+        memo[d] = tags
+        return tags
+
+    return expr_tags(node_index, expr, set())

@@ -9,6 +9,7 @@ cases are unit-tested without touching the real tree).
 from __future__ import annotations
 
 import ast
+import time
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -45,6 +46,8 @@ class AnalysisReport:
     suppressed: int = 0
     stale_baseline: list[str] = field(default_factory=list)
     errors: list[str] = field(default_factory=list)
+    #: per-rule cost: ``{rule_id: {"wall_s", "files", "findings"}}``
+    stats: dict[str, dict[str, float | int]] = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -103,6 +106,40 @@ def _split_rules(
     return file_rules, project_rules
 
 
+def _drop_superseded(
+    raw: list[Finding], rules: Iterable[RuleClass]
+) -> list[Finding]:
+    """Dedupe: a rule with ``supersedes`` wins at the same location.
+
+    The dataflow shm rule re-detects (more precisely) what the
+    syntactic rule flags; when both fire on one line, reporting both
+    would double-count a single defect.
+    """
+    superseded_by: dict[str, set[str]] = {}
+    for rule in rules:
+        for victim in getattr(rule, "supersedes", ()):
+            superseded_by.setdefault(victim, set()).add(
+                str(getattr(rule, "rule_id", ""))
+            )
+    if not superseded_by:
+        return raw
+    winner_spots: dict[str, set[tuple[str, int]]] = {}
+    for finding in raw:
+        winner_spots.setdefault(finding.rule, set()).add(
+            (finding.path, finding.line)
+        )
+    out: list[Finding] = []
+    for finding in raw:
+        winners = superseded_by.get(finding.rule, set())
+        if any(
+            (finding.path, finding.line) in winner_spots.get(w, set())
+            for w in winners
+        ):
+            continue
+        out.append(finding)
+    return out
+
+
 def _run_rules(
     project: Project,
     pragma_maps: Mapping[str, Mapping[int, set[str]]],
@@ -111,13 +148,31 @@ def _run_rules(
 ) -> AnalysisReport:
     report = AnalysisReport()
     file_rules, project_rules = _split_rules(rules)
+    n_files = len(project.modules)
 
     raw: list[Finding] = []
-    for mf in project.modules.values():
-        for rule_cls in file_rules:
-            raw.extend(rule_cls(mf).run())
+    for rule_cls in file_rules:
+        t0 = time.perf_counter()
+        rule_findings: list[Finding] = []
+        for mf in project.modules.values():
+            rule_findings.extend(rule_cls(mf).run())
+        report.stats[str(getattr(rule_cls, "rule_id", rule_cls.__name__))] = {
+            "wall_s": round(time.perf_counter() - t0, 6),
+            "files": n_files,
+            "findings": len(rule_findings),
+        }
+        raw.extend(rule_findings)
     for rule_cls in project_rules:
-        raw.extend(rule_cls().check(project))
+        t0 = time.perf_counter()
+        rule_findings = rule_cls().check(project)
+        report.stats[str(getattr(rule_cls, "rule_id", rule_cls.__name__))] = {
+            "wall_s": round(time.perf_counter() - t0, 6),
+            "files": n_files,
+            "findings": len(rule_findings),
+        }
+        raw.extend(rule_findings)
+
+    raw = _drop_superseded(raw, rules)
 
     matched_keys: set[str] = set()
     for finding in sorted(raw, key=Finding.sort_key):

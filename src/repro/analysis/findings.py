@@ -1,13 +1,18 @@
 """Findings, their rendering, and the baseline workflow.
 
 A :class:`Finding` anchors one rule violation to a ``file:line``.  Its
-:meth:`~Finding.key` deliberately omits the line number: baselines must
-survive unrelated edits above a grandfathered finding, so entries match
-on ``(path, rule, message)`` instead of exact position.
+:meth:`~Finding.key` deliberately omits both the line number *and* the
+message text: baselines must survive unrelated edits above a
+grandfathered finding (line drift) and message rewording, so entries
+match on ``(path, rule, qualname, snippet-hash)`` — the enclosing
+scope chain plus a hash of the whitespace-normalized source line.  The
+key only changes when the flagged code itself moves scope or is
+edited, which is exactly when a human should re-triage it.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -15,11 +20,20 @@ __all__ = [
     "Finding",
     "format_finding",
     "load_baseline",
+    "snippet_hash",
     "write_baseline",
 ]
 
 #: Separator for baseline keys; paths and rule ids never contain it.
 _KEY_SEP = " :: "
+
+
+def snippet_hash(source: str, line: int) -> str:
+    """Short hash of the whitespace-normalized source line."""
+    lines = source.splitlines()
+    text = lines[line - 1] if 1 <= line <= len(lines) else ""
+    normalized = " ".join(text.split())
+    return hashlib.blake2b(normalized.encode(), digest_size=6).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -37,11 +51,15 @@ class Finding:
     rule: str
     message: str
     col: int = 0
+    qualname: str = ""
+    snippet_hash: str = ""
     anchor_lines: tuple[int, ...] = field(default=(), compare=False)
 
     def key(self) -> str:
-        """Line-independent identity used by baseline files."""
-        return _KEY_SEP.join((self.path, self.rule, self.message))
+        """Line- and message-independent identity for baseline files."""
+        return _KEY_SEP.join(
+            (self.path, self.rule, self.qualname, self.snippet_hash)
+        )
 
     def sort_key(self) -> tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule)

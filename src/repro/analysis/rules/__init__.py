@@ -1,27 +1,36 @@
 """The shipped rule set.
 
 Each rule is grounded in an invariant a test suite already depends on;
-see ``docs/STATIC_ANALYSIS.md`` for the rationale per rule.
+see ``docs/STATIC_ANALYSIS.md`` for the rationale per rule.  The first
+six are per-node syntactic checks; ``shm-paths``, ``dag-soundness``
+and ``worker-boundary`` are flow-sensitive, built on
+:mod:`repro.analysis.dataflow`.
 """
 
 from __future__ import annotations
 
+from repro.analysis.rules.boundary import WorkerBoundaryRule
 from repro.analysis.rules.contract import ExecutorContractRule
+from repro.analysis.rules.dag import DagSoundnessRule
 from repro.analysis.rules.hotpath import HotPathPurityRule
 from repro.analysis.rules.layering import LayeringRule
 from repro.analysis.rules.rng import RngDisciplineRule
 from repro.analysis.rules.shm import ShmLifecycleRule
+from repro.analysis.rules.shm_paths import ShmPathsRule
 from repro.analysis.rules.wallclock import WallclockDisciplineRule
 
 __all__ = [
     "ALL_RULES",
     "RULES_BY_ID",
+    "DagSoundnessRule",
     "ExecutorContractRule",
     "HotPathPurityRule",
     "LayeringRule",
     "RngDisciplineRule",
     "ShmLifecycleRule",
+    "ShmPathsRule",
     "WallclockDisciplineRule",
+    "WorkerBoundaryRule",
 ]
 
 #: Every shipped rule class (file rules and project rules alike).
@@ -32,6 +41,9 @@ ALL_RULES = (
     WallclockDisciplineRule,
     ExecutorContractRule,
     HotPathPurityRule,
+    ShmPathsRule,
+    DagSoundnessRule,
+    WorkerBoundaryRule,
 )
 
 RULES_BY_ID = {rule.rule_id: rule for rule in ALL_RULES}

@@ -42,7 +42,7 @@ from __future__ import annotations
 import ast
 
 from repro.analysis.findings import Finding
-from repro.analysis.visitor import ModuleFile, Project, ProjectRule
+from repro.analysis.visitor import ModuleFile, Project, ProjectRule, finding_at
 
 __all__ = ["ExecutorContractRule"]
 
@@ -149,15 +149,7 @@ class ExecutorContractRule(ProjectRule):
     )
 
     def _finding(self, mf: ModuleFile, node: ast.AST, message: str) -> Finding:
-        line = getattr(node, "lineno", 1)
-        return Finding(
-            path=mf.path,
-            line=line,
-            col=getattr(node, "col_offset", 0),
-            rule=self.rule_id,
-            message=message,
-            anchor_lines=(line,),
-        )
+        return finding_at(mf, node, self.rule_id, message)
 
     def _base_signatures(self, project: Project) -> dict[str, list[str]]:
         base_mod = project.get(f"{_EXEC_PACKAGE}.base")

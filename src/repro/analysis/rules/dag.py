@@ -1,0 +1,347 @@
+"""dag-soundness: the lowering and dispatch loop preserve ordering.
+
+The task-graph model: ``lower_variants`` emits hard deps (``deps``,
+which gate dispatch) and soft deps (``soft_deps``, advisory donor
+preferences that must *never* gate).  Donor-label *reads* are only
+safe behind hard deps — a variant that seeds from a scratch parent's
+merged labels must hard-depend on ``merge:<parent>``.  This rule lifts
+both sides into a static model and checks:
+
+in ``repro.core.taskgraph``
+    * no ``merge_task_id``-derived value flows into a ``soft_deps``
+      argument (a demoted hard dep = a donor-label read the dispatcher
+      may schedule before its producer) — traced with reaching
+      definitions so only the branch that misbinds is blamed;
+    * every ``MergeTask`` is constructed with ``deps`` covering its
+      full shard fan-out: an unfiltered comprehension/genexp over the
+      shard collection (a ``if``-filtered one can drop a producer).
+
+in ``repro.exec.graph``
+    * ``.soft_deps`` never appears in a branch condition (``if`` /
+      ``while`` / ternary / comprehension filter / ``assert``) — soft
+      edges order *preferences*, hard edges order *execution*;
+    * every ``worker_pulse`` handle closes on all paths (same lattice
+      machinery as shm-paths; a leaked heartbeat slot fakes liveness),
+      and a module that opens pulses must also ``.beat()`` them;
+    * ``tracer.span(...)`` is only entered as a ``with`` context, so
+      span enter/exit stays balanced per attempt;
+    * ``set_tracer(obj)`` in a function is balanced by a
+      ``set_tracer(None)`` reset in the same function.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.dataflow.cfg import build_cfg, stmt_calls
+from repro.analysis.dataflow.lattice import (
+    ResourceSpec,
+    analyze_sites,
+    find_sites,
+)
+from repro.analysis.dataflow.reaching import (
+    ReachingDefinitions,
+    compute_reaching,
+    tags_at,
+)
+from repro.analysis.dataflow.summaries import build_summaries
+from repro.analysis.findings import Finding
+from repro.analysis.rules.shm_paths import shm_can_raise
+from repro.analysis.visitor import (
+    ModuleFile,
+    Project,
+    ProjectRule,
+    dotted_source,
+    finding_at,
+)
+
+__all__ = ["DagSoundnessRule"]
+
+_LOWERING_MODULE = "repro.core.taskgraph"
+_RUNTIME_MODULE = "repro.exec.graph"
+
+#: Task-id constructors -> derivation tag.
+_TAG_CALLS = {
+    "merge_task_id": "merge",
+    "variant_task_id": "variant",
+    "shard_task_id": "shard",
+}
+
+_PULSE_SPEC = ResourceSpec(
+    acquirers=frozenset({"worker_pulse"}),
+    release_methods=frozenset({"close"}),
+)
+
+
+def _bare(call: ast.Call) -> str:
+    return dotted_source(call.func).rsplit(".", 1)[-1]
+
+
+def _kwarg(call: ast.Call, name: str) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _resets_tracer(call: ast.Call) -> bool:
+    return bool(call.args) and (
+        isinstance(call.args[0], ast.Constant) and call.args[0].value is None
+    )
+
+
+class DagSoundnessRule(ProjectRule):
+    rule_id = "dag-soundness"
+    description = (
+        "task-DAG ordering model: soft deps never gate or carry "
+        "merge-derived ids, merges cover their shard fan-out, pulse "
+        "handles and tracer spans stay balanced per attempt"
+    )
+
+    # -- lowering-side checks (repro.core.taskgraph) -------------------
+    def _check_lowering(self, mf: ModuleFile) -> list[Finding]:
+        findings: list[Finding] = []
+        for fn in ast.walk(mf.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            cfg = build_cfg(fn)
+            rd = compute_reaching(cfg)
+            call_nodes = [
+                (node.index, call)
+                for node in cfg.stmt_nodes()
+                for call in stmt_calls(node.stmt)  # type: ignore[arg-type]
+            ]
+            for node_index, call in call_nodes:
+                name = _bare(call)
+                if name == "VariantTask":
+                    soft = _kwarg(call, "soft_deps")
+                    if soft is not None:
+                        tags = tags_at(rd, node_index, soft, _TAG_CALLS)
+                        if "merge" in tags:
+                            findings.append(
+                                finding_at(
+                                    mf,
+                                    call,
+                                    self.rule_id,
+                                    "merge-derived task id flows into "
+                                    "soft_deps: donor-label reads from a "
+                                    "merged parent must be hard deps "
+                                    "(soft edges never gate dispatch)",
+                                )
+                            )
+                elif name == "MergeTask":
+                    findings.extend(
+                        self._check_merge_deps(mf, rd, node_index, call)
+                    )
+        return findings
+
+    def _check_merge_deps(
+        self,
+        mf: ModuleFile,
+        rd: ReachingDefinitions,
+        node_index: int,
+        call: ast.Call,
+    ) -> list[Finding]:
+        deps = _kwarg(call, "deps")
+        if deps is None:
+            return [
+                finding_at(
+                    mf,
+                    call,
+                    self.rule_id,
+                    "MergeTask constructed without deps: a merge must be "
+                    "sequenced after all of its shard producers",
+                )
+            ]
+        problem = self._merge_deps_problem(rd, node_index, deps, depth=0)
+        if problem is None:
+            return []
+        return [
+            finding_at(
+                mf,
+                call,
+                self.rule_id,
+                f"MergeTask deps {problem}: the fan-in must cover every "
+                "shard producer (an unfiltered sweep of the shard "
+                "collection)",
+            )
+        ]
+
+    def _merge_deps_problem(
+        self,
+        rd: ReachingDefinitions,
+        node_index: int,
+        expr: ast.expr,
+        depth: int,
+    ) -> str | None:
+        """None if the expression covers a full fan-out, else why not."""
+        if depth > 8:
+            return None  # give up quietly rather than false-positive
+        if isinstance(expr, ast.Call) and _bare(expr) in ("tuple", "list"):
+            if not expr.args:
+                return "are empty"
+            return self._merge_deps_problem(rd, node_index, expr.args[0], depth + 1)
+        if isinstance(expr, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            if any(gen.ifs for gen in expr.generators):
+                return "filter the shard collection"
+            return None
+        if isinstance(expr, ast.Tuple):
+            if not expr.elts:
+                return "are empty"
+            return None  # explicit literal: assume deliberate
+        if isinstance(expr, ast.Name):
+            defs = rd.at(node_index, expr.id)
+            if not defs:
+                return None  # parameter or free name: can't see it
+            for d in defs:
+                value = rd.defs.get(d)
+                if value is None:
+                    continue
+                problem = self._merge_deps_problem(
+                    rd, d.node_index, value, depth + 1
+                )
+                if problem is not None:
+                    return problem
+            return None
+        return None
+
+    # -- runtime-side checks (repro.exec.graph) ------------------------
+    def _gate_exprs(self, fn: ast.AST) -> list[ast.expr]:
+        """Every expression that decides control flow."""
+        gates: list[ast.expr] = []
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.If, ast.While, ast.IfExp)):
+                gates.append(node.test)
+            elif isinstance(node, ast.Assert):
+                gates.append(node.test)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for gen in node.generators:
+                    gates.extend(gen.ifs)
+        return gates
+
+    def _check_runtime(self, mf: ModuleFile, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+
+        # 1. soft deps must never gate dispatch
+        for gate in self._gate_exprs(mf.tree):
+            for sub in ast.walk(gate):
+                if isinstance(sub, ast.Attribute) and sub.attr == "soft_deps":
+                    findings.append(
+                        finding_at(
+                            mf,
+                            sub,
+                            self.rule_id,
+                            "soft_deps read inside a branch condition: soft "
+                            "edges are advisory ordering hints and must "
+                            "never gate dispatch (use .deps)",
+                        )
+                    )
+
+        # 2. tracer spans only as `with` contexts (enter/exit balance)
+        with_spans: set[int] = set()
+        for node in ast.walk(mf.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if isinstance(item.context_expr, ast.Call):
+                        with_spans.add(id(item.context_expr))
+        for node in ast.walk(mf.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"
+                and id(node) not in with_spans
+            ):
+                findings.append(
+                    finding_at(
+                        mf,
+                        node,
+                        self.rule_id,
+                        "tracer span opened outside a with-block: span "
+                        "enter/exit must stay balanced per attempt",
+                    )
+                )
+
+        # 3. worker_pulse handles close on all paths; openers must beat
+        summaries = build_summaries(
+            project,
+            releasers=frozenset(),
+            release_methods=frozenset({"close"}),
+        )
+        can_raise = shm_can_raise(summaries)
+        module_beats = any(
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "beat"
+            for node in ast.walk(mf.tree)
+        )
+        for fn in ast.walk(mf.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            cfg = build_cfg(fn, can_raise=can_raise)
+            sites = find_sites(fn, cfg, _PULSE_SPEC)
+            for leak in analyze_sites(fn, cfg, sites, _PULSE_SPEC, summaries):
+                findings.append(
+                    finding_at(
+                        mf,
+                        leak.site.stmt,
+                        self.rule_id,
+                        "worker_pulse handle can leak "
+                        + (
+                            "when a later statement raises"
+                            if leak.exceptional
+                            else "on a normal-return path"
+                        )
+                        + ": an unclosed pulse slot fakes liveness to the "
+                        "supervisor",
+                    )
+                )
+            if sites and not module_beats:
+                findings.append(
+                    finding_at(
+                        mf,
+                        fn,
+                        self.rule_id,
+                        f"{fn.name} opens a worker pulse but the module "
+                        "never beats one: a silent pulse is a dead worker "
+                        "to the monitor",
+                    )
+                )
+
+        # 4. set_tracer(obj) balanced by set_tracer(None) per function
+        for fn in ast.walk(mf.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            sets = [
+                call
+                for call in ast.walk(fn)
+                if isinstance(call, ast.Call) and _bare(call) == "set_tracer"
+            ]
+            if not sets:
+                continue
+            installs = [c for c in sets if not _resets_tracer(c)]
+            resets = [c for c in sets if _resets_tracer(c)]
+            if installs and not resets:
+                findings.append(
+                    finding_at(
+                        mf,
+                        installs[0],
+                        self.rule_id,
+                        f"{fn.name} installs a thread-local tracer but never "
+                        "resets it with set_tracer(None); spans from the "
+                        "next task on this worker would land in the wrong "
+                        "attempt",
+                    )
+                )
+        return findings
+
+    def check(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        lowering = project.get(_LOWERING_MODULE)
+        if lowering is not None:
+            findings.extend(self._check_lowering(lowering))
+        runtime = project.get(_RUNTIME_MODULE)
+        if runtime is not None:
+            findings.extend(self._check_runtime(runtime, project))
+        return findings

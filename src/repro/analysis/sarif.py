@@ -1,0 +1,105 @@
+"""SARIF 2.1.0 export for ``repro check`` findings.
+
+One run, one tool (``repro-check``), one result per finding.  The
+``partialFingerprints`` entry carries :meth:`Finding.key` — the same
+line- and message-independent identity the baseline workflow uses — so
+SARIF consumers (code-scanning UIs, diff tools) track a finding across
+line drift exactly like our own baselines do.  Rules are declared in
+the driver's ``rules`` array with their descriptions; ``ruleIndex`` on
+each result points back into it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+__all__ = ["to_sarif", "write_sarif"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_descriptions() -> dict[str, str]:
+    from repro.analysis.rules import ALL_RULES
+    from repro.analysis.traces import TRACE_RULE_ID
+
+    described = {
+        str(rule.rule_id): str(rule.description) for rule in ALL_RULES
+    }
+    described.setdefault(
+        TRACE_RULE_ID,
+        "trace replay: a task span started before every span of one of "
+        "its hard dependencies finished",
+    )
+    return described
+
+
+def to_sarif(findings: list[Finding]) -> dict:
+    """Render findings as a SARIF 2.1.0 document (a plain dict)."""
+    descriptions = _rule_descriptions()
+    rule_ids = sorted(
+        {f.rule for f in findings} | set(descriptions)
+    )
+    rule_index = {rid: i for i, rid in enumerate(rule_ids)}
+    rules = [
+        {
+            "id": rid,
+            "shortDescription": {
+                "text": descriptions.get(rid, rid),
+            },
+        }
+        for rid in rule_ids
+    ]
+    results = []
+    for f in sorted(findings, key=lambda f: f.sort_key()):
+        result = {
+            "ruleId": f.rule,
+            "ruleIndex": rule_index[f.rule],
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": Path(f.path).as_posix(),
+                        },
+                        "region": {
+                            "startLine": max(f.line, 1),
+                            "startColumn": f.col + 1,
+                        },
+                    },
+                    "logicalLocations": (
+                        [{"fullyQualifiedName": f.qualname}]
+                        if f.qualname
+                        else []
+                    ),
+                }
+            ],
+            "partialFingerprints": {"reproCheckKey/v1": f.key()},
+        }
+        results.append(result)
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(path: str | Path, findings: list[Finding]) -> None:
+    """Write the findings as a SARIF 2.1.0 file."""
+    Path(path).write_text(json.dumps(to_sarif(findings), indent=2) + "\n")

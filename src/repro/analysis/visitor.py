@@ -22,11 +22,36 @@ import ast
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
-from repro.analysis.findings import Finding
+from repro.analysis.findings import Finding, snippet_hash
 
-__all__ = ["ModuleFile", "Project", "ProjectRule", "RuleVisitor", "dotted_source"]
+__all__ = [
+    "ModuleFile",
+    "Project",
+    "ProjectRule",
+    "RuleVisitor",
+    "dotted_source",
+    "finding_at",
+    "scope_label",
+]
 
 _SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+#: Anonymous scopes get CPython-style placeholder names so qualnames
+#: (and thus baseline keys) match what a traceback would show.
+_ANON_SCOPES = {
+    ast.Lambda: "<lambda>",
+    ast.ListComp: "<listcomp>",
+    ast.SetComp: "<setcomp>",
+    ast.DictComp: "<dictcomp>",
+    ast.GeneratorExp: "<genexpr>",
+}
+
+
+def scope_label(node: ast.AST) -> str | None:
+    """The scope name a node introduces, or None for non-scopes."""
+    if isinstance(node, _SCOPE_NODES):
+        return node.name
+    return _ANON_SCOPES.get(type(node))
 
 
 @dataclass(frozen=True)
@@ -89,9 +114,10 @@ class RuleVisitor(ast.NodeVisitor):
         return False
 
     def visit(self, node: ast.AST) -> None:
-        if isinstance(node, _SCOPE_NODES):
+        label = scope_label(node)
+        if label is not None:
             self._scope_lines.append(node.lineno)
-            self._scope_names.append(node.name)
+            self._scope_names.append(label)
             try:
                 super().visit(node)
             finally:
@@ -121,6 +147,11 @@ class RuleVisitor(ast.NodeVisitor):
         """Name of the innermost enclosing def/class ('' at module level)."""
         return self._scope_names[-1] if self._scope_names else ""
 
+    @property
+    def qualname(self) -> str:
+        """Dotted scope chain of the current node ('' at module level)."""
+        return ".".join(self._scope_names)
+
     def in_function_matching(self, predicate: Callable[[str], bool]) -> bool:
         """Whether any enclosing scope name satisfies ``predicate``."""
         return any(predicate(name) for name in self._scope_names)
@@ -137,6 +168,8 @@ class RuleVisitor(ast.NodeVisitor):
                 col=getattr(node, "col_offset", 0),
                 rule=self.rule_id,
                 message=message,
+                qualname=self.qualname,
+                snippet_hash=snippet_hash(self.ctx.source, line),
                 anchor_lines=anchors,
             )
         )
@@ -158,6 +191,48 @@ class ProjectRule:
 
     def check(self, project: Project) -> list[Finding]:
         raise NotImplementedError
+
+
+def _path_to(root: ast.AST, target: ast.AST) -> list[ast.AST] | None:
+    """Root-to-target node path by identity, or None if not contained."""
+    if root is target:
+        return [root]
+    for child in ast.iter_child_nodes(root):
+        path = _path_to(child, target)
+        if path is not None:
+            return [root, *path]
+    return None
+
+
+def finding_at(
+    mf: ModuleFile, node: ast.AST, rule_id: str, message: str
+) -> Finding:
+    """Build a scope-aware finding for a node (for project rules).
+
+    Project rules walk raw trees without the visitor's scope stack;
+    this recovers the enclosing-scope chain (for pragma anchors and
+    the qualname half of the baseline key) by locating the node in its
+    module tree.
+    """
+    line = getattr(node, "lineno", 1)
+    chain: list[ast.AST] = []
+    path = _path_to(mf.tree, node)
+    if path is not None:
+        chain = [n for n in path[:-1] if scope_label(n) is not None]
+        if scope_label(node) is not None:
+            chain.append(node)
+    anchors = (line, *(n.lineno for n in chain))  # type: ignore[attr-defined]
+    labels = [scope_label(n) for n in chain]
+    return Finding(
+        path=mf.path,
+        line=line,
+        col=getattr(node, "col_offset", 0),
+        rule=rule_id,
+        message=message,
+        qualname=".".join(lbl for lbl in labels if lbl is not None),
+        snippet_hash=snippet_hash(mf.source, line),
+        anchor_lines=anchors,
+    )
 
 
 def dotted_source(node: ast.AST) -> str:

@@ -324,6 +324,8 @@ def cmd_check(args: argparse.Namespace) -> int:
         for rule in analysis.ALL_RULES:
             print(f"  {rule.rule_id:<22} {rule.description}")
         return 0
+    if args.traces:
+        return _check_traces(args)
     paths = args.paths or [analysis.default_check_root()]
     baseline = analysis.load_baseline(args.baseline) if args.baseline else set()
     # Findings (and baseline keys) are relative to the scanned root when
@@ -339,6 +341,11 @@ def cmd_check(args: argparse.Namespace) -> int:
             f"{args.write_baseline}"
         )
         return 0
+    if args.sarif:
+        from repro.analysis.sarif import write_sarif
+
+        write_sarif(args.sarif, report.findings)
+        print(f"SARIF report written to {args.sarif}")
     if args.json:
         import json
 
@@ -352,6 +359,8 @@ def cmd_check(args: argparse.Namespace) -> int:
                             "col": f.col,
                             "rule": f.rule,
                             "message": f.message,
+                            "qualname": f.qualname,
+                            "key": f.key(),
                         }
                         for f in report.findings
                     ],
@@ -359,6 +368,7 @@ def cmd_check(args: argparse.Namespace) -> int:
                     "suppressed": report.suppressed,
                     "stale_baseline": report.stale_baseline,
                     "errors": report.errors,
+                    "stats": report.stats,
                 }
             )
         )
@@ -378,6 +388,52 @@ def cmd_check(args: argparse.Namespace) -> int:
         for key in report.stale_baseline:
             print(f"  {key}")
     return report.exit_code(strict=args.strict)
+
+
+def _check_traces(args: argparse.Namespace) -> int:
+    """``repro check --traces``: replay traces against happens-before."""
+    from repro import analysis
+    from repro.analysis.traces import check_traces
+
+    try:
+        findings, checked = check_traces(args.traces)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.sarif:
+        from repro.analysis.sarif import write_sarif
+
+        write_sarif(args.sarif, findings)
+        print(f"SARIF report written to {args.sarif}")
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "findings": [
+                        {
+                            "path": f.path,
+                            "line": f.line,
+                            "rule": f.rule,
+                            "message": f.message,
+                            "task": f.qualname,
+                        }
+                        for f in findings
+                    ],
+                    "spans_checked": checked,
+                }
+            )
+        )
+        return 1 if findings else 0
+    for finding in findings:
+        print(analysis.format_finding(finding))
+    total = sum(checked.values())
+    print(
+        f"{len(findings)} happens-before violation(s) in "
+        f"{total} task span(s) across {len(checked)} trace(s)"
+    )
+    return 1 if findings else 0
 
 
 def cmd_optics(args: argparse.Namespace) -> int:
@@ -713,6 +769,12 @@ def build_parser() -> argparse.ArgumentParser:
     a.add_argument("--write-baseline", default=None, metavar="FILE",
                    dest="write_baseline",
                    help="write current findings as the new baseline")
+    a.add_argument("--sarif", default=None, metavar="FILE",
+                   help="also write the findings as a SARIF 2.1.0 file")
+    a.add_argument("--traces", nargs="+", default=None, metavar="JSONL",
+                   help="replay-check task spans in trace JSONL files "
+                        "against the DAG's happens-before instead of "
+                        "running the static rules")
     a.add_argument("--list-rules", action="store_true", dest="list_rules",
                    help="list the shipped rules and exit")
     a.set_defaults(func=cmd_check)

@@ -25,7 +25,12 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.core.variant_dbscan import DEFAULT_LOW_RES_R
-from repro.engine.shm import ArrayPackHandle, attach_arrays, pack_arrays
+from repro.engine.shm import (
+    ArrayPackHandle,
+    attach_arrays,
+    pack_arrays,
+    release_segment,
+)
 from repro.engine.store import SPAN_SHM_ATTACH, PointStore
 from repro.index.brute import BruteForceIndex
 from repro.index.cellgraph import CellGraphIndex
@@ -222,18 +227,24 @@ def attach_index_pair(
     tr = resolve_tracer(tracer)
     with tr.span(SPAN_SHM_ATTACH, segment=handle.pack.name, what="indexes"):
         shm, arrays = attach_arrays(handle.pack)
-    trees = {}
-    for prefix, r in (("high", handle.high_r), ("low", handle.low_r)):
-        sub = {
-            key[len(prefix) + 1:]: arr
-            for key, arr in arrays.items()
-            if key.startswith(prefix + "/")
-        }
-        trees[prefix] = RTree.from_arrays(
-            points,
-            r,
-            fanout=handle.fanout,
-            bin_width=handle.bin_width,
-            arrays=sub,
-        )
-    return shm, IndexPair(t_high=trees["high"], t_low=trees["low"])
+    try:
+        trees = {}
+        for prefix, r in (("high", handle.high_r), ("low", handle.low_r)):
+            sub = {
+                key[len(prefix) + 1:]: arr
+                for key, arr in arrays.items()
+                if key.startswith(prefix + "/")
+            }
+            trees[prefix] = RTree.from_arrays(
+                points,
+                r,
+                fanout=handle.fanout,
+                bin_width=handle.bin_width,
+                arrays=sub,
+            )
+        return shm, IndexPair(t_high=trees["high"], t_low=trees["low"])
+    except Exception:
+        # A malformed pack must not leak this process's mapping of the
+        # (caller-owned) segment.
+        release_segment(shm)
+        raise

@@ -120,8 +120,18 @@ class PointStore:
         tr = resolve_tracer(tracer)
         with tr.span(SPAN_SHM_ATTACH, segment=handle.name, what="points"):
             shm = attach_shm(handle.name)
-            arr = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype), buffer=shm.buf)
-        return cls(arr, fingerprint=handle.fingerprint, _shm=shm, _owner=False)
+            try:
+                arr = np.ndarray(
+                    handle.shape, dtype=np.dtype(handle.dtype), buffer=shm.buf
+                )
+                return cls(
+                    arr, fingerprint=handle.fingerprint, _shm=shm, _owner=False
+                )
+            except Exception:
+                # A bad handle (shape/dtype mismatch) must not leak the
+                # mapping this process just opened.
+                release_segment(shm)
+                raise
 
     # -- data access ----------------------------------------------------
     @property
@@ -181,11 +191,17 @@ class PointStore:
             tr = resolve_tracer(tracer)
             with tr.span(SPAN_SHM_ATTACH, what="points-create", n=self.n_points):
                 shm = create_shm(max(1, self._points.nbytes), "pts")
-                shared = np.ndarray(
-                    self._points.shape, dtype=self._points.dtype, buffer=shm.buf
-                )
-                shared[...] = self._points
-                shared.flags.writeable = False
+                try:
+                    shared = np.ndarray(
+                        self._points.shape, dtype=self._points.dtype, buffer=shm.buf
+                    )
+                    shared[...] = self._points
+                    shared.flags.writeable = False
+                except Exception:
+                    # We own this fresh segment; a failed copy must not
+                    # orphan it under the repro_* prefix.
+                    destroy_segment(shm)
+                    raise
             self._shm = shm
             self._owner = True
             self._points = shared

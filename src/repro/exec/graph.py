@@ -230,7 +230,6 @@ def _chain_worker(
     caller.
     """
     allow_kill_faults(True)
-    hb = worker_pulse(pulse)
     tracer = Tracer() if trace else None
     set_tracer(tracer)
     # perf_counter is monotonic *and* system-wide, so the parent's t0
@@ -238,40 +237,53 @@ def _chain_worker(
     # under NTP between the parent's stamp and ours).
     start = time.perf_counter() - t0
     perf_start = time.perf_counter()
-    store = PointStore.attach(store_handle, tracer=tracer)
-    idx_shm, indexes = attach_index_pair(idx_handle, store.points, tracer=tracer)
-    order = [Variant(e, m) for e, m in variant_tuples]
-    vset = VariantSet(order)
-    cache = (
-        NeighborhoodCache(capacity_bytes=cache_bytes) if cache_bytes > 0 else None
-    )
-    checkpoint = (
-        CheckpointStore(checkpoint_root, store.fingerprint, store.n_points)
-        if checkpoint_root
-        else None
-    )
-    ctx = RunContext(
-        store=store,
-        indexes=indexes,
-        scheduler=_FixedOrderScheduler(order),
-        reuse_policy=POLICIES[reuse_policy_name],
-        cost_model=cost_model,
-        n_threads=1,
-        batch_size=batch_size,
-        cache=cache,
-        dataset="",
-        retry_policy=retry_policy,
-        fault_plan=fault_plan,
-        checkpoint=checkpoint,
-        kernel=kernel,
-        factory=IndexFactory(),
-        **({"tracer": tracer} if tracer is not None else {}),
-    )
-    runner = ResilientRunner(ctx, vset)
-    registry = CompletedRegistry()
+    # The pulse is the last acquisition before the try so no fallible
+    # setup sits between it and the finally that closes it.
+    hb = worker_pulse(pulse)
+    # Every acquisition below happens inside the try: attach or setup
+    # failures (a torn-down segment after a parent crash, a bad handle)
+    # must still release the pulse slot and any mapping already opened.
+    store: PointStore | None = None
+    idx_shm = None
+    ctx = indexes = None
     results: dict[Variant, ClusteringResult] = {}
     records: list[VariantRunRecord] = []
     try:
+        store = PointStore.attach(store_handle, tracer=tracer)
+        idx_shm, indexes = attach_index_pair(
+            idx_handle, store.points, tracer=tracer
+        )
+        order = [Variant(e, m) for e, m in variant_tuples]
+        vset = VariantSet(order)
+        cache = (
+            NeighborhoodCache(capacity_bytes=cache_bytes)
+            if cache_bytes > 0
+            else None
+        )
+        checkpoint = (
+            CheckpointStore(checkpoint_root, store.fingerprint, store.n_points)
+            if checkpoint_root
+            else None
+        )
+        ctx = RunContext(
+            store=store,
+            indexes=indexes,
+            scheduler=_FixedOrderScheduler(order),
+            reuse_policy=POLICIES[reuse_policy_name],
+            cost_model=cost_model,
+            n_threads=1,
+            batch_size=batch_size,
+            cache=cache,
+            dataset="",
+            retry_policy=retry_policy,
+            fault_plan=fault_plan,
+            checkpoint=checkpoint,
+            kernel=kernel,
+            factory=IndexFactory(),
+            **({"tracer": tracer} if tracer is not None else {}),
+        )
+        runner = ResilientRunner(ctx, vset)
+        registry = CompletedRegistry()
         done = runner.resume_into(registry, results, records)
         # Sharded donors completed before this group was even submitted;
         # t = 0 makes them eligible for the whole chain.  They are *not*
@@ -306,8 +318,10 @@ def _chain_worker(
         # Drop every view into the segments before unmapping; both
         # closes tolerate lingering exports (OS reclaims at exit).
         del ctx, indexes
-        release_segment(idx_shm)
-        store.close()
+        if idx_shm is not None:
+            release_segment(idx_shm)
+        if store is not None:
+            store.close()
         if hb is not None:
             hb.beat("group:done")
             hb.close()
@@ -362,13 +376,17 @@ def _shard_worker(
     shipped back as plain records.
     """
     allow_kill_faults(True)
-    hb = worker_pulse(pulse)
     tracer = Tracer() if trace else None
     set_tracer(tracer)
     start = time.perf_counter() - t0
     perf_start = time.perf_counter()
-    store = PointStore.attach(store_handle, tracer=tracer)
+    # Pulse last, attach inside the try: a failed attach must still
+    # close the pulse slot (an unreleased slot reads as a
+    # live-but-silent worker to the parent's monitor).
+    hb = worker_pulse(pulse)
+    store: PointStore | None = None
     try:
+        store = PointStore.attach(store_handle, tracer=tracer)
         if hb is not None:
             # Before the fault fires: a stall freezes the counter here.
             hb.beat(task_label or "shard")
@@ -388,7 +406,8 @@ def _shard_worker(
         if hb is not None:
             hb.beat(task_label or "shard")
     finally:
-        store.close()
+        if store is not None:
+            store.close()
         if hb is not None:
             hb.close()
     finish = time.perf_counter() - t0
@@ -916,16 +935,18 @@ class GraphRuntime:
             n_lanes = max(1, ctx.n_threads)
 
         store_handle = ctx.store.ensure_shared(tracer=tracer)
-        idx_shm = idx_handle = None
-        if groups:
-            idx_shm, idx_handle = share_index_pair(ctx.indexes, tracer=tracer)
         cache_bytes = ctx.cache.capacity_bytes if ctx.cache is not None else 0
         checkpoint_root = (
             str(ctx.checkpoint.root) if ctx.checkpoint is not None else None
         )
         t0 = time.perf_counter()
-        lanes = [_Lane(i) for i in range(n_lanes)]
-        mailbox = supervisor.open_mailbox(n_lanes) if supervisor else None
+        # The index pack, lane pools, and heartbeat mailbox are acquired
+        # inside the dispatch try (below) so the finally reaches them on
+        # every path; the submit closures capture these cells and only
+        # run after the assignments.
+        idx_shm = idx_handle = None
+        lanes: list[_Lane] = []
+        mailbox = None
         n_graph_tasks = max(len(graph), 1)
         free_lanes = list(range(n_lanes))
         inflight: dict[Future, _Job] = {}
@@ -1516,6 +1537,12 @@ class GraphRuntime:
                 merge_pipeline(pipe)
 
         try:
+            if groups:
+                idx_shm, idx_handle = share_index_pair(ctx.indexes, tracer=tracer)
+            for i in range(n_lanes):
+                lanes.append(_Lane(i))
+            if supervisor is not None:
+                mailbox = supervisor.open_mailbox(n_lanes)
             while True:
                 while free_lanes:
                     dispatch = next_dispatch()
@@ -1619,7 +1646,7 @@ class GraphRuntime:
         finally:
             for lane in lanes:
                 lane.close()
-            if supervisor is not None:
+            if mailbox is not None:
                 supervisor.close_mailbox()
             if idx_shm is not None:
                 # The pack exists only for this batch; remove it even

@@ -173,8 +173,14 @@ class HeartbeatMailbox:
     @classmethod
     def create(cls, n_slots: int) -> HeartbeatMailbox:
         shm = create_shm(_SLOT_DTYPE.itemsize * max(n_slots, 1), tag="hb")
-        box = cls(shm, n_slots)
-        box._view[:] = 0
+        try:
+            box = cls(shm, n_slots)
+            box._view[:] = 0
+        except Exception:
+            # The parent owns this fresh segment; a failed view setup
+            # must not orphan it past the doctor audit.
+            destroy_segment(shm)
+            raise
         return box
 
     @property
